@@ -1,0 +1,32 @@
+// Quickstart: run the whole study on a small population and print the
+// headline numbers — the 30-line tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	study, err := core.Run(core.Config{Seed: 42, Scale: 0.2, MinSNIUsers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client side (Section 4): fingerprints and customization.
+	match := study.Client.MatchLibraries(study.Matcher)
+	deg := study.Client.Table2()
+	fmt.Printf("devices: %d across %d users\n", len(study.Dataset.Devices), study.Dataset.Users())
+	fmt.Printf("unique TLS fingerprints: %d\n", match.TotalFingerprints)
+	fmt.Printf("matched to known libraries: %d (%.2f%%)\n", match.MatchedFingerprints, 100*match.MatchRate())
+	fmt.Printf("fingerprints used by a single vendor: %.1f%%\n", 100*deg.Deg1)
+
+	// Server side (Section 5): certificates.
+	t6 := study.Server.Table6()
+	frac, devices := study.Server.PrivateLeafFraction()
+	fmt.Printf("servers probed: %d, distinct leaf certificates: %d\n", t6.Servers, t6.LeafCerts)
+	fmt.Printf("vendor-signed (private CA) leaves: %.1f%%, affecting %d devices\n", 100*frac, devices)
+	fmt.Printf("vendors whose servers are exclusively vendor-signed: %v\n", study.Server.VendorsOnlyPrivate())
+}

@@ -1,0 +1,195 @@
+package acme
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ctlog"
+	"repro/internal/pki"
+)
+
+var epoch = time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC)
+
+func directory(t testing.TB, validity int) (*Directory, *ctlog.Log) {
+	t.Helper()
+	ca := pki.NewCA("Let's Encrypt", pki.PublicTrustCA, epoch.AddDate(-5, 0, 0), 20, 1)
+	log := ctlog.New("acme-ct", func() time.Time { return epoch })
+	return NewDirectory(ca, log, validity, func() time.Time { return epoch }), log
+}
+
+func TestFullIssuanceFlow(t *testing.T) {
+	d, log := directory(t, 90)
+	acct := d.NewAccount("mailto:ops@vendor.example")
+	order, err := d.NewOrder(acct, []string{"api.vendor.example", "ota.vendor.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order.Status != OrderPending {
+		t.Fatalf("status %v", order.Status)
+	}
+	if len(order.Challenges) != 2 {
+		t.Fatalf("challenges %d", len(order.Challenges))
+	}
+	// Finalize before challenges must fail.
+	if _, err := d.Finalize(order.ID); !errors.Is(err, ErrOrderNotReady) {
+		t.Fatalf("premature finalize: %v", err)
+	}
+	for _, ch := range order.Challenges {
+		if err := d.RespondChallenge(order.ID, ch.Identifier, ch.Token); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if order.Status != OrderReady {
+		t.Fatalf("status %v after challenges", order.Status)
+	}
+	cert, err := d.Finalize(order.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order.Status != OrderValid {
+		t.Fatalf("status %v after finalize", order.Status)
+	}
+	// The certificate is real X.509 with the right SANs and lifetime.
+	if err := cert.Cert.VerifyHostname("ota.vendor.example"); err != nil {
+		t.Fatal(err)
+	}
+	days := int(cert.Cert.NotAfter.Sub(cert.Cert.NotBefore).Hours() / 24)
+	if days != 90 {
+		t.Fatalf("validity %d days", days)
+	}
+	// And it is logged in CT — the auditing gap closed.
+	if !log.Contains(cert.Cert) {
+		t.Fatal("issued certificate not in CT")
+	}
+}
+
+func TestChallengeFailure(t *testing.T) {
+	d, _ := directory(t, 90)
+	acct := d.NewAccount("x")
+	order, err := d.NewOrder(acct, []string{"a.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RespondChallenge(order.ID, "a.example", "wrong-token"); !errors.Is(err, ErrChallengeFailed) {
+		t.Fatalf("want challenge failure, got %v", err)
+	}
+	if order.Status != OrderInvalid {
+		t.Fatalf("status %v", order.Status)
+	}
+	if _, err := d.Finalize(order.ID); err == nil {
+		t.Fatal("finalized an invalid order")
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	d, _ := directory(t, 90)
+	if _, err := d.NewOrder("acct-bogus", []string{"a.example"}); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("unknown account: %v", err)
+	}
+	acct := d.NewAccount("x")
+	if _, err := d.NewOrder(acct, nil); !errors.Is(err, ErrNoIdentifiers) {
+		t.Fatalf("empty identifiers: %v", err)
+	}
+	if err := d.RespondChallenge("order-bogus", "a", "t"); !errors.Is(err, ErrUnknownOrder) {
+		t.Fatalf("unknown order: %v", err)
+	}
+	if _, err := d.Finalize("order-bogus"); !errors.Is(err, ErrUnknownOrder) {
+		t.Fatalf("unknown order finalize: %v", err)
+	}
+}
+
+func TestClientRenewalLoop(t *testing.T) {
+	d, _ := directory(t, 90)
+	c := NewClient(d, "Wyze", []string{"api.wyzecam.example"})
+	if !c.NeedsRenewal(epoch) {
+		t.Fatal("fresh client must need issuance")
+	}
+	renewed, err := c.Tick(epoch)
+	if err != nil || !renewed {
+		t.Fatalf("initial obtain: %v %v", renewed, err)
+	}
+	// Right after issuance: no renewal.
+	if c.NeedsRenewal(epoch.AddDate(0, 0, 10)) {
+		t.Fatal("renewal too early")
+	}
+	// Inside the final third of the lifetime: renew.
+	if !c.NeedsRenewal(epoch.AddDate(0, 0, 65)) {
+		t.Fatal("no renewal inside the window")
+	}
+	renewed, err = c.Tick(epoch.AddDate(0, 0, 65))
+	if err != nil || !renewed {
+		t.Fatalf("renewal: %v %v", renewed, err)
+	}
+	if d.Issued() != 2 {
+		t.Fatalf("issued %d", d.Issued())
+	}
+}
+
+func TestWhatIfSimulation(t *testing.T) {
+	d, _ := directory(t, 90)
+	// The study's vendor-signed validity population (footnote 6 values).
+	validities := []int{36500, 25202, 24855, 21946, 10950, 9300, 7233, 5000, 2000}
+	res := Simulate(d, validities, 10)
+	if res.Servers != len(validities) {
+		t.Fatalf("servers %d", res.Servers)
+	}
+	// Status quo: zero renewals, zero CT, decade-old keys.
+	if res.VendorRenewals != 0 {
+		t.Errorf("vendor renewals %d", res.VendorRenewals)
+	}
+	if res.VendorCTCoverage != 0 {
+		t.Errorf("vendor CT coverage %v", res.VendorCTCoverage)
+	}
+	// The 2000-day cert expires within the 10-year horizon and keeps
+	// serving expired.
+	if res.VendorExpiredDays == 0 {
+		t.Error("expected expired server-days in the status quo")
+	}
+	// ACME: full CT coverage, frequent renewals, young keys.
+	if res.ACMECTCoverage != 1 {
+		t.Errorf("acme CT coverage %v", res.ACMECTCoverage)
+	}
+	if res.ACMEExpiredDays != 0 {
+		t.Errorf("acme expired days %d", res.ACMEExpiredDays)
+	}
+	if res.ACMERenewals < res.Servers*50 {
+		t.Errorf("acme renewals %d, want ~61/server over 10y", res.ACMERenewals)
+	}
+	if res.ACMEMeanKeyAgeDays >= res.VendorMeanKeyAgeDays {
+		t.Error("acme keys should be younger than vendor keys")
+	}
+	// The sample population really got certificates through the protocol.
+	if d.Issued() < 8 {
+		t.Errorf("directory issued %d sample certs", d.Issued())
+	}
+}
+
+func TestValiditiesFromWorld(t *testing.T) {
+	in := []int{90, 398, 825, 5000, 36500, 730}
+	out := ValiditiesFromWorld(in)
+	if len(out) != 2 || out[0] != 5000 || out[1] != 36500 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestOrderStatusString(t *testing.T) {
+	for s, want := range map[OrderStatus]string{
+		OrderPending: "pending", OrderReady: "ready", OrderValid: "valid", OrderInvalid: "invalid",
+	} {
+		if s.String() != want {
+			t.Errorf("%d => %q", s, s.String())
+		}
+	}
+}
+
+func BenchmarkIssuance(b *testing.B) {
+	d, _ := directory(b, 90)
+	c := NewClient(d, "bench", []string{"bench.example"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Obtain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package analysis computes every table and figure of the study from the
+// ClientHello dataset (Section 4 and Appendix B) and the probed
+// certificate dataset (Section 5 and Appendix C). It is the paper's
+// measurement pipeline: internal/dataset supplies the wire-format
+// observations, internal/simnet supplies the servers, and this package
+// turns them into the published statistics.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ciphersuite"
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/tlswire"
+)
+
+// FingerprintInfo aggregates everything observed about one fingerprint.
+type FingerprintInfo struct {
+	// Print is the fingerprint tuple.
+	Print fingerprint.Fingerprint
+	// Key is Print.Key().
+	Key string
+	// Devices that exhibited the fingerprint.
+	Devices map[string]bool
+	// Vendors of those devices.
+	Vendors map[string]bool
+	// Types of those devices.
+	Types map[string]bool
+	// SNIs visited with this fingerprint.
+	SNIs map[string]bool
+	// Records is the number of ClientHellos carrying it.
+	Records int
+}
+
+// Client is the client-side analysis state, built by parsing every
+// record's wire bytes.
+type Client struct {
+	DS *dataset.Dataset
+	// Prints indexes fingerprints by key.
+	Prints map[string]*FingerprintInfo
+	// DevicePrints maps device -> set of fingerprint keys.
+	DevicePrints map[string]map[string]bool
+	// DeviceVendor and DeviceType index device metadata.
+	DeviceVendor map[string]string
+	DeviceType   map[string]string
+	// VersionCounts tallies proposals per TLS version (Table 12).
+	VersionCounts map[tlswire.Version]int
+	// SNIDevices maps each SNI to the devices that visited it.
+	SNIDevices map[string]map[string]bool
+	// orderedKeys caches sorted fingerprint keys.
+	orderedKeys []string
+}
+
+// NewClient parses the dataset's raw ClientHello records and builds the
+// fingerprint table.
+func NewClient(ds *dataset.Dataset) (*Client, error) {
+	c := &Client{
+		DS:            ds,
+		Prints:        map[string]*FingerprintInfo{},
+		DevicePrints:  map[string]map[string]bool{},
+		DeviceVendor:  map[string]string{},
+		DeviceType:    map[string]string{},
+		VersionCounts: map[tlswire.Version]int{},
+		SNIDevices:    map[string]map[string]bool{},
+	}
+	for _, d := range ds.Devices {
+		c.DeviceVendor[d.ID] = d.Vendor
+		c.DeviceType[d.ID] = d.Type
+	}
+	for i, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: record %d: %w", i, err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		key := f.Key()
+		info := c.Prints[key]
+		if info == nil {
+			info = &FingerprintInfo{
+				Print:   f,
+				Key:     key,
+				Devices: map[string]bool{},
+				Vendors: map[string]bool{},
+				Types:   map[string]bool{},
+				SNIs:    map[string]bool{},
+			}
+			c.Prints[key] = info
+		}
+		info.Devices[r.DeviceID] = true
+		info.Vendors[r.Vendor] = true
+		info.Types[r.Type] = true
+		if r.SNI != "" {
+			info.SNIs[r.SNI] = true
+			if c.SNIDevices[r.SNI] == nil {
+				c.SNIDevices[r.SNI] = map[string]bool{}
+			}
+			c.SNIDevices[r.SNI][r.DeviceID] = true
+		}
+		info.Records++
+		if c.DevicePrints[r.DeviceID] == nil {
+			c.DevicePrints[r.DeviceID] = map[string]bool{}
+		}
+		c.DevicePrints[r.DeviceID][key] = true
+		c.VersionCounts[f.Version]++
+	}
+	c.orderedKeys = make([]string, 0, len(c.Prints))
+	for k := range c.Prints {
+		c.orderedKeys = append(c.orderedKeys, k)
+	}
+	sort.Strings(c.orderedKeys)
+	return c, nil
+}
+
+// NumFingerprints returns the number of distinct fingerprints (the
+// paper's 903).
+func (c *Client) NumFingerprints() int { return len(c.Prints) }
+
+// VendorGraph builds the Figure 1 bipartite graph: vendors on the left,
+// fingerprints on the right.
+func (c *Client) VendorGraph() *graph.Bipartite {
+	g := graph.New()
+	for _, key := range c.orderedKeys {
+		for vendor := range c.Prints[key].Vendors {
+			g.AddEdge(vendor, key)
+		}
+	}
+	return g
+}
+
+// TypeGraphForVendor builds the Figure 3 graph for one vendor: device
+// types on the left, fingerprints on the right.
+func (c *Client) TypeGraphForVendor(vendor string) *graph.Bipartite {
+	g := graph.New()
+	for _, key := range c.orderedKeys {
+		info := c.Prints[key]
+		if !info.Vendors[vendor] {
+			continue
+		}
+		for dev := range info.Devices {
+			if c.DeviceVendor[dev] == vendor {
+				g.AddEdge(c.DeviceType[dev], key)
+			}
+		}
+	}
+	return g
+}
+
+// DeviceGraphForVendor builds the Figure 4 graph: the vendor's devices on
+// the left, their fingerprints on the right.
+func (c *Client) DeviceGraphForVendor(vendor string) *graph.Bipartite {
+	g := graph.New()
+	for dev, prints := range c.DevicePrints {
+		if c.DeviceVendor[dev] != vendor {
+			continue
+		}
+		for key := range prints {
+			g.AddEdge(dev, key)
+		}
+	}
+	return g
+}
+
+// DeviceGraphForVendorType restricts Figure 4 to one device type
+// (Amazon Echo in the paper = Amazon speakers here).
+func (c *Client) DeviceGraphForVendorType(vendor, typ string) *graph.Bipartite {
+	g := graph.New()
+	for dev, prints := range c.DevicePrints {
+		if c.DeviceVendor[dev] != vendor || c.DeviceType[dev] != typ {
+			continue
+		}
+		for key := range prints {
+			g.AddEdge(dev, key)
+		}
+	}
+	return g
+}
+
+// Table2 is the fingerprint vendor-degree distribution.
+func (c *Client) Table2() graph.DegreeDistribution {
+	return c.VendorGraph().DegreeDistribution()
+}
+
+// DoCVendorAll returns DoC_vendor for every vendor (Figure 2, red line).
+func (c *Client) DoCVendorAll() map[string]float64 {
+	return c.VendorGraph().DoCAll()
+}
+
+// DoCDeviceAll returns DoC_device (the mean per-device DoC within each
+// vendor; Figure 2, blue line).
+func (c *Client) DoCDeviceAll() map[string]float64 {
+	out := map[string]float64{}
+	for _, vendor := range c.vendorNames() {
+		g := c.DeviceGraphForVendor(vendor)
+		docs := g.DoCAll()
+		if len(docs) == 0 {
+			out[vendor] = 0
+			continue
+		}
+		sum := 0.0
+		for _, v := range docs {
+			sum += v
+		}
+		out[vendor] = sum / float64(len(docs))
+	}
+	return out
+}
+
+// DeviceDoCsForVendor returns the per-device DoC values of one vendor
+// (Figure 10 rows).
+func (c *Client) DeviceDoCsForVendor(vendor string) []float64 {
+	g := c.DeviceGraphForVendor(vendor)
+	docs := g.DoCAll()
+	out := make([]float64, 0, len(docs))
+	keys := make([]string, 0, len(docs))
+	for k := range docs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, docs[k])
+	}
+	return out
+}
+
+func (c *Client) vendorNames() []string {
+	set := map[string]bool{}
+	for _, v := range c.DeviceVendor {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table3Row is one row of Table 3 (fingerprint heterogeneity within a
+// vendor).
+type Table3Row struct {
+	Vendor          string
+	NumFingerprints int
+	SharedBy10Plus  float64 // fraction of the vendor's prints on >=10 devices
+	UsedBySingleDev float64 // fraction used by exactly one device
+}
+
+// Table3 computes the heterogeneity rows for the topN vendors by
+// fingerprint count.
+func (c *Client) Table3(topN int) []Table3Row {
+	perVendor := map[string]map[string]bool{} // vendor -> fp keys
+	for _, key := range c.orderedKeys {
+		for vendor := range c.Prints[key].Vendors {
+			if perVendor[vendor] == nil {
+				perVendor[vendor] = map[string]bool{}
+			}
+			perVendor[vendor][key] = true
+		}
+	}
+	rows := make([]Table3Row, 0, len(perVendor))
+	for vendor, keys := range perVendor {
+		row := Table3Row{Vendor: vendor, NumFingerprints: len(keys)}
+		shared10, single := 0, 0
+		for key := range keys {
+			// Count devices of THIS vendor using the fingerprint.
+			n := 0
+			for dev := range c.Prints[key].Devices {
+				if c.DeviceVendor[dev] == vendor {
+					n++
+				}
+			}
+			if n >= 10 {
+				shared10++
+			}
+			if n == 1 {
+				single++
+			}
+		}
+		if len(keys) > 0 {
+			row.SharedBy10Plus = float64(shared10) / float64(len(keys))
+			row.UsedBySingleDev = float64(single) / float64(len(keys))
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].NumFingerprints != rows[j].NumFingerprints {
+			return rows[i].NumFingerprints > rows[j].NumFingerprints
+		}
+		return rows[i].Vendor < rows[j].Vendor
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// Table4 returns the vendor tuples with Jaccard similarity >= threshold.
+func (c *Client) Table4(threshold float64) []graph.SimilarPair {
+	return c.VendorGraph().SimilarPairs(threshold)
+}
+
+// Table5Row is one server-tied fingerprint row (Section 4.4).
+type Table5Row struct {
+	SLD        string
+	FQDNs      int
+	VulnLabels []string
+	Devices    int
+	Vendors    []string
+	PrintKey   string
+}
+
+// Table5 finds {SLD, fingerprint} tuples where servers are tied to one
+// fingerprint used by devices from multiple vendors. minDevices excludes
+// one-device outliers (the paper requires >= 2).
+func (c *Client) Table5(minDevices int) []Table5Row {
+	// SNI -> set of fingerprint keys seen toward it.
+	sniPrints := map[string]map[string]bool{}
+	for _, key := range c.orderedKeys {
+		for sni := range c.Prints[key].SNIs {
+			if sniPrints[sni] == nil {
+				sniPrints[sni] = map[string]bool{}
+			}
+			sniPrints[sni][key] = true
+		}
+	}
+	// Keep SNIs tied to exactly one fingerprint.
+	type agg struct {
+		fqdns   int
+		devices map[string]bool
+		vendors map[string]bool
+	}
+	tied := map[string]*agg{} // "sld|printKey" -> agg
+	for sni, prints := range sniPrints {
+		if len(prints) != 1 {
+			continue
+		}
+		var key string
+		for k := range prints {
+			key = k
+		}
+		id := SLDOf(sni) + "|" + key
+		a := tied[id]
+		if a == nil {
+			a = &agg{devices: map[string]bool{}, vendors: map[string]bool{}}
+			tied[id] = a
+		}
+		a.fqdns++
+		// Count the devices that actually visited this server (all of
+		// them used the tied fingerprint by construction).
+		for d := range c.SNIDevices[sni] {
+			a.devices[d] = true
+			a.vendors[c.DeviceVendor[d]] = true
+		}
+	}
+	var rows []Table5Row
+	for id, a := range tied {
+		if len(a.vendors) < 2 || len(a.devices) < minDevices {
+			continue
+		}
+		var sld, key string
+		for i := 0; i < len(id); i++ {
+			if id[i] == '|' {
+				sld, key = id[:i], id[i+1:]
+				break
+			}
+		}
+		info := c.Prints[key]
+		var vulns []string
+		for _, v := range info.Print.VulnClasses() {
+			vulns = append(vulns, v.String())
+		}
+		vendors := make([]string, 0, len(a.vendors))
+		for v := range a.vendors {
+			vendors = append(vendors, v)
+		}
+		sort.Strings(vendors)
+		rows = append(rows, Table5Row{
+			SLD:        sld,
+			FQDNs:      a.fqdns,
+			VulnLabels: vulns,
+			Devices:    len(a.devices),
+			Vendors:    vendors,
+			PrintKey:   key,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Devices != rows[j].Devices {
+			return rows[i].Devices > rows[j].Devices
+		}
+		if rows[i].SLD != rows[j].SLD {
+			return rows[i].SLD < rows[j].SLD
+		}
+		return rows[i].PrintKey < rows[j].PrintKey
+	})
+	return rows
+}
+
+// ServerTiedSNIFraction returns the fraction of SNIs tied to a single
+// fingerprint that is used by multiple devices (the paper's 17.42%),
+// excluding fingerprints matched to known libraries when a matcher is
+// provided.
+func (c *Client) ServerTiedSNIFraction(matcher *fingerprint.Matcher) float64 {
+	sniPrints := map[string]map[string]bool{}
+	for _, key := range c.orderedKeys {
+		if matcher != nil {
+			if _, ok := matcher.MatchExact(c.Prints[key].Print); ok {
+				continue
+			}
+		}
+		for sni := range c.Prints[key].SNIs {
+			if sniPrints[sni] == nil {
+				sniPrints[sni] = map[string]bool{}
+			}
+			sniPrints[sni][key] = true
+		}
+	}
+	if len(sniPrints) == 0 {
+		return 0
+	}
+	tied := 0
+	for _, prints := range sniPrints {
+		if len(prints) != 1 {
+			continue
+		}
+		for key := range prints {
+			if len(c.Prints[key].Devices) >= 2 {
+				tied++
+			}
+		}
+	}
+	return float64(tied) / float64(len(sniPrints))
+}
+
+// VulnStats summarizes Section 4.2's vulnerability findings.
+type VulnStats struct {
+	// TotalFingerprints across the dataset.
+	TotalFingerprints int
+	// WithVulnerable counts fingerprints with >= 1 vulnerable component.
+	WithVulnerable int
+	// VulnUsedByMultipleDevices counts vulnerable fingerprints on >= 2
+	// devices.
+	VulnUsedByMultipleDevices int
+	// ByClass counts fingerprints per vulnerable component family.
+	ByClass map[ciphersuite.VulnClass]int
+	// AwfulFingerprints counts fingerprints with anon/export/NULL suites.
+	AwfulFingerprints int
+	// AwfulDevices / AwfulVendors count the devices and vendors proposing
+	// them.
+	AwfulDevices int
+	AwfulVendors []string
+}
+
+// Vulnerabilities computes the Section 4.2 statistics.
+func (c *Client) Vulnerabilities() VulnStats {
+	st := VulnStats{
+		TotalFingerprints: len(c.Prints),
+		ByClass:           map[ciphersuite.VulnClass]int{},
+	}
+	awfulVendors := map[string]bool{}
+	awfulDevices := map[string]bool{}
+	for _, key := range c.orderedKeys {
+		info := c.Prints[key]
+		classes := info.Print.VulnClasses()
+		if len(classes) == 0 {
+			continue
+		}
+		st.WithVulnerable++
+		if len(info.Devices) >= 2 {
+			st.VulnUsedByMultipleDevices++
+		}
+		awful := false
+		for _, cl := range classes {
+			st.ByClass[cl]++
+			switch cl {
+			case ciphersuite.VulnAnonKex, ciphersuite.VulnExport,
+				ciphersuite.VulnNULL, ciphersuite.VulnKRB5Export, ciphersuite.VulnRC2:
+				awful = true
+			}
+		}
+		if awful {
+			st.AwfulFingerprints++
+			for d := range info.Devices {
+				awfulDevices[d] = true
+			}
+			for v := range info.Vendors {
+				awfulVendors[v] = true
+			}
+		}
+	}
+	st.AwfulDevices = len(awfulDevices)
+	for v := range awfulVendors {
+		st.AwfulVendors = append(st.AwfulVendors, v)
+	}
+	sort.Strings(st.AwfulVendors)
+	return st
+}
+
+// SLDOf re-exports simnet's SLD extraction for analysis consumers without
+// importing simnet (avoids a dependency cycle for server analysis).
+func SLDOf(fqdn string) string {
+	// Duplicated two-label suffix logic, kept in sync with simnet.SLDOf.
+	dots := 0
+	for i := len(fqdn) - 1; i >= 0; i-- {
+		if fqdn[i] == '.' {
+			dots++
+			if dots == 2 {
+				candidate := fqdn[i+1:]
+				switch candidate {
+				case "co.kr", "co.uk", "com.cn", "ntp.org":
+					// Need three labels.
+					for j := i - 1; j >= 0; j-- {
+						if fqdn[j] == '.' {
+							return fqdn[j+1:]
+						}
+					}
+					return fqdn
+				}
+				return candidate
+			}
+		}
+	}
+	return fqdn
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/libcorpus"
+	"repro/internal/tlswire"
+)
+
+func TestExtensionFrequencies(t *testing.T) {
+	c := client(t)
+	rows := c.ExtensionFrequencies(libcorpus.NewMatcher())
+	if len(rows) == 0 {
+		t.Fatal("no extension rows")
+	}
+	byExt := map[tlswire.ExtensionType]ExtensionFrequency{}
+	for _, r := range rows {
+		if r.DeviceShare < 0 || r.DeviceShare > 1 || r.CorpusShare < 0 || r.CorpusShare > 1 {
+			t.Fatalf("share out of range: %+v", r)
+		}
+		byExt[r.Extension] = r
+	}
+	// server_name is near-universal on both sides.
+	sn := byExt[tlswire.ExtServerName]
+	if sn.DeviceShare < 0.5 {
+		t.Errorf("server_name device share %.2f", sn.DeviceShare)
+	}
+	// Sorted by |delta| descending.
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	for i := 1; i < len(rows); i++ {
+		if abs(rows[i-1].Delta()) < abs(rows[i].Delta())-1e-12 {
+			t.Fatalf("rows not sorted by |delta| at %d", i)
+		}
+	}
+	// GREASE never appears (stripped).
+	for _, r := range rows {
+		if tlswire.IsGREASEExtension(uint16(r.Extension)) {
+			t.Fatalf("GREASE extension %v in frequency table", r.Extension)
+		}
+	}
+}
+
+func TestReportCards(t *testing.T) {
+	s := server(t)
+	grades := s.ReportCards(s.World.ProbeTime)
+	if len(grades) == 0 {
+		t.Fatal("no grades")
+	}
+	sawBad := false
+	for _, g := range grades {
+		if g.Servers == 0 {
+			t.Fatalf("vendor %s graded with zero servers", g.Vendor)
+		}
+		switch g.Grade() {
+		case "A", "B", "C", "D", "F":
+		default:
+			t.Fatalf("vendor %s grade %q", g.Vendor, g.Grade())
+		}
+		if g.Grade() == "D" || g.Grade() == "F" {
+			sawBad = true
+		}
+	}
+	if !sawBad {
+		t.Error("no vendor graded D/F despite decade-long vendor-signed certificates")
+	}
+	// The exclusively-private vendors must grade poorly.
+	byVendor := map[string]string{}
+	for _, g := range grades {
+		byVendor[g.Vendor] = g.Grade()
+	}
+	for _, v := range []string{"Tuya", "Canary"} {
+		if g, ok := byVendor[v]; ok && g == "A" {
+			t.Errorf("%s graded A despite vendor-signed long-lived certs", v)
+		}
+	}
+}

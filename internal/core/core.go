@@ -1,0 +1,177 @@
+// Package core orchestrates the full study: generate (or ingest) the
+// crowdsourced ClientHello dataset, run the client-side TLS analyses of
+// Section 4, extract the SNI set, build and probe the server world of
+// Section 5, and render every table and figure. It is the library's
+// primary entry point; cmd/iotls and the examples are thin wrappers.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/libcorpus"
+	"repro/internal/report"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Seed drives every random decision (dataset + world).
+	Seed int64
+	// Scale multiplies the device population (1.0 = paper scale).
+	Scale float64
+	// MinSNIUsers filters SNIs observed from fewer users (paper: 3, i.e.
+	// "removed SNIs observed from two or fewer users").
+	MinSNIUsers int
+	// RealTLS probes with genuine crypto/tls handshakes instead of the
+	// fast path.
+	RealTLS bool
+}
+
+// DefaultConfig is the paper-scale run.
+func DefaultConfig() Config {
+	return Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3}
+}
+
+// Study holds every stage's state after Run.
+type Study struct {
+	Config  Config
+	Dataset *dataset.Dataset
+	Client  *analysis.Client
+	Matcher *fingerprint.Matcher
+	World   *simnet.World
+	Server  *analysis.Server
+	// SNIs is the filtered SNI set fed to the prober.
+	SNIs []string
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Study, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.MinSNIUsers <= 0 {
+		cfg.MinSNIUsers = 3
+	}
+	ds := dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	client, err := analysis.NewClient(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: client analysis: %w", err)
+	}
+	snis := ds.SNIsByMinUsers(cfg.MinSNIUsers)
+	world := simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: snis})
+	server := analysis.NewServer(world, ds, snis, cfg.RealTLS)
+	return &Study{
+		Config:  cfg,
+		Dataset: ds,
+		Client:  client,
+		Matcher: libcorpus.NewMatcher(),
+		World:   world,
+		Server:  server,
+		SNIs:    snis,
+	}, nil
+}
+
+// ClientTables renders the Section 4 + Appendix B tables.
+func (s *Study) ClientTables() []report.Table {
+	return []report.Table{
+		report.LibMatch(s.Client.MatchLibraries(s.Matcher)),
+		report.Table2(s.Client.Table2()),
+		report.Figure2(s.Client.DoCVendorAll(), s.Client.DoCDeviceAll()),
+		report.Table3(s.Client.Table3(10)),
+		report.Table4(s.Client.Table4(0.2)),
+		report.Table5(s.Client.Table5(2)),
+		report.VulnStats(s.Client.Vulnerabilities()),
+		report.Table11(s.Client.Table11(s.Matcher)),
+		report.Figure8(s.Client.Figure8(s.Matcher, 10)),
+		report.Table12(s.Client.Table12()),
+		report.Figure11(s.Client.Figure11()),
+		report.Figure12(s.Client.Figure12()),
+		report.Census(s.Client.Census()),
+		report.ExtensionFrequencies(s.Client.ExtensionFrequencies(s.Matcher), 12),
+		report.Table10(s.Matcher.Entries()),
+		report.Table13(),
+	}
+}
+
+// ServerTables renders the Section 5 + Appendix C tables.
+func (s *Study) ServerTables() []report.Table {
+	return []report.Table{
+		report.Table6(s.Server.Table6()),
+		report.Sharing(s.Server.Sharing()),
+		report.Figure5(s.Server.Figure5()),
+		report.DomainRows("Table 7: Certificate chains with validation failure", s.Server.Table7(), false),
+		report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true),
+		report.DomainRows("Table 14: Certificate chains with private issuers", s.Server.Table14(), false),
+		report.DomainRows("Section 5.3: Common Name mismatches", s.Server.CNMismatches(), false),
+		report.Figure6(s.Server.Figure6()),
+		report.Table9(s.Server.Table9()),
+		report.CTStats(s.Server.CT()),
+		report.Table15(s.Server.Table15(30)),
+		report.Table16(s.Server.Table16()),
+		report.ReportCards(s.Server.ReportCards(s.World.ProbeTime), s.World.ProbeTime),
+	}
+}
+
+// WriteReport renders every table to w.
+func (s *Study) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "IoT TLS & Certificate Study — %d devices, %d users, %d models, %d records\n",
+		len(s.Dataset.Devices), s.Dataset.Users(), s.Dataset.Models(), len(s.Dataset.Records))
+	fmt.Fprintf(w, "Fingerprints: %d unique; SNIs probed: %d (of %d observed)\n\n",
+		s.Client.NumFingerprints(), len(s.SNIs), len(s.Dataset.SNIs()))
+	for _, t := range s.ClientTables() {
+		t.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	for _, t := range s.ServerTables() {
+		t.WriteText(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure1Dot renders the vendor–fingerprint graph with security coloring.
+func (s *Study) Figure1Dot() string {
+	vendorIdx := map[string]int{}
+	for _, v := range dataset.Vendors() {
+		vendorIdx[v.Name] = v.Index
+	}
+	g := s.Client.VendorGraph()
+	return g.Dot(graph.DotOptions{
+		Name: "figure1_vendor_fingerprints",
+		RightColor: func(key string) string {
+			return report.SecurityColor(s.Client.Prints[key].Print)
+		},
+		RightSize: func(key string) float64 {
+			return report.SecuritySize(s.Client.Prints[key].Print)
+		},
+		LeftLabel: func(vendor string) string {
+			return fmt.Sprintf("%d", vendorIdx[vendor])
+		},
+	})
+}
+
+// Figure3Dot renders the Amazon device-type graph.
+func (s *Study) Figure3Dot() string {
+	g := s.Client.TypeGraphForVendor("Amazon")
+	return g.Dot(graph.DotOptions{
+		Name: "figure3_amazon_types",
+		RightColor: func(key string) string {
+			return report.SecurityColor(s.Client.Prints[key].Print)
+		},
+	})
+}
+
+// Figure4Dot renders the Amazon Echo (speaker) device–fingerprint graph.
+func (s *Study) Figure4Dot() string {
+	g := s.Client.DeviceGraphForVendorType("Amazon", dataset.TypeSpeaker)
+	return g.Dot(graph.DotOptions{
+		Name: "figure4_amazon_echo_devices",
+		RightColor: func(key string) string {
+			return report.SecurityColor(s.Client.Prints[key].Print)
+		},
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSmall(t testing.TB) *Study {
+	t.Helper()
+	s, err := Run(Config{Seed: 17, Scale: 0.2, MinSNIUsers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunPipeline(t *testing.T) {
+	s := runSmall(t)
+	if len(s.Dataset.Devices) == 0 || s.Client.NumFingerprints() == 0 {
+		t.Fatal("empty client side")
+	}
+	if len(s.Server.Records) == 0 {
+		t.Fatal("empty server side")
+	}
+	if len(s.SNIs) == 0 {
+		t.Fatal("no SNIs")
+	}
+}
+
+func TestWriteReportContainsEveryTable(t *testing.T) {
+	s := runSmall(t)
+	var buf bytes.Buffer
+	s.WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Section 4.1: TLS library matching",
+		"Table 2: Fingerprint degree distribution",
+		"Figure 2: Degree of TLS fingerprint customization",
+		"Table 3: Heterogeneity",
+		"Table 4: Vendor tuples",
+		"Table 5: Servers linked",
+		"Section 4.2: Vulnerabilities",
+		"Table 11: Semantics-aware",
+		"Figure 8: Jaccard",
+		"Table 12: TLS version",
+		"Figure 11: Lowest index",
+		"Figure 12: Most preferred",
+		"Appendix B: extension censuses",
+		"Table 6: IoT server certificate dataset",
+		"Section 5.1: Certificate sharing",
+		"Figure 5: Issuers",
+		"Table 7: Certificate chains with validation failure",
+		"Table 8: Expired certificates",
+		"Table 14: Certificate chains with private issuers",
+		"Figure 6: Certificate validity periods",
+		"Section 5.4: CT logging",
+		"Table 15: Popular SLDs",
+		"Table 16: Certificates usage across geographical locations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestGraphDots(t *testing.T) {
+	s := runSmall(t)
+	for name, dot := range map[string]string{
+		"fig1": s.Figure1Dot(),
+		"fig3": s.Figure3Dot(),
+		"fig4": s.Figure4Dot(),
+	} {
+		if !strings.Contains(dot, "graph ") || !strings.Contains(dot, "--") {
+			t.Errorf("%s: malformed DOT output", name)
+		}
+	}
+	// Figure 1 labels vendors by Table 13 index, not by name.
+	if strings.Contains(s.Figure1Dot(), `label="Amazon"`) {
+		t.Error("figure 1 must use vendor indices as labels")
+	}
+}
+
+func TestRealTLSPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TLS probing in short mode")
+	}
+	s, err := Run(Config{Seed: 23, Scale: 0.05, MinSNIUsers: 2, RealTLS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Server.Records) == 0 {
+		t.Fatal("no records via real TLS")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale != 1.0 || cfg.MinSNIUsers != 3 {
+		t.Fatalf("unexpected defaults %+v", cfg)
+	}
+	// Run applies defaults for zero values.
+	s, err := Run(Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config.MinSNIUsers != 3 {
+		t.Fatalf("MinSNIUsers default not applied: %d", s.Config.MinSNIUsers)
+	}
+}
+
+func BenchmarkFullStudySmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: 9, Scale: 0.1, MinSNIUsers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package ctlog implements an RFC 6962-style Certificate Transparency log:
+// an append-only Merkle tree over submitted certificates with signed
+// certificate timestamps, signed tree heads, inclusion proofs, and
+// consistency proofs, plus the crt.sh-style query index the study used to
+// check whether IoT server certificates are logged (Section 5.4).
+//
+// The hashing follows RFC 6962 §2.1: leaf hashes are SHA-256(0x00 || leaf)
+// and interior hashes are SHA-256(0x01 || left || right).
+package ctlog
+
+import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Hash is a Merkle tree node hash.
+type Hash [sha256.Size]byte
+
+// String returns the hex form.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// leafHash computes SHA-256(0x00 || data).
+func leafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// nodeHash computes SHA-256(0x01 || left || right).
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SCT is a signed certificate timestamp returned on submission.
+type SCT struct {
+	LogID     string
+	Timestamp time.Time
+	LeafIndex uint64
+}
+
+// TreeHead is a signed tree head (size + root hash).
+type TreeHead struct {
+	Size     uint64
+	RootHash Hash
+	Time     time.Time
+}
+
+// Log is an append-only CT log.
+type Log struct {
+	// ID names the log ("argon2025"-style).
+	ID string
+
+	mu     sync.RWMutex
+	leaves []Hash
+	// byCert indexes leaf positions by certificate fingerprint (SHA-256
+	// of DER), the lookup crt.sh offers.
+	byCert map[Hash]uint64
+	clock  func() time.Time
+}
+
+// New creates an empty log. clock may be nil (wall clock).
+func New(id string, clock func() time.Time) *Log {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Log{ID: id, byCert: map[Hash]uint64{}, clock: clock}
+}
+
+// CertFingerprint is the SHA-256 of the certificate DER, the key used by
+// the query index.
+func CertFingerprint(cert *x509.Certificate) Hash {
+	return sha256.Sum256(cert.Raw)
+}
+
+// Submit appends a certificate and returns its SCT. Resubmitting the same
+// certificate returns the original SCT (logs deduplicate).
+func (l *Log) Submit(cert *x509.Certificate) SCT {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fp := CertFingerprint(cert)
+	if idx, ok := l.byCert[fp]; ok {
+		return SCT{LogID: l.ID, Timestamp: l.clock(), LeafIndex: idx}
+	}
+	idx := uint64(len(l.leaves))
+	l.leaves = append(l.leaves, leafHash(cert.Raw))
+	l.byCert[fp] = idx
+	return SCT{LogID: l.ID, Timestamp: l.clock(), LeafIndex: idx}
+}
+
+// Contains reports whether the certificate has been logged.
+func (l *Log) Contains(cert *x509.Certificate) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.byCert[CertFingerprint(cert)]
+	return ok
+}
+
+// Size returns the current tree size.
+func (l *Log) Size() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.leaves))
+}
+
+// Head returns the current signed tree head.
+func (l *Log) Head() TreeHead {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return TreeHead{
+		Size:     uint64(len(l.leaves)),
+		RootHash: rootOf(l.leaves),
+		Time:     l.clock(),
+	}
+}
+
+// rootOf computes the RFC 6962 Merkle tree hash of the leaves.
+func rootOf(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return leafEmptyRoot()
+	case 1:
+		return leaves[0]
+	}
+	k := largestPowerOfTwoBelow(uint64(len(leaves)))
+	return nodeHash(rootOf(leaves[:k]), rootOf(leaves[k:]))
+}
+
+// leafEmptyRoot is SHA-256 of the empty string per RFC 6962.
+func leafEmptyRoot() Hash {
+	return sha256.Sum256(nil)
+}
+
+// largestPowerOfTwoBelow returns the largest power of two strictly less
+// than n (n must be >= 2).
+func largestPowerOfTwoBelow(n uint64) uint64 {
+	k := uint64(1)
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Errors returned by proof APIs.
+var (
+	ErrIndexOutOfRange = errors.New("ctlog: leaf index out of range")
+	ErrBadTreeSize     = errors.New("ctlog: invalid tree size")
+	ErrNotLogged       = errors.New("ctlog: certificate not logged")
+)
+
+// InclusionProof returns the audit path for the leaf at index within the
+// tree of the given size (RFC 6962 §2.1.1).
+func (l *Log) InclusionProof(index, size uint64) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if size > uint64(len(l.leaves)) || size == 0 {
+		return nil, ErrBadTreeSize
+	}
+	if index >= size {
+		return nil, ErrIndexOutOfRange
+	}
+	return path(index, l.leaves[:size]), nil
+}
+
+// InclusionProofForCert returns the proof for a logged certificate
+// against the current head.
+func (l *Log) InclusionProofForCert(cert *x509.Certificate) (uint64, []Hash, error) {
+	l.mu.RLock()
+	idx, ok := l.byCert[CertFingerprint(cert)]
+	size := uint64(len(l.leaves))
+	l.mu.RUnlock()
+	if !ok {
+		return 0, nil, ErrNotLogged
+	}
+	proof, err := l.InclusionProof(idx, size)
+	return idx, proof, err
+}
+
+// path computes the audit path of leaves[index] per RFC 6962.
+func path(index uint64, leaves []Hash) []Hash {
+	n := uint64(len(leaves))
+	if n == 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(n)
+	if index < k {
+		p := path(index, leaves[:k])
+		return append(p, rootOf(leaves[k:]))
+	}
+	p := path(index-k, leaves[k:])
+	return append(p, rootOf(leaves[:k]))
+}
+
+// VerifyInclusion checks an audit path: leaf at index in a tree of the
+// given size with the given root (RFC 6962 §2.1.1 verification).
+func VerifyInclusion(leaf Hash, index, size uint64, proof []Hash, root Hash) bool {
+	if index >= size || size == 0 {
+		return false
+	}
+	h := leaf
+	fn, sn := index, size-1
+	for _, p := range proof {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			h = nodeHash(p, h)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			h = nodeHash(h, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && h == root
+}
+
+// LeafHashOfCert returns the RFC 6962 leaf hash for a certificate.
+func LeafHashOfCert(cert *x509.Certificate) Hash {
+	return leafHash(cert.Raw)
+}
+
+// ConsistencyProof returns the proof that the tree of size first is a
+// prefix of the tree of size second (RFC 6962 §2.1.2).
+func (l *Log) ConsistencyProof(first, second uint64) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if second > uint64(len(l.leaves)) || first > second || first == 0 {
+		return nil, ErrBadTreeSize
+	}
+	return subProof(first, l.leaves[:second], true), nil
+}
+
+// subProof implements RFC 6962 SUBPROOF.
+func subProof(m uint64, leaves []Hash, completeSubtree bool) []Hash {
+	n := uint64(len(leaves))
+	if m == n {
+		if completeSubtree {
+			return nil
+		}
+		return []Hash{rootOf(leaves)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m <= k {
+		p := subProof(m, leaves[:k], completeSubtree)
+		return append(p, rootOf(leaves[k:]))
+	}
+	p := subProof(m-k, leaves[k:], false)
+	return append(p, rootOf(leaves[:k]))
+}
+
+// VerifyConsistency checks a consistency proof between two tree heads.
+func VerifyConsistency(first, second uint64, root1, root2 Hash, proof []Hash) bool {
+	if first > second || first == 0 {
+		return false
+	}
+	if first == second {
+		return len(proof) == 0 && root1 == root2
+	}
+	// RFC 6962 §2.1.4.2 verification algorithm.
+	if isPowerOfTwo(first) {
+		proof = append([]Hash{root1}, proof...)
+	}
+	if len(proof) == 0 {
+		return false
+	}
+	fn, sn := first-1, second-1
+	for fn%2 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := proof[0], proof[0]
+	for _, c := range proof[1:] {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == root1 && sr == root2
+}
+
+func isPowerOfTwo(n uint64) bool { return n != 0 && n&(n-1) == 0 }

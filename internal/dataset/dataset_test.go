@@ -1,0 +1,432 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/ciphersuite"
+	"repro/internal/fingerprint"
+	"repro/internal/libcorpus"
+	"repro/internal/tlswire"
+)
+
+// genOnce caches the paper-scale dataset across tests in this package.
+var cached *Dataset
+
+func paperScale(t testing.TB) *Dataset {
+	t.Helper()
+	if cached == nil {
+		cached = Generate(DefaultConfig())
+	}
+	return cached
+}
+
+func TestPopulationScale(t *testing.T) {
+	ds := paperScale(t)
+	if n := len(ds.Devices); n < 1800 || n > 2400 {
+		t.Errorf("devices %d, want ~2000", n)
+	}
+	if n := ds.Users(); n < 400 || n > 800 {
+		t.Errorf("users %d, want ~721", n)
+	}
+	if n := ds.Models(); n < 150 || n > 400 {
+		t.Errorf("models %d, want ~286", n)
+	}
+	if n := len(ds.Records); n < 8000 || n > 20000 {
+		t.Errorf("records %d, want ~11k", n)
+	}
+	vendors := map[string]bool{}
+	for _, d := range ds.Devices {
+		vendors[d.Vendor] = true
+	}
+	if len(vendors) != 65 {
+		t.Errorf("vendors %d want 65", len(vendors))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7, Scale: 0.05})
+	b := Generate(Config{Seed: 7, Scale: 0.05})
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].SNI != b.Records[i].SNI || a.Records[i].DeviceID != b.Records[i].DeviceID {
+			t.Fatalf("record %d differs", i)
+		}
+		if string(a.Records[i].Raw) != string(b.Records[i].Raw) {
+			t.Fatalf("raw bytes differ at %d", i)
+		}
+	}
+	c := Generate(Config{Seed: 8, Scale: 0.05})
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i].SNI != c.Records[i].SNI {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestRecordsParseAndMatchFingerprints(t *testing.T) {
+	ds := Generate(Config{Seed: 3, Scale: 0.1})
+	for i, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r.SNI != "" && ch.SNI() != r.SNI {
+			t.Fatalf("record %d: SNI %q != %q", i, ch.SNI(), r.SNI)
+		}
+		if len(ch.CipherSuites) == 0 {
+			t.Fatalf("record %d: empty suites", i)
+		}
+	}
+}
+
+func TestFingerprintDiversity(t *testing.T) {
+	ds := paperScale(t)
+	prints := map[string]bool{}
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prints[fingerprint.FromClientHello(ch).Key()] = true
+	}
+	// The paper extracted 903 unique fingerprints; target the same order.
+	if n := len(prints); n < 400 || n > 1600 {
+		t.Errorf("unique fingerprints %d, want hundreds (paper: 903)", n)
+	}
+}
+
+func TestNoTLS13Proposals(t *testing.T) {
+	ds := Generate(Config{Seed: 5, Scale: 0.15})
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.EffectiveVersion() == tlswire.VersionTLS13 {
+			t.Fatalf("TLS 1.3 proposed by %s (stack %s); paper observed none", r.DeviceID, r.StackID)
+		}
+	}
+}
+
+func TestSSL3Stragglers(t *testing.T) {
+	ds := paperScale(t)
+	devices := map[string]bool{}
+	vendors := map[string]bool{}
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.LegacyVersion == tlswire.VersionSSL30 {
+			devices[r.DeviceID] = true
+			vendors[r.Vendor] = true
+		}
+	}
+	if len(devices) < 10 || len(devices) > 60 {
+		t.Errorf("SSL3 devices %d, want ~26", len(devices))
+	}
+	for _, v := range []string{"Amazon", "Synology"} {
+		if !vendors[v] {
+			t.Errorf("vendor %s should have SSL3 stragglers", v)
+		}
+	}
+}
+
+func TestGREASEPopulation(t *testing.T) {
+	ds := paperScale(t)
+	devices := map[string]bool{}
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		if f.HasGREASESuites() {
+			devices[r.DeviceID] = true
+		}
+	}
+	// Paper: 501 devices use GREASE in suites.
+	if n := len(devices); n < 200 || n > 900 {
+		t.Errorf("GREASE devices %d, want hundreds (paper: 501)", n)
+	}
+}
+
+func TestSDKServerTied(t *testing.T) {
+	ds := paperScale(t)
+	// SDK-owned SNIs must only ever be visited with the SDK's fingerprint.
+	sdkSNIs := map[string]string{} // sni -> sdk stack key
+	for name, stack := range ds.SDKStacks {
+		for _, sni := range stack.SNIs {
+			sdkSNIs[sni] = name
+		}
+	}
+	type visit struct {
+		vendors map[string]bool
+		prints  map[string]bool
+	}
+	visits := map[string]*visit{}
+	for _, r := range ds.Records {
+		sdk, ok := sdkSNIs[r.SNI]
+		if !ok {
+			continue
+		}
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := visits[sdk]
+		if v == nil {
+			v = &visit{vendors: map[string]bool{}, prints: map[string]bool{}}
+			visits[sdk] = v
+		}
+		v.vendors[r.Vendor] = true
+		v.prints[fingerprint.FromClientHello(ch).Key()] = true
+	}
+	multiVendor := 0
+	for sdk, v := range visits {
+		if len(v.prints) != 1 {
+			t.Errorf("sdk %s: %d distinct fingerprints, want 1 (server-tied)", sdk, len(v.prints))
+		}
+		if len(v.vendors) >= 2 {
+			multiVendor++
+		}
+	}
+	if multiVendor < 4 {
+		t.Errorf("only %d SDKs visited by 2+ vendors; want several (Table 5)", multiVendor)
+	}
+}
+
+func TestVulnerableShare(t *testing.T) {
+	ds := paperScale(t)
+	prints := map[string]fingerprint.Fingerprint{}
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		prints[f.Key()] = f
+	}
+	vuln, threeDES := 0, 0
+	for _, f := range prints {
+		classes := f.VulnClasses()
+		if len(classes) > 0 {
+			vuln++
+		}
+		for _, c := range classes {
+			if c == ciphersuite.Vuln3DES {
+				threeDES++
+				break
+			}
+		}
+	}
+	total := len(prints)
+	vr := float64(vuln) / float64(total)
+	// Paper: 44.63% vulnerable, 41.64% with 3DES.
+	if vr < 0.25 || vr > 0.75 {
+		t.Errorf("vulnerable fingerprint share %.2f, want ~0.45", vr)
+	}
+	tr := float64(threeDES) / float64(total)
+	if tr < 0.20 || tr > 0.70 {
+		t.Errorf("3DES share %.2f, want ~0.42", tr)
+	}
+}
+
+func TestExactLibraryMatches(t *testing.T) {
+	ds := paperScale(t)
+	matcher := libcorpus.NewMatcher()
+	prints := map[string]fingerprint.Fingerprint{}
+	for _, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		prints[f.Key()] = f
+	}
+	matched := 0
+	for _, f := range prints {
+		if _, ok := matcher.MatchExact(f); ok {
+			matched++
+		}
+	}
+	rate := float64(matched) / float64(len(prints))
+	// Paper: 2.55% of 903 fingerprints (23) matched.
+	if matched < 5 {
+		t.Errorf("only %d matched fingerprints; want >= 5", matched)
+	}
+	if rate > 0.15 {
+		t.Errorf("match rate %.3f too high; the population should be ~98%% customized", rate)
+	}
+}
+
+func TestBelkinRC4First(t *testing.T) {
+	ds := paperScale(t)
+	seen := false
+	for _, r := range ds.Records {
+		if r.Vendor != "Belkin" {
+			continue
+		}
+		seen = true
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.LegacyVersion == tlswire.VersionSSL30 {
+			continue
+		}
+		s, _ := ciphersuite.Lookup(ch.CipherSuites[0])
+		if s.VulnClass() != ciphersuite.VulnRC4 {
+			t.Fatalf("Belkin record proposes %s first, want RC4", s.Name)
+		}
+	}
+	if !seen {
+		t.Fatal("no Belkin records")
+	}
+}
+
+func TestSynologyAwful(t *testing.T) {
+	ds := paperScale(t)
+	found := false
+	for _, r := range ds.Records {
+		if r.Vendor != "Synology" {
+			continue
+		}
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		for _, c := range f.VulnClasses() {
+			if c == ciphersuite.VulnKRB5Export || c == ciphersuite.VulnAnonKex {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Synology should propose anon/KRB5_EXPORT suites")
+	}
+}
+
+func TestSNIFilter(t *testing.T) {
+	ds := paperScale(t)
+	all := ds.SNIs()
+	filtered := ds.SNIsByMinUsers(3)
+	if len(filtered) >= len(all) {
+		t.Fatalf("filter removed nothing: %d vs %d", len(filtered), len(all))
+	}
+	if len(filtered) < 200 {
+		t.Fatalf("only %d SNIs survive the 3-user filter; want hundreds (paper: 1151)", len(filtered))
+	}
+	// Filtered set must be a subset.
+	set := map[string]bool{}
+	for _, s := range all {
+		set[s] = true
+	}
+	for _, s := range filtered {
+		if !set[s] {
+			t.Fatalf("filtered SNI %q not in full set", s)
+		}
+	}
+}
+
+func TestFQDNsOf(t *testing.T) {
+	fqdns := FQDNsOf(SLDSpec{Name: "example.com", FQDNs: 70})
+	if len(fqdns) != 70 {
+		t.Fatalf("got %d", len(fqdns))
+	}
+	seen := map[string]bool{}
+	for _, f := range fqdns {
+		if seen[f] {
+			t.Fatalf("duplicate FQDN %s", f)
+		}
+		seen[f] = true
+	}
+	if fqdns[0] != "api.example.com" {
+		t.Fatalf("first fqdn %s", fqdns[0])
+	}
+}
+
+func TestVendorRegistry(t *testing.T) {
+	vendors := Vendors()
+	if len(vendors) != 65 {
+		t.Fatalf("vendor count %d", len(vendors))
+	}
+	seenIdx := map[int]bool{}
+	seenName := map[string]bool{}
+	for _, v := range vendors {
+		if v.Index < 1 || v.Index > 65 || seenIdx[v.Index] {
+			t.Errorf("bad/duplicate index %d (%s)", v.Index, v.Name)
+		}
+		seenIdx[v.Index] = true
+		if seenName[v.Name] {
+			t.Errorf("duplicate vendor %s", v.Name)
+		}
+		seenName[v.Name] = true
+		if v.Weight <= 0 || len(v.Types) == 0 || len(v.SLDs) == 0 {
+			t.Errorf("vendor %s incomplete", v.Name)
+		}
+		if v.OnlyPrivateCA && !v.PrivateCA {
+			t.Errorf("vendor %s OnlyPrivateCA without PrivateCA", v.Name)
+		}
+	}
+	if w := TotalWeight(); w < 1900 || w > 2300 {
+		t.Errorf("total weight %d, want ~2014", w)
+	}
+	// The paper's 16 private-CA vendors and 3 exclusive ones.
+	private, only := 0, 0
+	for _, v := range vendors {
+		if v.PrivateCA {
+			private++
+		}
+		if v.OnlyPrivateCA {
+			only++
+		}
+	}
+	if private < 14 || private > 18 {
+		t.Errorf("private CA vendors %d, want 16", private)
+	}
+	if only != 3 {
+		t.Errorf("exclusive private CA vendors %d, want 3 (Canary, Tuya, Obihai)", only)
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	ds := Generate(Config{Seed: 11, Scale: 0.05})
+	if len(ds.Devices) < 60 || len(ds.Devices) > 200 {
+		t.Fatalf("scaled devices %d", len(ds.Devices))
+	}
+	// Every vendor still has at least one device.
+	vendors := map[string]bool{}
+	for _, d := range ds.Devices {
+		vendors[d.Vendor] = true
+	}
+	if len(vendors) != 65 {
+		t.Fatalf("scaled vendors %d", len(vendors))
+	}
+}
+
+func BenchmarkGeneratePaperScale(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := Config{Seed: 1, Scale: 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

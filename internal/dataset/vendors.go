@@ -1,0 +1,333 @@
+package dataset
+
+// SecurityProfile coarsely classifies the TLS-stack era a vendor ships.
+type SecurityProfile int
+
+const (
+	// ProfileModern vendors track recent library releases (browser-grade
+	// suite lists, no 3DES/RC4).
+	ProfileModern SecurityProfile = iota
+	// ProfileMixed vendors ship mid-2010s stacks (3DES present).
+	ProfileMixed
+	// ProfileLegacy vendors ship pre-2015 stacks (RC4/3DES, TLS 1.0).
+	ProfileLegacy
+)
+
+// SLDSpec is one vendor- or service-owned second-level domain and how many
+// FQDNs under it the device population contacts.
+type SLDSpec struct {
+	Name  string
+	FQDNs int
+}
+
+// VendorProfile is the generative model for one device vendor: population
+// weight, device types, TLS stack era mix, private-CA behaviour, SDK
+// memberships, and domains. The 65 vendors and their indices follow
+// Table 13 of the paper.
+type VendorProfile struct {
+	// Index is the vendor's number in Figure 1 / Table 13.
+	Index int
+	// Name of the vendor.
+	Name string
+	// Weight is the approximate device count at Scale=1 (paper scale).
+	Weight int
+	// Types are the device types the vendor ships.
+	Types []string
+	// Profile is the dominant stack era.
+	Profile SecurityProfile
+	// StackGroup names a shared stack pool when several brands ship the
+	// same firmware (HDHomeRun/SiliconDust, Sharp/TCL/Insignia...). Empty
+	// means the vendor has its own pool.
+	StackGroup string
+	// SDKs the vendor's devices embed (shared third-party TLS stacks).
+	SDKs []string
+	// SLDs are the vendor-owned domains devices contact.
+	SLDs []SLDSpec
+	// PrivateCA: the vendor signs (some of) its own server certificates.
+	PrivateCA bool
+	// OnlyPrivateCA: every visited vendor server is vendor-signed
+	// (Canary, Tuya, Obihai in the paper).
+	OnlyPrivateCA bool
+	// GREASE: stacks are chromium-derived and emit GREASE values.
+	GREASE bool
+	// SSL3Devices is the number of devices that occasionally still
+	// propose SSL 3.0 (Appendix B.3.2).
+	SSL3Devices int
+	// AwfulSuites: some devices propose anonymous/export/NULL suites
+	// (the 14-vendor footnote of Section 4.2).
+	AwfulSuites bool
+	// RC4First: every device proposes an RC4 suite as most preferred
+	// (Belkin in Appendix B.8).
+	RC4First bool
+	// ExactLibDevices is the number of devices whose stack is an
+	// unmodified known-library build (drives the 2.55% match rate).
+	ExactLibDevices int
+}
+
+// Device type names used across the generator.
+const (
+	TypeTV        = "tv"
+	TypeStreamer  = "streamer" // streaming stick / set-top box
+	TypeSpeaker   = "speaker"
+	TypeCamera    = "camera"
+	TypeHub       = "hub"
+	TypePlug      = "plug"
+	TypeBulb      = "bulb"
+	TypeNAS       = "nas"
+	TypePrinter   = "printer"
+	TypeThermstat = "thermostat"
+	TypeAppliance = "appliance"
+	TypeWearable  = "wearable"
+	TypeRouter    = "router"
+	TypeConsole   = "console"
+	TypeVacuum    = "vacuum"
+	TypeDoorbell  = "doorbell"
+	TypeAVR       = "avr" // audio/video receiver
+	TypeEnergy    = "energy"
+	TypeCar       = "car"
+)
+
+// Vendors returns the 65-vendor registry. Weights sum to roughly 2,014
+// (the paper's device count) at Scale=1.
+func Vendors() []VendorProfile {
+	return []VendorProfile{
+		{Index: 1, Name: "Roku", Weight: 130, Types: []string{TypeStreamer, TypeTV}, Profile: ProfileMixed,
+			StackGroup: "roku", SDKs: []string{"roku-platform", "roku-platform-legacy", "netflix"},
+			SLDs:      []SLDSpec{{"roku.com", 42}, {"rokutime.com", 1}},
+			PrivateCA: true},
+		{Index: 2, Name: "TCL", Weight: 45, Types: []string{TypeTV}, Profile: ProfileMixed,
+			StackGroup: "roku", SDKs: []string{"roku-platform", "roku-platform-legacy", "mgo"},
+			SLDs: []SLDSpec{{"tclusa.com", 2}}},
+		{Index: 3, Name: "Samsung", Weight: 130, Types: []string{TypeTV, TypeAppliance, TypeCamera}, Profile: ProfileMixed,
+			SDKs: []string{"netflix"},
+			SLDs: []SLDSpec{{"samsungcloudsolution.net", 7}, {"samsungcloudsolution.com", 4},
+				{"samsungrm.net", 1}, {"samsungelectronics.com", 1}, {"pavv.co.kr", 1},
+				{"samsunghrm.com", 1}, {"samsungotn.net", 3}, {"ueiwsp.com", 1}},
+			PrivateCA: true, SSL3Devices: 4, AwfulSuites: true, ExactLibDevices: 2},
+		{Index: 4, Name: "Sharp", Weight: 28, Types: []string{TypeTV}, Profile: ProfileMixed,
+			StackGroup: "roku", SDKs: []string{"roku-platform", "mgo"},
+			SLDs: []SLDSpec{{"sharpusa.com", 1}}},
+		{Index: 5, Name: "Insignia", Weight: 32, Types: []string{TypeTV}, Profile: ProfileMixed,
+			StackGroup: "roku", SDKs: []string{"roku-platform", "roku-platform-legacy", "mgo"},
+			SLDs: []SLDSpec{{"insigniaproducts.com", 1}}},
+		{Index: 6, Name: "Amazon", Weight: 330, Types: []string{TypeSpeaker, TypeStreamer, TypeTV, TypeCamera, TypeHub}, Profile: ProfileMixed,
+			SDKs: []string{"netflix", "sonos", "pandora", "spotify"},
+			SLDs: []SLDSpec{{"amazon.com", 57}, {"amazonalexa.com", 2}, {"amazonaws.com", 33},
+				{"amazonvideo.com", 23}, {"media-amazon.com", 1}, {"amazon-dss.com", 1},
+				{"ssl-images-amazon.com", 1}, {"a2z.com", 4}},
+			GREASE: true, SSL3Devices: 13, AwfulSuites: true, ExactLibDevices: 3},
+		{Index: 7, Name: "Nvidia", Weight: 42, Types: []string{TypeStreamer}, Profile: ProfileModern,
+			StackGroup: "androidtv", SDKs: []string{"netflix", "googleapis-shared", "spotify"},
+			SLDs:   []SLDSpec{{"nvidia.com", 4}, {"tegrazone.com", 1}, {"nvidiagrid.net", 3}},
+			GREASE: true},
+		{Index: 8, Name: "Google", Weight: 280, Types: []string{TypeSpeaker, TypeStreamer, TypeHub, TypeCamera, TypeThermstat}, Profile: ProfileModern,
+			SDKs: []string{"netflix", "spotify"},
+			SLDs: []SLDSpec{{"google.com", 24}, {"googleapis.com", 35}, {"gstatic.com", 10},
+				{"googleusercontent.com", 6}, {"youtube.com", 2}, {"ytimg.com", 4}, {"ggpht.com", 5},
+				{"googlesyndication.com", 3}, {"google-analytics.com", 2}, {"nest.com", 4},
+				{"googlevideo.com", 4}, {"doubleclick.net", 9}},
+			PrivateCA: true, GREASE: true, AwfulSuites: true, ExactLibDevices: 2},
+		{Index: 9, Name: "HP", Weight: 30, Types: []string{TypePrinter}, Profile: ProfileMixed,
+			SLDs:        []SLDSpec{{"hpeprint.com", 3}, {"hp.com", 4}, {"hpsmartstage.com", 1}},
+			AwfulSuites: true, ExactLibDevices: 1},
+		{Index: 10, Name: "Western Digital", Weight: 42, Types: []string{TypeNAS}, Profile: ProfileLegacy,
+			StackGroup: "nas", SLDs: []SLDSpec{{"mycloud.com", 4}, {"wdc.com", 2}},
+			SSL3Devices: 1, AwfulSuites: true, ExactLibDevices: 1},
+		{Index: 11, Name: "Xiaomi", Weight: 30, Types: []string{TypeCamera, TypeHub, TypeVacuum}, Profile: ProfileMixed,
+			StackGroup: "androidtv", SDKs: []string{"netflix"},
+			SLDs:   []SLDSpec{{"mi.com", 4}, {"miwifi.com", 2}, {"xiaomi.com", 3}},
+			GREASE: true},
+		{Index: 12, Name: "Sony", Weight: 100, Types: []string{TypeTV, TypeConsole, TypeSpeaker}, Profile: ProfileMixed,
+			StackGroup: "androidtv", SDKs: []string{"netflix", "googleapis-shared"},
+			SLDs: []SLDSpec{{"playstation.net", 12}, {"sonyentertainmentnetwork.com", 2},
+				{"sony.com", 3}, {"sonymobile.com", 2}},
+			PrivateCA: true, GREASE: true, AwfulSuites: true, ExactLibDevices: 2},
+		{Index: 13, Name: "Lutron", Weight: 14, Types: []string{TypeHub}, Profile: ProfileLegacy,
+			SLDs:        []SLDSpec{{"lutron.com", 2}},
+			AwfulSuites: true},
+		{Index: 14, Name: "iDevices", Weight: 8, Types: []string{TypePlug}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"idevicesinc.com", 2}}},
+		{Index: 15, Name: "TP-Link", Weight: 52, Types: []string{TypePlug, TypeBulb, TypeCamera, TypeRouter}, Profile: ProfileLegacy,
+			SLDs:        []SLDSpec{{"tplinkcloud.com", 3}, {"tplinkra.com", 2}, {"tp-link.com", 2}},
+			SSL3Devices: 1, AwfulSuites: true, ExactLibDevices: 2},
+		{Index: 16, Name: "Vizio", Weight: 28, Types: []string{TypeTV}, Profile: ProfileMixed,
+			SDKs:        []string{"netflix"},
+			SLDs:        []SLDSpec{{"vizio.com", 4}, {"smartcast.tv", 2}},
+			AwfulSuites: true},
+		{Index: 17, Name: "Pioneer", Weight: 10, Types: []string{TypeAVR}, Profile: ProfileLegacy,
+			StackGroup: "onkyo-pioneer", SDKs: []string{"cast4audio"},
+			SLDs: []SLDSpec{{"pioneer-av.com", 1}}},
+		{Index: 18, Name: "Onkyo", Weight: 12, Types: []string{TypeAVR}, Profile: ProfileLegacy,
+			StackGroup: "onkyo-pioneer", SDKs: []string{"cast4audio"},
+			SLDs: []SLDSpec{{"onkyo.com", 2}}},
+		{Index: 19, Name: "wink", Weight: 14, Types: []string{TypeHub}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"wink.com", 2}}},
+		{Index: 20, Name: "LG", Weight: 85, Types: []string{TypeTV, TypeAppliance}, Profile: ProfileMixed,
+			SDKs: []string{"netflix"},
+			SLDs: []SLDSpec{{"lgtvsdp.com", 2}, {"lgsmartad.com", 2}, {"lge.com", 3},
+				{"lgtvcommon.com", 3}},
+			PrivateCA: true, SSL3Devices: 2, AwfulSuites: true, ExactLibDevices: 1},
+		{Index: 21, Name: "Cisco", Weight: 12, Types: []string{TypeRouter, TypeCamera}, Profile: ProfileMixed,
+			SDKs: []string{"roku-platform"},
+			SLDs: []SLDSpec{{"cisco.com", 2}, {"meraki.com", 2}}},
+		{Index: 22, Name: "Philips", Weight: 42, Types: []string{TypeBulb, TypeHub}, Profile: ProfileMixed,
+			SDKs:      []string{"netflix"},
+			SLDs:      []SLDSpec{{"meethue.com", 3}, {"philips.com", 2}, {"dc1.philips.com", 1}},
+			PrivateCA: true, AwfulSuites: true},
+		{Index: 23, Name: "Synology", Weight: 62, Types: []string{TypeNAS}, Profile: ProfileLegacy,
+			StackGroup:  "nas",
+			SLDs:        []SLDSpec{{"synology.com", 4}, {"quickconnect.to", 3}},
+			SSL3Devices: 5, AwfulSuites: true},
+		{Index: 24, Name: "TiVo", Weight: 18, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			SDKs:        []string{"netflix"},
+			SLDs:        []SLDSpec{{"tivo.com", 4}},
+			AwfulSuites: false},
+		{Index: 25, Name: "Wyze", Weight: 75, Types: []string{TypeCamera}, Profile: ProfileMixed,
+			SLDs:            []SLDSpec{{"wyzecam.com", 3}, {"wyze.com", 2}},
+			ExactLibDevices: 60}, // Wyze cams run stock OpenSSL 1.0.2 (case study §4.1)
+		{Index: 26, Name: "Sonos", Weight: 38, Types: []string{TypeSpeaker}, Profile: ProfileModern,
+			SDKs: []string{"sonos", "pandora", "spotify"},
+			SLDs: []SLDSpec{{"sonos.com", 10}, {"ws.sonos.com", 1}}},
+		{Index: 27, Name: "Amcrest", Weight: 14, Types: []string{TypeCamera}, Profile: ProfileLegacy,
+			SLDs:        []SLDSpec{{"amcrestcloud.com", 2}, {"amcrestsecurity.com", 1}},
+			AwfulSuites: true},
+		{Index: 28, Name: "Panasonic", Weight: 16, Types: []string{TypeTV, TypeCamera}, Profile: ProfileMixed,
+			SDKs: []string{"netflix"},
+			SLDs: []SLDSpec{{"panasonic.com", 2}, {"viera.tv", 2}}},
+		{Index: 29, Name: "QNAP", Weight: 16, Types: []string{TypeNAS}, Profile: ProfileLegacy,
+			StackGroup: "nas", SLDs: []SLDSpec{{"qnap.com", 3}, {"myqnapcloud.com", 2}},
+			AwfulSuites: true},
+		{Index: 30, Name: "Fing", Weight: 8, Types: []string{TypeHub}, Profile: ProfileModern,
+			SLDs: []SLDSpec{{"fing.com", 2}}},
+		{Index: 31, Name: "Brother", Weight: 16, Types: []string{TypePrinter}, Profile: ProfileLegacy,
+			StackGroup: "printer", SDKs: []string{"roku-platform"},
+			SLDs: []SLDSpec{{"brother.com", 2}, {"brotherprinter.net", 1}}},
+		{Index: 32, Name: "Dish Network", Weight: 14, Types: []string{TypeStreamer}, Profile: ProfileLegacy,
+			StackGroup: "dish", SLDs: []SLDSpec{{"dishaccess.tv", 2}, {"dish.com", 2}},
+			PrivateCA: true, AwfulSuites: true},
+		{Index: 33, Name: "Skybell", Weight: 10, Types: []string{TypeDoorbell}, Profile: ProfileLegacy,
+			StackGroup: "ti-chipset", SLDs: []SLDSpec{{"skybell.com", 2}}},
+		{Index: 34, Name: "NETGEAR", Weight: 24, Types: []string{TypeRouter, TypeCamera}, Profile: ProfileMixed,
+			StackGroup: "arlo", SDKs: []string{"arlo"},
+			SLDs: []SLDSpec{{"netgear.com", 3}}},
+		{Index: 35, Name: "Arlo", Weight: 26, Types: []string{TypeCamera}, Profile: ProfileMixed,
+			StackGroup: "arlo", SDKs: []string{"arlo"},
+			SLDs: []SLDSpec{{"arlo.com", 4}}},
+		{Index: 36, Name: "iRobot", Weight: 18, Types: []string{TypeVacuum}, Profile: ProfileMixed,
+			StackGroup: "arlo", // shared supplier with Arlo per Table 4
+			SLDs:       []SLDSpec{{"irobotapi.com", 3}}},
+		{Index: 37, Name: "Yamaha", Weight: 10, Types: []string{TypeAVR}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"yamaha.com", 2}}},
+		{Index: 38, Name: "Texas Instruments", Weight: 10, Types: []string{TypeHub}, Profile: ProfileLegacy,
+			StackGroup: "ti-chipset", SLDs: []SLDSpec{{"ti.com", 1}}},
+		{Index: 39, Name: "Tesla", Weight: 10, Types: []string{TypeCar}, Profile: ProfileModern,
+			SLDs:      []SLDSpec{{"tesla.services", 5}, {"tesla.com", 2}},
+			PrivateCA: true},
+		{Index: 40, Name: "Bose", Weight: 14, Types: []string{TypeSpeaker}, Profile: ProfileMixed,
+			StackGroup: "ti-chipset", SDKs: []string{"spotify"},
+			SLDs: []SLDSpec{{"bose.com", 2}, {"bose.io", 2}}},
+		{Index: 41, Name: "Sky", Weight: 12, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			SDKs: []string{"netflix"},
+			SLDs: []SLDSpec{{"sky.com", 3}}},
+		{Index: 42, Name: "Humax", Weight: 8, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			SDKs: []string{"netflix"},
+			SLDs: []SLDSpec{{"humaxdigital.com", 2}}},
+		{Index: 43, Name: "Ubiquity", Weight: 14, Types: []string{TypeRouter}, Profile: ProfileModern,
+			SLDs: []SLDSpec{{"ubnt.com", 3}, {"ui.com", 2}}},
+		{Index: 44, Name: "Logitech", Weight: 12, Types: []string{TypeHub}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"logitech.com", 2}, {"myharmony.com", 2}}},
+		{Index: 45, Name: "Netatmo", Weight: 14, Types: []string{TypeCamera, TypeThermstat}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"netatmo.net", 3}}},
+		{Index: 46, Name: "SiliconDust", Weight: 10, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			StackGroup: "hdhomerun", SDKs: []string{"hdhomerun"},
+			SLDs: []SLDSpec{{"silicondust.com", 1}}},
+		{Index: 47, Name: "HDHomeRun", Weight: 10, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			StackGroup: "hdhomerun", SDKs: []string{"hdhomerun"},
+			SLDs: []SLDSpec{{"hdhomerun.com", 2}}},
+		{Index: 48, Name: "Sense", Weight: 10, Types: []string{TypeEnergy}, Profile: ProfileLegacy,
+			StackGroup: "ti-chipset",
+			SLDs:       []SLDSpec{{"sense.com", 2}},
+			PrivateCA:  true},
+		{Index: 49, Name: "DirecTV", Weight: 12, Types: []string{TypeStreamer}, Profile: ProfileMixed,
+			SLDs:      []SLDSpec{{"dtvce.com", 1}, {"directv.com", 2}},
+			PrivateCA: true},
+		{Index: 50, Name: "Denon", Weight: 10, Types: []string{TypeAVR}, Profile: ProfileMixed,
+			StackGroup: "denon-marantz",
+			SLDs:       []SLDSpec{{"denon.com", 1}, {"skyegloup.com", 1}}},
+		{Index: 51, Name: "Marantz", Weight: 8, Types: []string{TypeAVR}, Profile: ProfileMixed,
+			StackGroup: "denon-marantz",
+			SLDs:       []SLDSpec{{"marantz.com", 1}}},
+		{Index: 52, Name: "Nanoleaf", Weight: 8, Types: []string{TypeBulb}, Profile: ProfileModern,
+			SLDs: []SLDSpec{{"nanoleaf.me", 2}}},
+		{Index: 53, Name: "VMware", Weight: 6, Types: []string{TypeHub}, Profile: ProfileModern,
+			SLDs: []SLDSpec{{"vmware.com", 2}}},
+		{Index: 54, Name: "Obihai", Weight: 8, Types: []string{TypeHub}, Profile: ProfileLegacy,
+			SLDs:      []SLDSpec{{"obitalk.com", 1}},
+			PrivateCA: true, OnlyPrivateCA: true},
+		{Index: 55, Name: "Canary", Weight: 10, Types: []string{TypeCamera}, Profile: ProfileMixed,
+			SLDs:      []SLDSpec{{"canaryis.com", 2}},
+			PrivateCA: true, OnlyPrivateCA: true},
+		{Index: 56, Name: "ecobee", Weight: 14, Types: []string{TypeThermstat}, Profile: ProfileMixed,
+			SLDs:      []SLDSpec{{"ecobee.com", 2}},
+			PrivateCA: true},
+		{Index: 57, Name: "Epson", Weight: 12, Types: []string{TypePrinter}, Profile: ProfileLegacy,
+			StackGroup: "printer",
+			SLDs:       []SLDSpec{{"epsonconnect.com", 2}}},
+		{Index: 58, Name: "IKEA", Weight: 10, Types: []string{TypeSpeaker, TypeBulb}, Profile: ProfileModern,
+			SDKs: []string{"sonos"},
+			SLDs: []SLDSpec{{"ikea.net", 2}}},
+		{Index: 59, Name: "Belkin", Weight: 18, Types: []string{TypePlug}, Profile: ProfileLegacy,
+			SLDs:     []SLDSpec{{"belkin.com", 2}, {"xbcs.net", 3}},
+			RC4First: true},
+		{Index: 60, Name: "Nintendo", Weight: 20, Types: []string{TypeConsole}, Profile: ProfileMixed,
+			SLDs:      []SLDSpec{{"nintendo.net", 14}, {"nintendo.com", 2}},
+			PrivateCA: true},
+		{Index: 61, Name: "Sleep number", Weight: 8, Types: []string{TypeAppliance}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"sleepiq.com", 2}}},
+		{Index: 62, Name: "Tuya", Weight: 12, Types: []string{TypePlug, TypeBulb}, Profile: ProfileLegacy,
+			SLDs:      []SLDSpec{{"tuyaus.com", 3}, {"tuyacn.com", 1}},
+			PrivateCA: true, OnlyPrivateCA: true},
+		{Index: 63, Name: "Canon", Weight: 10, Types: []string{TypePrinter}, Profile: ProfileLegacy,
+			StackGroup: "printer",
+			SLDs:       []SLDSpec{{"c-wss.com", 2}}},
+		{Index: 64, Name: "Vera", Weight: 6, Types: []string{TypeHub}, Profile: ProfileMixed,
+			SLDs: []SLDSpec{{"mios.com", 2}}},
+		{Index: 65, Name: "Withings", Weight: 10, Types: []string{TypeWearable}, Profile: ProfileModern,
+			SLDs: []SLDSpec{{"withings.net", 3}}},
+	}
+}
+
+// ThirdPartySLDs are service domains not owned by any device vendor,
+// visited by many device types (Table 15 tail).
+var ThirdPartySLDs = []SLDSpec{
+	{"netflix.com", 30}, {"nflxvideo.net", 5}, {"nflxext.com", 2}, {"netflix.net", 1},
+	{"cloudfront.net", 21}, {"facebook.com", 9}, {"spotify.com", 8}, {"scdn.co", 11},
+	{"pandora.com", 1}, {"plex.tv", 11}, {"sentry-cdn.com", 1}, {"amcs-tachyon.com", 1},
+	{"mgo.com", 2}, {"mgo-images.com", 2}, {"ravm.tv", 1}, {"cast4.audio", 1},
+	{"tremorvideo.com", 1}, {"rubiconproject.com", 1}, {"contextweb.com", 1},
+	{"spotxchange.com", 1}, {"akamaized.net", 6}, {"fastly.net", 4},
+	{"weather.com", 2}, {"ntp.org", 1}, {"pool.ntp.org", 1}, {"tuyaeu.com", 1},
+	{"crashlytics.com", 2}, {"app-measurement.com", 1}, {"branch.io", 2},
+	{"adobe.com", 2}, {"demdex.net", 2}, {"scorecardresearch.com", 2},
+	{"innovid.com", 1}, {"iheart.com", 2}, {"tunein.com", 2}, {"deezer.com", 1},
+	{"hulu.com", 4}, {"hbo.com", 2}, {"disneyplus.com", 3}, {"sling.com", 2},
+	{"vudu.com", 2}, {"crackle.com", 1}, {"pluto.tv", 2},
+}
+
+// VendorByName indexes the registry by vendor name.
+func VendorByName() map[string]VendorProfile {
+	out := map[string]VendorProfile{}
+	for _, v := range Vendors() {
+		out[v.Name] = v
+	}
+	return out
+}
+
+// TotalWeight sums all vendor weights (≈ the paper's 2,014 devices).
+func TotalWeight() int {
+	n := 0
+	for _, v := range Vendors() {
+		n += v.Weight
+	}
+	return n
+}

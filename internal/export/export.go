@@ -1,0 +1,227 @@
+// Package export writes and reads the anonymized datasets the paper
+// releases (https://github.com/hyingdon/acmimc23_iot): the ClientHello
+// dataset and the server certificate dataset, as JSON Lines.
+//
+// Anonymization follows the release: device and user identifiers are
+// replaced by stable opaque tokens (HMAC-style keyed hashes), timestamps
+// are truncated to the hour, and raw ClientHello payloads are reduced to
+// the fingerprint 3-tuple — exactly the fields IoT Inspector retained.
+package export
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/tlswire"
+)
+
+// HelloRow is one anonymized ClientHello observation.
+type HelloRow struct {
+	// Device and User are opaque stable tokens.
+	Device string `json:"device"`
+	User   string `json:"user"`
+	// Vendor, Model, and Type stay in the clear (the release labels them).
+	Vendor string `json:"vendor"`
+	Model  string `json:"model"`
+	Type   string `json:"type"`
+	// Hour is the observation time truncated to the hour (RFC 3339).
+	Hour string `json:"hour"`
+	// SNI of the connection.
+	SNI string `json:"sni,omitempty"`
+	// Version is the proposed TLS version codepoint.
+	Version uint16 `json:"version"`
+	// CipherSuites and Extensions are the fingerprint components.
+	CipherSuites []uint16 `json:"cipher_suites"`
+	Extensions   []uint16 `json:"extensions"`
+}
+
+// Fingerprint reconstructs the study fingerprint from the row.
+func (r HelloRow) Fingerprint() fingerprint.Fingerprint {
+	return fingerprint.Fingerprint{
+		Version:      tlswire.Version(r.Version),
+		CipherSuites: r.CipherSuites,
+		Extensions:   r.Extensions,
+	}
+}
+
+// CertRow is one anonymized server certificate observation.
+type CertRow struct {
+	SNI          string `json:"sni"`
+	SLD          string `json:"sld"`
+	IssuerOrg    string `json:"issuer_org"`
+	IssuerPublic bool   `json:"issuer_public"`
+	Status       string `json:"status"`
+	ChainLength  int    `json:"chain_length"`
+	ValidityDays int    `json:"validity_days"`
+	InCT         bool   `json:"in_ct"`
+	// Devices and Vendors are counts, not identities.
+	Devices int `json:"devices"`
+	Vendors int `json:"vendors"`
+	// LeafFingerprint is the SHA-256 of the leaf DER (public data).
+	LeafFingerprint string `json:"leaf_fingerprint"`
+}
+
+// Anonymizer produces stable opaque tokens under a secret key.
+type Anonymizer struct {
+	key []byte
+}
+
+// NewAnonymizer creates an anonymizer keyed by secret.
+func NewAnonymizer(secret string) *Anonymizer {
+	return &Anonymizer{key: []byte(secret)}
+}
+
+// Token maps an identifier to a stable 12-byte hex token.
+func (a *Anonymizer) Token(kind, id string) string {
+	m := hmac.New(sha256.New, a.key)
+	m.Write([]byte(kind))
+	m.Write([]byte{0})
+	m.Write([]byte(id))
+	return hex.EncodeToString(m.Sum(nil)[:12])
+}
+
+// WriteHellos writes the anonymized ClientHello dataset as JSONL.
+func WriteHellos(w io.Writer, ds *dataset.Dataset, anon *Anonymizer) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for i, rec := range ds.Records {
+		ch, err := rec.Hello()
+		if err != nil {
+			return n, fmt.Errorf("export: record %d: %w", i, err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		row := HelloRow{
+			Device:       anon.Token("device", rec.DeviceID),
+			User:         anon.Token("user", rec.User),
+			Vendor:       rec.Vendor,
+			Model:        rec.Model,
+			Type:         rec.Type,
+			Hour:         rec.Time.Truncate(time.Hour).Format(time.RFC3339),
+			SNI:          rec.SNI,
+			Version:      uint16(f.Version),
+			CipherSuites: f.CipherSuites,
+			Extensions:   f.Extensions,
+		}
+		if err := enc.Encode(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadHellos parses a JSONL ClientHello dataset.
+func ReadHellos(r io.Reader) ([]HelloRow, error) {
+	var out []HelloRow
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var row HelloRow
+		if err := dec.Decode(&row); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("export: row %d: %w", len(out), err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteCerts writes the anonymized certificate dataset as JSONL.
+func WriteCerts(w io.Writer, srv *analysis.Server) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for _, rec := range srv.Records {
+		row := CertRow{
+			SNI:             rec.SNI,
+			SLD:             rec.SLD,
+			IssuerOrg:       rec.IssuerOrg,
+			IssuerPublic:    rec.IssuerPublic,
+			Status:          rec.Status.String(),
+			ChainLength:     rec.Chain.Len(),
+			ValidityDays:    rec.ValidityDays,
+			InCT:            rec.InCT,
+			Devices:         len(rec.Devices),
+			Vendors:         len(rec.Vendors),
+			LeafFingerprint: hex.EncodeToString(rec.LeafFP[:]),
+		}
+		if err := enc.Encode(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadCerts parses a JSONL certificate dataset.
+func ReadCerts(r io.Reader) ([]CertRow, error) {
+	var out []CertRow
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var row CertRow
+		if err := dec.Decode(&row); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("export: row %d: %w", len(out), err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FingerprintStats recomputes the headline fingerprint statistics from an
+// exported dataset — a consumer can reproduce the Section 4 aggregates
+// without the raw traces, which is the point of the release.
+type FingerprintStats struct {
+	Rows               int
+	Devices            int
+	Users              int
+	Vendors            int
+	UniqueFingerprints int
+	SingleVendorShare  float64
+}
+
+// Stats recomputes aggregates from exported rows.
+func Stats(rows []HelloRow) FingerprintStats {
+	devices := map[string]bool{}
+	users := map[string]bool{}
+	vendors := map[string]bool{}
+	prints := map[string]map[string]bool{} // fp key -> vendor set
+	for _, r := range rows {
+		devices[r.Device] = true
+		users[r.User] = true
+		vendors[r.Vendor] = true
+		key := r.Fingerprint().Key()
+		if prints[key] == nil {
+			prints[key] = map[string]bool{}
+		}
+		prints[key][r.Vendor] = true
+	}
+	st := FingerprintStats{
+		Rows:               len(rows),
+		Devices:            len(devices),
+		Users:              len(users),
+		Vendors:            len(vendors),
+		UniqueFingerprints: len(prints),
+	}
+	if len(prints) > 0 {
+		single := 0
+		for _, vs := range prints {
+			if len(vs) == 1 {
+				single++
+			}
+		}
+		st.SingleVendorShare = float64(single) / float64(len(prints))
+	}
+	return st
+}

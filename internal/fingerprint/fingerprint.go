@@ -1,0 +1,353 @@
+// Package fingerprint implements the TLS client fingerprinting used by the
+// study: fingerprints are the 3-tuple {ciphersuites, extension types, TLS
+// version} (Section 4.1 — IoT Inspector does not capture full ClientHello
+// payloads, so JA3-style field sets are reduced to these three fields).
+//
+// The package provides the canonical string form, a stable hash, exact
+// matching against a known-library corpus, the semantics-aware matcher of
+// Appendix B.2 (Exact / SameSetDiffOrder / SameComponent / SimilarComponent
+// / Customization), and the Jaccard similarity over ciphersuite lists and
+// fingerprint sets.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ciphersuite"
+	"repro/internal/tlswire"
+)
+
+// Fingerprint is the study's TLS client fingerprint: the exact ciphersuite
+// list, extension type list, and proposed TLS version.
+type Fingerprint struct {
+	Version      tlswire.Version
+	CipherSuites []uint16
+	Extensions   []uint16
+}
+
+// FromClientHello constructs the fingerprint of a parsed ClientHello.
+func FromClientHello(ch *tlswire.ClientHello) Fingerprint {
+	return Fingerprint{
+		Version:      ch.EffectiveVersion(),
+		CipherSuites: append([]uint16(nil), ch.CipherSuites...),
+		Extensions:   ch.ExtensionTypes(),
+	}
+}
+
+// Key returns the canonical string form used for equality and map keys:
+// "version|cs1-cs2-...|ext1-ext2-...". Two ClientHellos have the same Key
+// iff they share the study's 3-tuple fingerprint.
+func (f Fingerprint) Key() string {
+	var b strings.Builder
+	b.Grow(8 + 5*(len(f.CipherSuites)+len(f.Extensions)))
+	fmt.Fprintf(&b, "%04x|", uint16(f.Version))
+	for i, cs := range f.CipherSuites {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%04x", cs)
+	}
+	b.WriteByte('|')
+	for i, e := range f.Extensions {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%04x", e)
+	}
+	return b.String()
+}
+
+// Hash returns a short stable hex digest of the fingerprint (12 bytes of
+// SHA-256 over the binary tuple), suitable for node labels in graphs.
+func (f Fingerprint) Hash() string {
+	h := sha256.New()
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], uint16(f.Version))
+	h.Write(buf[:])
+	h.Write([]byte{0})
+	for _, cs := range f.CipherSuites {
+		binary.BigEndian.PutUint16(buf[:], cs)
+		h.Write(buf[:])
+	}
+	h.Write([]byte{0})
+	for _, e := range f.Extensions {
+		binary.BigEndian.PutUint16(buf[:], e)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// Level returns the security classification of the fingerprint's proposed
+// ciphersuite list.
+func (f Fingerprint) Level() ciphersuite.SecurityLevel {
+	return ciphersuite.ListLevel(f.CipherSuites)
+}
+
+// VulnClasses returns the vulnerable component families present in the
+// fingerprint's suites.
+func (f Fingerprint) VulnClasses() []ciphersuite.VulnClass {
+	return ciphersuite.VulnClasses(f.CipherSuites)
+}
+
+// NormalizeGREASE returns a copy of the fingerprint with GREASE codepoints
+// (both suites and extensions) replaced by a single canonical placeholder,
+// so that two captures of the same stack differing only in the random GREASE
+// values compare equal. The placeholder preserves position.
+func (f Fingerprint) NormalizeGREASE() Fingerprint {
+	const placeholder = 0x0A0A
+	out := Fingerprint{Version: f.Version}
+	out.CipherSuites = make([]uint16, len(f.CipherSuites))
+	for i, cs := range f.CipherSuites {
+		if ciphersuite.IsGREASE(cs) {
+			out.CipherSuites[i] = placeholder
+		} else {
+			out.CipherSuites[i] = cs
+		}
+	}
+	out.Extensions = make([]uint16, len(f.Extensions))
+	for i, e := range f.Extensions {
+		if tlswire.IsGREASEExtension(e) {
+			out.Extensions[i] = placeholder
+		} else {
+			out.Extensions[i] = e
+		}
+	}
+	return out
+}
+
+// HasGREASESuites reports whether any proposed suite is a GREASE value.
+func (f Fingerprint) HasGREASESuites() bool {
+	for _, cs := range f.CipherSuites {
+		if ciphersuite.IsGREASE(cs) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasGREASEExtensions reports whether any extension type is a GREASE value.
+func (f Fingerprint) HasGREASEExtensions() bool {
+	for _, e := range f.Extensions {
+		if tlswire.IsGREASEExtension(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProposesFallbackSCSV reports whether TLS_FALLBACK_SCSV is in the list.
+func (f Fingerprint) ProposesFallbackSCSV() bool {
+	for _, cs := range f.CipherSuites {
+		if cs == ciphersuite.SCSVFallback {
+			return true
+		}
+	}
+	return false
+}
+
+// JaccardSuites computes the Jaccard similarity of the ciphersuite *sets*
+// of two fingerprints (order ignored, duplicates collapsed, signalling
+// values retained since libraries differ in whether they send them).
+func JaccardSuites(a, b Fingerprint) float64 {
+	return JaccardUint16(a.CipherSuites, b.CipherSuites)
+}
+
+// JaccardUint16 is the Jaccard similarity |A∩B| / |A∪B| of two uint16
+// multisets treated as sets. Two empty sets have similarity 1.
+func JaccardUint16(a, b []uint16) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa := map[uint16]bool{}
+	for _, v := range a {
+		sa[v] = true
+	}
+	sb := map[uint16]bool{}
+	for _, v := range b {
+		sb[v] = true
+	}
+	inter := 0
+	for v := range sa {
+		if sb[v] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardStrings is the Jaccard similarity of two string sets.
+func JaccardStrings(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range a {
+		if b[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// MatchCategory is the semantics-aware matching category of Appendix B.2.
+type MatchCategory int
+
+const (
+	// Customization: no known library is close enough.
+	Customization MatchCategory = iota
+	// SimilarComponent: component sets match up to key-length variants.
+	SimilarComponent
+	// SameComponent: identical kex/cipher/MAC component sets, different
+	// suite combinations.
+	SameComponent
+	// SameSetDiffOrder: identical ciphersuite set, different ordering.
+	SameSetDiffOrder
+	// ExactCiphersuites: identical ciphersuite list (order included).
+	ExactCiphersuites
+)
+
+// String names the category as in Table 11.
+func (c MatchCategory) String() string {
+	switch c {
+	case ExactCiphersuites:
+		return "Exact same"
+	case SameSetDiffOrder:
+		return "Same set diff order"
+	case SameComponent:
+		return "Same component"
+	case SimilarComponent:
+		return "Similar component"
+	case Customization:
+		return "Customization"
+	default:
+		return fmt.Sprintf("MatchCategory(%d)", int(c))
+	}
+}
+
+// componentSets extracts the three component sets (kex+auth, cipher, MAC)
+// from a ciphersuite list, skipping signalling values, GREASE, and unknown
+// codepoints.
+func componentSets(ids []uint16) (kex, cipher, mac map[string]bool) {
+	kex = map[string]bool{}
+	cipher = map[string]bool{}
+	mac = map[string]bool{}
+	for _, id := range ids {
+		if ciphersuite.IsGREASE(id) {
+			continue
+		}
+		s, ok := ciphersuite.Lookup(id)
+		if !ok || s.IsSCSV() {
+			continue
+		}
+		k, c, m := s.Components()
+		kex[k] = true
+		cipher[c] = true
+		mac[m] = true
+	}
+	return kex, cipher, mac
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// setsSimilar reports whether every member of each set has a similar
+// counterpart in the other set (per ciphersuite.SimilarAlgorithms).
+func setsSimilar(a, b map[string]bool) bool {
+	match := func(x string, set map[string]bool) bool {
+		for y := range set {
+			if ciphersuite.SimilarAlgorithms(x, y) {
+				return true
+			}
+		}
+		return false
+	}
+	for v := range a {
+		if !match(v, b) {
+			return false
+		}
+	}
+	for v := range b {
+		if !match(v, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// suiteListEqual reports order-sensitive equality.
+func suiteListEqual(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// suiteSetEqual reports order-insensitive equality of the suite sets.
+func suiteSetEqual(a, b []uint16) bool {
+	sa := append([]uint16(nil), a...)
+	sb := append([]uint16(nil), b...)
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+	sa = dedup(sa)
+	sb = dedup(sb)
+	return suiteListEqual(sa, sb)
+}
+
+func dedup(sorted []uint16) []uint16 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CategorizeAgainst classifies the relationship between a device's
+// ciphersuite list and one known library's list.
+func CategorizeAgainst(device, library []uint16) MatchCategory {
+	if suiteListEqual(device, library) {
+		return ExactCiphersuites
+	}
+	if suiteSetEqual(device, library) {
+		return SameSetDiffOrder
+	}
+	dk, dc, dm := componentSets(device)
+	lk, lc, lm := componentSets(library)
+	if setsEqual(dk, lk) && setsEqual(dc, lc) && setsEqual(dm, lm) {
+		return SameComponent
+	}
+	// Key exchange must match exactly (no length notion); cipher and MAC
+	// may differ by key/digest length.
+	if setsEqual(dk, lk) && setsSimilar(dc, lc) && setsSimilar(dm, lm) {
+		return SimilarComponent
+	}
+	return Customization
+}

@@ -1,0 +1,91 @@
+package fingerprint
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"strings"
+
+	"repro/internal/ciphersuite"
+	"repro/internal/tlswire"
+)
+
+// JA3 computes the canonical JA3 fingerprint string and its MD5 digest
+// for a ClientHello (Salesforce JA3: "SSLVersion,Ciphers,Extensions,
+// EllipticCurves,EllipticCurvePointFormats" with GREASE removed).
+//
+// The study itself works on the reduced 3-tuple because IoT Inspector did
+// not retain curve data, but JA3 is the lingua franca of TLS
+// fingerprinting; exposing it lets downstream users join this pipeline's
+// output against JA3 corpora.
+func JA3(ch *tlswire.ClientHello) (ja3 string, md5sum string) {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(ch.LegacyVersion)))
+	b.WriteByte(',')
+
+	writeList := func(vals []uint16, skipGREASE func(uint16) bool) {
+		first := true
+		for _, v := range vals {
+			if skipGREASE != nil && skipGREASE(v) {
+				continue
+			}
+			if !first {
+				b.WriteByte('-')
+			}
+			first = false
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+	}
+	writeList(ch.CipherSuites, ciphersuite.IsGREASE)
+	b.WriteByte(',')
+	writeList(ch.ExtensionTypes(), tlswire.IsGREASEExtension)
+	b.WriteByte(',')
+
+	// Elliptic curves from the supported_groups extension.
+	writeList(parseUint16List(findExt(ch, tlswire.ExtSupportedGroups)), tlswire.IsGREASEExtension)
+	b.WriteByte(',')
+
+	// Point formats are single bytes.
+	if data := findExt(ch, tlswire.ExtECPointFormats); len(data) >= 1 {
+		n := int(data[0])
+		first := true
+		for i := 0; i < n && 1+i < len(data); i++ {
+			if !first {
+				b.WriteByte('-')
+			}
+			first = false
+			b.WriteString(strconv.Itoa(int(data[1+i])))
+		}
+	}
+
+	ja3 = b.String()
+	sum := md5.Sum([]byte(ja3))
+	return ja3, hex.EncodeToString(sum[:])
+}
+
+func findExt(ch *tlswire.ClientHello, t tlswire.ExtensionType) []byte {
+	for _, e := range ch.Extensions {
+		if e.Type == t {
+			return e.Data
+		}
+	}
+	return nil
+}
+
+// parseUint16List parses a 2-byte-length-prefixed uint16 vector (the
+// supported_groups wire format).
+func parseUint16List(data []byte) []uint16 {
+	if len(data) < 2 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if n > len(data)-2 {
+		n = len(data) - 2
+	}
+	out := make([]uint16, 0, n/2)
+	for i := 2; i+1 < 2+n; i += 2 {
+		out = append(out, binary.BigEndian.Uint16(data[i:]))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tlswire"
+)
+
+func ja3Hello() *tlswire.ClientHello {
+	return &tlswire.ClientHello{
+		LegacyVersion: tlswire.VersionTLS12,             // 771
+		CipherSuites:  []uint16{0x1A1A, 0xC02B, 0xC02F}, // GREASE + 49195, 49199
+		Extensions: []tlswire.Extension{
+			{Type: tlswire.ExtServerName}, // 0
+			{Type: tlswire.ExtSupportedGroups, Data: []byte{0, 6, 0x2A, 0x2A, 0, 23, 0, 24}}, // GREASE + 23, 24
+			{Type: tlswire.ExtECPointFormats, Data: []byte{1, 0}},                            // format 0
+			{Type: tlswire.ExtensionType(0xDADA)},                                            // GREASE ext
+			{Type: tlswire.ExtSignatureAlgorithms, Data: []byte{0, 2, 4, 3}},                 // 13
+		},
+	}
+}
+
+func TestJA3String(t *testing.T) {
+	ja3, sum := JA3(ja3Hello())
+	want := "771,49195-49199,0-10-11-13,23-24,0"
+	if ja3 != want {
+		t.Fatalf("ja3 %q want %q", ja3, want)
+	}
+	if len(sum) != 32 {
+		t.Fatalf("md5 length %d", len(sum))
+	}
+	// Deterministic.
+	_, sum2 := JA3(ja3Hello())
+	if sum != sum2 {
+		t.Fatal("md5 not deterministic")
+	}
+}
+
+func TestJA3GREASEInvariance(t *testing.T) {
+	a := ja3Hello()
+	b := ja3Hello()
+	// Different GREASE values must not change the JA3.
+	b.CipherSuites[0] = 0x8A8A
+	b.Extensions[3].Type = tlswire.ExtensionType(0x3A3A)
+	b.Extensions[1].Data = []byte{0, 6, 0x6A, 0x6A, 0, 23, 0, 24}
+	ja3a, _ := JA3(a)
+	ja3b, _ := JA3(b)
+	if ja3a != ja3b {
+		t.Fatalf("GREASE leaked into JA3: %q vs %q", ja3a, ja3b)
+	}
+}
+
+func TestJA3MinimalHello(t *testing.T) {
+	ch := &tlswire.ClientHello{
+		LegacyVersion: tlswire.VersionTLS10,
+		CipherSuites:  []uint16{0x002F},
+	}
+	ja3, _ := JA3(ch)
+	if ja3 != "769,47,,," {
+		t.Fatalf("minimal ja3 %q", ja3)
+	}
+}
+
+func TestJA3DistinguishesStacks(t *testing.T) {
+	a := ja3Hello()
+	b := ja3Hello()
+	b.CipherSuites = append(b.CipherSuites, 0x009C)
+	_, sa := JA3(a)
+	_, sb := JA3(b)
+	if sa == sb {
+		t.Fatal("different suite lists share a JA3 hash")
+	}
+}
+
+func TestJA3TruncatedExtensions(t *testing.T) {
+	// Malformed supported_groups must not panic and must degrade cleanly.
+	ch := ja3Hello()
+	ch.Extensions[1].Data = []byte{0, 50, 0, 23} // declared longer than actual
+	ja3, _ := JA3(ch)
+	if !strings.HasPrefix(ja3, "771,") {
+		t.Fatalf("ja3 %q", ja3)
+	}
+	ch.Extensions[2].Data = []byte{9} // point formats: count beyond data
+	if ja3, _ = JA3(ch); ja3 == "" {
+		t.Fatal("empty ja3 on malformed input")
+	}
+}

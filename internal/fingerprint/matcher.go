@@ -1,0 +1,234 @@
+package fingerprint
+
+import "sort"
+
+// LibraryEntry is one known TLS library build in the matching corpus:
+// a library family + version and the fingerprint its default client emits.
+type LibraryEntry struct {
+	// Family is the library family ("OpenSSL", "wolfSSL", "Mbed TLS",
+	// "curl+OpenSSL", "curl+wolfSSL").
+	Family string
+	// Version is the human version string ("1.0.2u", "7.68.0/1.1.1i").
+	Version string
+	// Print is the fingerprint emitted by the library's default client.
+	Print Fingerprint
+	// ReleaseYear of the version, for "outdated" reporting.
+	ReleaseYear int
+	// SupportedIn2020 reports whether the version still received updates
+	// at the end of the study's capture window.
+	SupportedIn2020 bool
+}
+
+// Name returns "Family Version".
+func (e LibraryEntry) Name() string { return e.Family + " " + e.Version }
+
+// Matcher indexes a corpus of known-library fingerprints for exact and
+// semantics-aware lookups.
+type Matcher struct {
+	entries []LibraryEntry
+	byKey   map[string][]int // fingerprint key -> entry indices
+
+	// Semantic index: the corpus collapses to few distinct ciphersuite
+	// lists (curl builds only vary extensions), so the B.2 matcher scans
+	// suite-list groups instead of every entry.
+	groups       []*suiteGroup
+	byOrderedKey map[string]*suiteGroup
+	bySortedKey  map[string][]*suiteGroup
+}
+
+// suiteGroup is one distinct corpus ciphersuite list with precomputed
+// component sets and the highest-version entry proposing it.
+type suiteGroup struct {
+	suites           []uint16
+	kex, cipher, mac map[string]bool
+	best             LibraryEntry
+}
+
+// NewMatcher builds a matcher over the given corpus.
+func NewMatcher(entries []LibraryEntry) *Matcher {
+	m := &Matcher{
+		entries:      entries,
+		byKey:        make(map[string][]int, len(entries)),
+		byOrderedKey: map[string]*suiteGroup{},
+		bySortedKey:  map[string][]*suiteGroup{},
+	}
+	for i, e := range entries {
+		k := e.Print.Key()
+		m.byKey[k] = append(m.byKey[k], i)
+
+		okey := suiteListKey(e.Print.CipherSuites)
+		g, ok := m.byOrderedKey[okey]
+		if !ok {
+			kex, cipher, mac := componentSets(e.Print.CipherSuites)
+			g = &suiteGroup{
+				suites: e.Print.CipherSuites,
+				kex:    kex, cipher: cipher, mac: mac,
+				best: e,
+			}
+			m.byOrderedKey[okey] = g
+			m.groups = append(m.groups, g)
+			skey := suiteListKey(sortedSuites(e.Print.CipherSuites))
+			m.bySortedKey[skey] = append(m.bySortedKey[skey], g)
+		} else if versionLess(g.best.Version, e.Version) {
+			g.best = e
+		}
+	}
+	return m
+}
+
+// suiteListKey is a fast binary key over a suite list.
+func suiteListKey(ids []uint16) string {
+	b := make([]byte, 2*len(ids))
+	for i, id := range ids {
+		b[2*i] = byte(id >> 8)
+		b[2*i+1] = byte(id)
+	}
+	return string(b)
+}
+
+func sortedSuites(ids []uint16) []uint16 {
+	out := append([]uint16(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Dedup.
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// CorpusSize returns the number of library entries indexed.
+func (m *Matcher) CorpusSize() int { return len(m.entries) }
+
+// DistinctFingerprints returns how many distinct fingerprints the corpus
+// contains (consecutive library versions often share a fingerprint).
+func (m *Matcher) DistinctFingerprints() int { return len(m.byKey) }
+
+// MatchExact returns the known library matching the fingerprint exactly on
+// the 3-tuple, if any. When several versions share the fingerprint, the
+// highest version is returned, mirroring Section 4.1 ("if OpenSSL versions
+// i through j share fingerprint F we report version j").
+func (m *Matcher) MatchExact(f Fingerprint) (LibraryEntry, bool) {
+	idx, ok := m.byKey[f.Key()]
+	if !ok {
+		return LibraryEntry{}, false
+	}
+	best := m.entries[idx[0]]
+	for _, i := range idx[1:] {
+		if versionLess(best.Version, m.entries[i].Version) {
+			best = m.entries[i]
+		}
+	}
+	return best, true
+}
+
+// SemanticsMatch is the result of the semantics-aware matcher: the best
+// category achieved across the corpus and the closest library under that
+// category (ties broken by ciphersuite Jaccard similarity, then version).
+type SemanticsMatch struct {
+	Category MatchCategory
+	Library  LibraryEntry
+	// Jaccard is the ciphersuite-set similarity to the chosen library.
+	Jaccard float64
+}
+
+// MatchSemantics runs the Appendix B.2 matcher: it classifies the device
+// ciphersuite list against the corpus and returns the best category found.
+// A result with Category == Customization has no meaningful Library.
+func (m *Matcher) MatchSemantics(deviceSuites []uint16) SemanticsMatch {
+	// Exact list match: direct lookup.
+	if g, ok := m.byOrderedKey[suiteListKey(deviceSuites)]; ok {
+		return SemanticsMatch{
+			Category: ExactCiphersuites,
+			Library:  g.best,
+			Jaccard:  JaccardUint16(deviceSuites, g.suites),
+		}
+	}
+	// Same set, different order: sorted-key lookup.
+	if gs, ok := m.bySortedKey[suiteListKey(sortedSuites(deviceSuites))]; ok {
+		best := gs[0]
+		for _, g := range gs[1:] {
+			if versionLess(best.best.Version, g.best.Version) {
+				best = g
+			}
+		}
+		return SemanticsMatch{
+			Category: SameSetDiffOrder,
+			Library:  best.best,
+			Jaccard:  JaccardUint16(deviceSuites, best.suites),
+		}
+	}
+	// Component comparisons against the distinct suite-list groups.
+	dk, dc, dm := componentSets(deviceSuites)
+	best := SemanticsMatch{Category: Customization}
+	for _, g := range m.groups {
+		var cat MatchCategory
+		switch {
+		case setsEqual(dk, g.kex) && setsEqual(dc, g.cipher) && setsEqual(dm, g.mac):
+			cat = SameComponent
+		case setsEqual(dk, g.kex) && setsSimilar(dc, g.cipher) && setsSimilar(dm, g.mac):
+			cat = SimilarComponent
+		default:
+			continue
+		}
+		if cat < best.Category {
+			continue
+		}
+		j := JaccardUint16(deviceSuites, g.suites)
+		if cat > best.Category || j > best.Jaccard ||
+			(j == best.Jaccard && versionLess(best.Library.Version, g.best.Version)) {
+			best = SemanticsMatch{Category: cat, Library: g.best, Jaccard: j}
+		}
+	}
+	return best
+}
+
+// Entries returns the corpus sorted by family then version.
+func (m *Matcher) Entries() []LibraryEntry {
+	out := append([]LibraryEntry(nil), m.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return versionLess(out[i].Version, out[j].Version)
+	})
+	return out
+}
+
+// versionLess compares dotted version strings numerically where possible,
+// falling back to lexicographic comparison for suffixes ("1.0.2u" etc.).
+func versionLess(a, b string) bool {
+	for {
+		da, ra := versionToken(a)
+		db, rb := versionToken(b)
+		if da != db {
+			return da < db
+		}
+		if ra == "" || rb == "" {
+			return len(ra) < len(rb) || (len(ra) == len(rb) && ra < rb)
+		}
+		if ra[0] != rb[0] && (ra[0] == '.' || rb[0] == '.') {
+			return ra < rb
+		}
+		// Skip one separator/letter and continue.
+		if ra[0] == rb[0] {
+			a, b = ra[1:], rb[1:]
+			continue
+		}
+		return ra < rb
+	}
+}
+
+// versionToken splits the leading integer off a version string.
+func versionToken(s string) (int, string) {
+	n := 0
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	return n, s[i:]
+}

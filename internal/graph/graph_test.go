@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func build() *Bipartite {
+	g := New()
+	// vendorA uses f1 (unique), f2 (shared with B).
+	// vendorB uses f2, f3 (unique).
+	// vendorC uses f4, f5, f6 (all unique).
+	g.AddEdge("A", "f1")
+	g.AddEdge("A", "f2")
+	g.AddEdge("B", "f2")
+	g.AddEdge("B", "f3")
+	g.AddEdge("C", "f4")
+	g.AddEdge("C", "f5")
+	g.AddEdge("C", "f6")
+	return g
+}
+
+func TestCounts(t *testing.T) {
+	g := build()
+	if g.NumLefts() != 3 || g.NumRights() != 6 || g.NumEdges() != 7 {
+		t.Fatalf("counts %d %d %d", g.NumLefts(), g.NumRights(), g.NumEdges())
+	}
+	if !g.HasEdge("A", "f2") || g.HasEdge("A", "f3") {
+		t.Fatal("edges wrong")
+	}
+	if g.RightDegree("f2") != 2 || g.RightDegree("f1") != 1 {
+		t.Fatal("right degrees wrong")
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := build()
+	g.AddEdge("A", "f1")
+	g.AddEdge("A", "f1")
+	if g.NumEdges() != 7 {
+		t.Fatalf("edges %d after duplicate add", g.NumEdges())
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := build()
+	d := g.DegreeDistribution()
+	if d.Total != 6 {
+		t.Fatalf("total %d", d.Total)
+	}
+	if math.Abs(d.Deg1-5.0/6.0) > 1e-9 {
+		t.Errorf("deg1 %v", d.Deg1)
+	}
+	if math.Abs(d.Deg2-1.0/6.0) > 1e-9 {
+		t.Errorf("deg2 %v", d.Deg2)
+	}
+	if d.Deg3to5 != 0 || d.DegOver5 != 0 {
+		t.Errorf("high buckets nonzero")
+	}
+	// Hub fingerprint used by >5 vendors.
+	for _, v := range []string{"V1", "V2", "V3", "V4", "V5", "V6"} {
+		g.AddEdge(v, "hub")
+	}
+	d = g.DegreeDistribution()
+	if d.DegOver5 == 0 {
+		t.Error("hub not counted in >5 bucket")
+	}
+}
+
+func TestDoC(t *testing.T) {
+	g := build()
+	if got := g.DoC("A"); got != 0.5 {
+		t.Errorf("DoC(A)=%v want 0.5", got)
+	}
+	if got := g.DoC("C"); got != 1.0 {
+		t.Errorf("DoC(C)=%v want 1", got)
+	}
+	if got := g.DoC("nonexistent"); got != 0 {
+		t.Errorf("DoC(missing)=%v want 0", got)
+	}
+	all := g.DoCAll()
+	if len(all) != 3 || all["B"] != 0.5 {
+		t.Errorf("DoCAll %v", all)
+	}
+}
+
+func TestJaccardAndSimilarPairs(t *testing.T) {
+	g := build()
+	if got := g.Jaccard("A", "B"); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("Jaccard(A,B)=%v", got)
+	}
+	if got := g.Jaccard("A", "C"); got != 0 {
+		t.Errorf("Jaccard(A,C)=%v", got)
+	}
+	// Identical vendors.
+	g.AddEdge("D", "f4")
+	g.AddEdge("D", "f5")
+	g.AddEdge("D", "f6")
+	if got := g.Jaccard("C", "D"); got != 1 {
+		t.Errorf("Jaccard(C,D)=%v", got)
+	}
+	pairs := g.SimilarPairs(0.2)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs %v", pairs)
+	}
+	if pairs[0].A != "C" || pairs[0].B != "D" || pairs[0].Similarity != 1 {
+		t.Errorf("top pair %v", pairs[0])
+	}
+	if pairs[1].A != "A" || pairs[1].B != "B" {
+		t.Errorf("second pair %v", pairs[1])
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs, ys := CDF([]float64{0.5, 0.1, 1.0, 0.1})
+	if len(xs) != 4 || xs[0] != 0.1 || xs[3] != 1.0 {
+		t.Fatalf("xs %v", xs)
+	}
+	if ys[3] != 1.0 || ys[0] != 0.25 {
+		t.Fatalf("ys %v", ys)
+	}
+	if xs, ys := CDF(nil); xs != nil || ys != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+	if got := FractionAtMost([]float64{0.2, 0.4, 0.9}, 0.5); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("FractionAtMost %v", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	g := build()
+	dot := g.Dot(DotOptions{
+		Name:       "fig1",
+		RightColor: func(r string) string { return "#ff0000" },
+		RightSize:  func(r string) float64 { return 0.3 },
+		LeftLabel:  func(l string) string { return "vendor-" + l },
+	})
+	for _, want := range []string{"graph \"fig1\"", "vendor-A", "#ff0000", "\"L:A\" -- \"R:f1\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+	// Default options path.
+	if !strings.Contains(g.Dot(DotOptions{}), "graph \"bipartite\"") {
+		t.Error("default name missing")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := build()
+	comps := g.ConnectedComponents()
+	// {A,B,f1,f2,f3} and {C,f4,f5,f6}.
+	if len(comps) != 2 {
+		t.Fatalf("components %d", len(comps))
+	}
+	if len(comps[0]) != 5 || len(comps[1]) != 4 {
+		t.Fatalf("sizes %d %d", len(comps[0]), len(comps[1]))
+	}
+	// Isolated left node forms its own component.
+	g.AddLeft("lonely")
+	comps = g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components with isolate %d", len(comps))
+	}
+}
+
+// Property: DoC is always in [0,1].
+func TestPropertyDoCBounds(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		g := New()
+		for _, e := range edges {
+			g.AddEdge(string(rune('A'+e[0]%16)), string(rune('a'+e[1]%16)))
+		}
+		for _, left := range g.Lefts() {
+			d := g.DoC(left)
+			if d < 0 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jaccard symmetric, bounded, and reflexive on nodes with edges.
+func TestPropertyJaccard(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		g := New()
+		for _, e := range edges {
+			g.AddEdge(string(rune('A'+e[0]%8)), string(rune('a'+e[1]%8)))
+		}
+		lefts := g.Lefts()
+		for _, a := range lefts {
+			if g.Jaccard(a, a) != 1 {
+				return false
+			}
+			for _, b := range lefts {
+				j1, j2 := g.Jaccard(a, b), g.Jaccard(b, a)
+				if j1 != j2 || j1 < 0 || j1 > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: degree distribution fractions sum to 1 when nonempty.
+func TestPropertyDegreeDistributionSums(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		g := New()
+		for _, e := range edges {
+			g.AddEdge(string(rune('A'+e[0]%16)), string(rune('a'+e[1]%16)))
+		}
+		d := g.DegreeDistribution()
+		if d.Total == 0 {
+			return d.Deg1 == 0 && d.Deg2 == 0 && d.Deg3to5 == 0 && d.DegOver5 == 0
+		}
+		sum := d.Deg1 + d.Deg2 + d.Deg3to5 + d.DegOver5
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDoCAll(b *testing.B) {
+	g := New()
+	for v := 0; v < 65; v++ {
+		for f := 0; f < 30; f++ {
+			g.AddEdge(string(rune('A'+v%26))+string(rune('0'+v/26)), string(rune(f*v%900)))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.DoCAll()
+	}
+}
+
+func BenchmarkSimilarPairs(b *testing.B) {
+	g := New()
+	for v := 0; v < 65; v++ {
+		for f := 0; f < 30; f++ {
+			g.AddEdge(string(rune('A'+v%26))+string(rune('0'+v/26)), string(rune(f*v%900)))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.SimilarPairs(0.2)
+	}
+}

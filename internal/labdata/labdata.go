@@ -1,0 +1,191 @@
+// Package labdata models the university lab dataset of Appendix C.4.2:
+// network traffic of 113 IoT devices (52 vendors) captured 2017–2021 with
+// ServerHello and certificate data, used to cross-check the 2022 probe
+// results for consistency over time.
+//
+// The lab capture observes the same server world but at an earlier epoch:
+// issuers are stable (the paper found 356 of 362 common SNIs with the
+// same issuer organization), while leaf certificates themselves rotated.
+// A small deterministic fraction of SNIs changes issuer between epochs,
+// matching the 7 divergent SNIs the paper reports; CT logging is less
+// prevalent in the lab epoch (CT deployment grew over time).
+package labdata
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/simnet"
+)
+
+// Record is one lab-observed (device, SNI) certificate capture.
+type Record struct {
+	DeviceID  string
+	Vendor    string
+	SNI       string
+	IssuerOrg string
+	// CapturedAt is when the lab saw the certificate (2017–2021).
+	CapturedAt time.Time
+	// ValidityDays of the lab-epoch leaf.
+	ValidityDays int
+	// InCT at lab-capture time.
+	InCT bool
+}
+
+// Dataset is the lab capture.
+type Dataset struct {
+	Records []Record
+	// Devices and Vendors covered.
+	Devices int
+	Vendors int
+}
+
+// Capture simulates the lab capture against the world: a 113-device fleet
+// drawn from the crowdsourced population visits a subset of the same
+// servers between 2017 and 2021.
+func Capture(w *simnet.World, ds *dataset.Dataset, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Dataset{}
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	windowSec := time.Date(2021, 12, 31, 0, 0, 0, 0, time.UTC).Unix() - start.Unix()
+
+	// Pick 113 devices across as many vendors as possible.
+	devices := append([]*dataset.Device(nil), ds.Devices...)
+	rng.Shuffle(len(devices), func(i, j int) { devices[i], devices[j] = devices[j], devices[i] })
+	limit := 113
+	if limit > len(devices) {
+		limit = len(devices)
+	}
+	devices = devices[:limit]
+
+	// Index SNIs visited per device from the crowdsourced records.
+	visits := map[string][]string{}
+	for _, r := range ds.Records {
+		if r.SNI != "" {
+			visits[r.DeviceID] = append(visits[r.DeviceID], r.SNI)
+		}
+	}
+
+	devSet := map[string]bool{}
+	vendorSet := map[string]bool{}
+	for _, dev := range devices {
+		snis := visits[dev.ID]
+		if len(snis) == 0 {
+			continue
+		}
+		devSet[dev.ID] = true
+		vendorSet[dev.Vendor] = true
+		for _, sni := range snis {
+			srv, ok := w.Servers[sni]
+			if !ok {
+				continue
+			}
+			issuer := srv.IssuerOrg
+			// The divergent tail: a few SNIs changed issuer between the
+			// lab epoch and the 2022 probe.
+			if hashOf("lab-issuer:"+sni)%50 == 0 {
+				issuer = "GlobalSign"
+			}
+			// CT deployment grew between the lab epoch and 2022: some
+			// certs logged by 2022 were not logged back then.
+			inCT := srv.InCT && hashOf("lab-ct:"+sni)%4 != 0
+			out.Records = append(out.Records, Record{
+				DeviceID:     dev.ID,
+				Vendor:       dev.Vendor,
+				SNI:          sni,
+				IssuerOrg:    issuer,
+				CapturedAt:   start.Add(time.Duration(rng.Int63n(windowSec)) * time.Second),
+				ValidityDays: int(srv.Leaf.Cert.NotAfter.Sub(srv.Leaf.Cert.NotBefore).Hours() / 24),
+				InCT:         inCT,
+			})
+		}
+	}
+	out.Devices = len(devSet)
+	out.Vendors = len(vendorSet)
+	return out
+}
+
+// CrossCheck compares the lab capture with the probe-derived certificate
+// dataset (Appendix C.4.2).
+type CrossCheck struct {
+	// CommonSNIs appear in both datasets.
+	CommonSNIs int
+	// SameIssuer of those have the same issuer organization.
+	SameIssuer int
+	// DiffIssuer diverge (the paper's 7).
+	DiffIssuer int
+	// VendorsInBoth datasets.
+	VendorsInBoth int
+	// CTGrowth: SNIs logged in the 2022 probe but not in the lab epoch.
+	CTGrowth int
+}
+
+// AgreementRate is SameIssuer / CommonSNIs.
+func (c CrossCheck) AgreementRate() float64 {
+	if c.CommonSNIs == 0 {
+		return 0
+	}
+	return float64(c.SameIssuer) / float64(c.CommonSNIs)
+}
+
+// Compare runs the cross-check against the server analysis.
+func Compare(lab *Dataset, srv *analysis.Server) CrossCheck {
+	labIssuer := map[string]string{}
+	labCT := map[string]bool{}
+	labVendors := map[string]bool{}
+	for _, r := range lab.Records {
+		labIssuer[r.SNI] = r.IssuerOrg
+		labCT[r.SNI] = r.InCT
+		labVendors[r.Vendor] = true
+	}
+	var cc CrossCheck
+	probeVendors := map[string]bool{}
+	for _, r := range srv.Records {
+		for v := range r.Vendors {
+			probeVendors[v] = true
+		}
+		li, ok := labIssuer[r.SNI]
+		if !ok {
+			continue
+		}
+		cc.CommonSNIs++
+		if li == r.IssuerOrg {
+			cc.SameIssuer++
+		} else {
+			cc.DiffIssuer++
+		}
+		if r.InCT && !labCT[r.SNI] {
+			cc.CTGrowth++
+		}
+	}
+	for v := range labVendors {
+		if probeVendors[v] {
+			cc.VendorsInBoth++
+		}
+	}
+	return cc
+}
+
+// SNIs returns the distinct SNIs in the lab capture, sorted.
+func (d *Dataset) SNIs() []string {
+	set := map[string]bool{}
+	for _, r := range d.Records {
+		set[r.SNI] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hashOf(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

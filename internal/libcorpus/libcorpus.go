@@ -1,0 +1,603 @@
+// Package libcorpus builds the known-TLS-library fingerprint corpus used
+// for matching device fingerprints (Section 4.1 / Appendix B.1).
+//
+// The paper compiled real library builds — 19 OpenSSL versions, 38 wolfSSL
+// versions, 113 Mbed TLS versions, plus 5,591 curl×OpenSSL and 1,130
+// curl×wolfSSL combinations (6,891 fingerprints total) — and captured each
+// default client's ClientHello. We have no build farm, so this package
+// reproduces the corpus *generatively*: each library family has an
+// evolution model of its default ciphersuite list and extension set across
+// version eras (older versions propose RC4/3DES/DES/EXPORT-era suites;
+// newer ones propose ECDHE+AEAD and eventually TLS 1.3), and curl cross
+// products layer curl-driven extension changes (ALPN from 7.33, etc.) on
+// top of the TLS library's suite list. Consecutive versions frequently
+// share a fingerprint, exactly as the paper notes.
+//
+// The substitution preserves what matters downstream: exact matching is
+// string equality on the fingerprint 3-tuple, and the dataset generator
+// plants true library stacks in a controlled fraction of devices, so the
+// match-rate experiment exercises the identical code path.
+package libcorpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fingerprint"
+	"repro/internal/tlswire"
+)
+
+// Build constructs the full corpus: OpenSSL, wolfSSL, Mbed TLS, and the
+// curl cross products, sized to the paper's counts.
+func Build() []fingerprint.LibraryEntry {
+	var out []fingerprint.LibraryEntry
+	out = append(out, OpenSSL()...)
+	out = append(out, WolfSSL()...)
+	out = append(out, MbedTLS()...)
+	out = append(out, CurlOpenSSL()...)
+	out = append(out, CurlWolfSSL()...)
+	return out
+}
+
+// NewMatcher builds a fingerprint.Matcher over the full corpus.
+func NewMatcher() *fingerprint.Matcher {
+	return fingerprint.NewMatcher(Build())
+}
+
+// openSSLVersions is the appendix B.1 list with release years and support
+// status at the end of the capture window (August 2020).
+var openSSLVersions = []struct {
+	version   string
+	year      int
+	supported bool
+}{
+	{"1.0.0m", 2014, false},
+	{"1.0.0q", 2014, false},
+	{"1.0.0t", 2015, false},
+	{"1.0.1h", 2014, false},
+	{"1.0.1l", 2015, false},
+	{"1.0.1r", 2016, false},
+	{"1.0.1u", 2016, false},
+	{"1.0.2-beta1", 2014, false},
+	{"1.0.2-beta2", 2014, false},
+	{"1.0.2", 2015, false},
+	{"1.0.2f", 2016, false},
+	{"1.0.2m", 2017, false},
+	{"1.0.2u", 2019, false},
+	{"1.1.0-pre1", 2015, false},
+	{"1.1.0-pre2", 2016, false},
+	{"1.1.0-pre3", 2016, false},
+	{"1.1.0l", 2019, false},
+	{"1.1.1-pre2", 2018, true},
+	{"1.1.1i", 2020, true},
+}
+
+// OpenSSL returns the 19 OpenSSL entries.
+func OpenSSL() []fingerprint.LibraryEntry {
+	out := make([]fingerprint.LibraryEntry, 0, len(openSSLVersions))
+	for _, v := range openSSLVersions {
+		out = append(out, fingerprint.LibraryEntry{
+			Family:          "OpenSSL",
+			Version:         v.version,
+			ReleaseYear:     v.year,
+			SupportedIn2020: v.supported,
+			Print:           openSSLPrint(v.version),
+		})
+	}
+	return out
+}
+
+// openSSLPrint models the default s_client fingerprint per version era.
+func openSSLPrint(version string) fingerprint.Fingerprint {
+	era := openSSLEra(version)
+	var suites []uint16
+	ver := tlswire.VersionTLS12
+	exts := []uint16{
+		uint16(tlswire.ExtServerName),
+		uint16(tlswire.ExtSupportedGroups),
+		uint16(tlswire.ExtECPointFormats),
+		uint16(tlswire.ExtSessionTicket),
+		uint16(tlswire.ExtRenegotiationInfo),
+	}
+	switch era {
+	case "1.0.0":
+		ver = tlswire.VersionTLS10
+		suites = []uint16{
+			0xC014, 0xC00A, 0x0039, 0x0038, 0x0088, 0x0087, 0xC013, 0xC009,
+			0x0033, 0x0032, 0x0045, 0x0044, 0xC012, 0xC008, 0x0016, 0x0013,
+			0xC011, 0xC007, 0x0005, 0x0004, 0x0035, 0x0084, 0x002F, 0x0041,
+			0x000A, 0x0015, 0x0012, 0x0009, 0x0014, 0x0011, 0x0008, 0x0006,
+			0x0003, 0x00FF,
+		}
+		// 1.0.0t dropped the export-grade suites in its default list.
+		if version >= "1.0.0t" {
+			suites = removeSuites(suites, 0x0006, 0x0003, 0x0008, 0x0011, 0x0014)
+		}
+	case "1.0.1":
+		suites = []uint16{
+			0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x00A3, 0x009F,
+			0x006B, 0x006A, 0x0039, 0x0038, 0x0088, 0x0087, 0xC032, 0xC02E,
+			0xC02A, 0xC026, 0xC00F, 0xC005, 0x009D, 0x003D, 0x0035, 0x0084,
+			0xC02F, 0xC02B, 0xC027, 0xC023, 0xC013, 0xC009, 0x00A2, 0x009E,
+			0x0067, 0x0040, 0x0033, 0x0032, 0x0045, 0x0044, 0xC031, 0xC02D,
+			0xC029, 0xC025, 0xC00E, 0xC004, 0x009C, 0x003C, 0x002F, 0x0041,
+			0xC012, 0xC008, 0x0016, 0x0013, 0xC00D, 0xC003, 0x000A, 0xC011,
+			0xC007, 0xC00C, 0xC002, 0x0005, 0x0004, 0x00FF,
+		}
+		exts = append(exts, uint16(tlswire.ExtSignatureAlgorithms))
+		// Late 1.0.1 (r, u) dropped RC4 from defaults after RFC 7465.
+		if version >= "1.0.1r" {
+			suites = removeSuites(suites, 0xC011, 0xC007, 0xC00C, 0xC002, 0x0005, 0x0004)
+		}
+	case "1.0.2":
+		suites = []uint16{
+			0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x00A5, 0x00A3,
+			0x00A1, 0x009F, 0x006B, 0x006A, 0x0069, 0x0068, 0x0039, 0x0038,
+			0x0037, 0x0036, 0x0088, 0x0087, 0x0086, 0x0085, 0xC032, 0xC02E,
+			0xC02A, 0xC026, 0xC00F, 0xC005, 0x009D, 0x003D, 0x0035, 0x0084,
+			0xC02F, 0xC02B, 0xC027, 0xC023, 0xC013, 0xC009, 0x00A4, 0x00A2,
+			0x00A0, 0x009E, 0x0067, 0x0040, 0x003F, 0x003E, 0x0033, 0x0032,
+			0x0031, 0x0030, 0x0045, 0x0044, 0x0043, 0x0042, 0xC031, 0xC02D,
+			0xC029, 0xC025, 0xC00E, 0xC004, 0x009C, 0x003C, 0x002F, 0x0041,
+			0xC012, 0xC008, 0x0016, 0x0013, 0x0010, 0x000D, 0xC00D, 0xC003,
+			0x000A, 0x00FF,
+		}
+		exts = append(exts,
+			uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtStatusRequest),
+			uint16(tlswire.ExtSignedCertTimestamp),
+		)
+		// Beta builds predate the SCT extension.
+		if strings.Contains(version, "beta") {
+			exts = exts[:len(exts)-1]
+		}
+	case "1.1.0":
+		suites = []uint16{
+			0xC02C, 0xC030, 0x009F, 0xCCA9, 0xCCA8, 0xCCAA, 0xC02B, 0xC02F,
+			0x009E, 0xC024, 0xC028, 0x006B, 0xC023, 0xC027, 0x0067, 0xC00A,
+			0xC014, 0x0039, 0xC009, 0xC013, 0x0033, 0x009D, 0x009C, 0x003D,
+			0x003C, 0x0035, 0x002F, 0x00FF,
+		}
+		exts = append(exts,
+			uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtStatusRequest),
+			uint16(tlswire.ExtEncryptThenMAC),
+			uint16(tlswire.ExtExtendedMasterSecret),
+		)
+		// Pre-releases lacked ChaCha20-Poly1305.
+		if strings.Contains(version, "pre") {
+			suites = removeSuites(suites, 0xCCA9, 0xCCA8, 0xCCAA)
+		}
+	default: // 1.1.1
+		ver = tlswire.VersionTLS13
+		suites = []uint16{
+			0x1302, 0x1303, 0x1301, 0xC02C, 0xC030, 0x009F, 0xCCA9, 0xCCA8,
+			0xCCAA, 0xC02B, 0xC02F, 0x009E, 0xC024, 0xC028, 0x006B, 0xC023,
+			0xC027, 0x0067, 0xC00A, 0xC014, 0x0039, 0xC009, 0xC013, 0x0033,
+			0x009D, 0x009C, 0x003D, 0x003C, 0x0035, 0x002F, 0x00FF,
+		}
+		exts = append(exts,
+			uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtStatusRequest),
+			uint16(tlswire.ExtEncryptThenMAC),
+			uint16(tlswire.ExtExtendedMasterSecret),
+			uint16(tlswire.ExtSupportedVersions),
+			uint16(tlswire.ExtPSKKeyExchangeModes),
+			uint16(tlswire.ExtKeyShare),
+		)
+		if strings.Contains(version, "pre") {
+			// TLS 1.3 draft builds lacked the CCM alias order change;
+			// model as missing encrypt_then_mac.
+			exts = removeSuites(exts, uint16(tlswire.ExtEncryptThenMAC))
+		}
+	}
+	return fingerprint.Fingerprint{Version: ver, CipherSuites: suites, Extensions: exts}
+}
+
+func openSSLEra(version string) string {
+	switch {
+	case strings.HasPrefix(version, "1.0.0"):
+		return "1.0.0"
+	case strings.HasPrefix(version, "1.0.1"):
+		return "1.0.1"
+	case strings.HasPrefix(version, "1.0.2"):
+		return "1.0.2"
+	case strings.HasPrefix(version, "1.1.0"):
+		return "1.1.0"
+	default:
+		return "1.1.1"
+	}
+}
+
+func removeSuites(list []uint16, drop ...uint16) []uint16 {
+	dropSet := map[uint16]bool{}
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	out := make([]uint16, 0, len(list))
+	for _, v := range list {
+		if !dropSet[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// wolfSSLVersions is the appendix B.1 list (38 entries).
+var wolfSSLVersions = []struct {
+	version string
+	year    int
+}{
+	{"1.8.0", 2010}, {"2.1.1", 2012}, {"2.2.1", 2012}, {"2.2.2", 2012},
+	{"2.3.0", 2012}, {"2.4.6", 2012}, {"2.4.7", 2013}, {"2.5.0", 2013},
+	{"2.5.2", 2013}, {"2.5.2b", 2013}, {"2.6.0", 2013}, {"2.8.0", 2013},
+	{"2.9.0", 2014}, {"3.0.0", 2014}, {"3.0.2", 2014}, {"3.1.0", 2014},
+	{"3.4.0", 2015}, {"3.4.2", 2015}, {"3.4.8", 2015}, {"3.6.0", 2015},
+	{"3.7.0", 2015}, {"3.8.0", 2015}, {"3.9.0", 2016}, {"3.9.10-stable", 2016},
+	{"3.10.2-stable", 2017}, {"3.10.3", 2017}, {"3.11.0-stable", 2017},
+	{"3.12.0-stable", 2017}, {"3.13.0-stable", 2017}, {"3.14.2", 2018},
+	{"3.14.5", 2018}, {"3.15.0-stable", 2018}, {"3.15.3-stable", 2018},
+	{"3.15.6", 2018}, {"3.15.7-stable", 2018}, {"4.0.0-stable", 2019},
+	{"WCv4.0-RC4", 2019}, {"WCv4.0-RC5", 2019},
+}
+
+// WolfSSL returns the 38 wolfSSL entries.
+func WolfSSL() []fingerprint.LibraryEntry {
+	out := make([]fingerprint.LibraryEntry, 0, len(wolfSSLVersions))
+	for _, v := range wolfSSLVersions {
+		supported := strings.HasPrefix(v.version, "4.") || strings.HasPrefix(v.version, "WCv4")
+		out = append(out, fingerprint.LibraryEntry{
+			Family:          "wolfSSL",
+			Version:         v.version,
+			ReleaseYear:     v.year,
+			SupportedIn2020: supported,
+			Print:           wolfSSLPrint(v.version),
+		})
+	}
+	return out
+}
+
+func wolfSSLPrint(version string) fingerprint.Fingerprint {
+	ver := tlswire.VersionTLS12
+	exts := []uint16{
+		uint16(tlswire.ExtServerName),
+		uint16(tlswire.ExtSupportedGroups),
+		uint16(tlswire.ExtRenegotiationInfo),
+	}
+	var suites []uint16
+	switch {
+	case strings.HasPrefix(version, "1."):
+		ver = tlswire.VersionTLS10
+		exts = nil
+		suites = []uint16{0x0039, 0x0033, 0x0035, 0x002F, 0x000A, 0x0016, 0x0005, 0x0004}
+	case strings.HasPrefix(version, "2."):
+		ver = tlswire.VersionTLS11
+		exts = nil
+		suites = []uint16{0x0039, 0x0033, 0x0035, 0x002F, 0x003D, 0x003C, 0x000A, 0x0016, 0x0005}
+		if version >= "2.5" {
+			suites = append(suites, 0x008D, 0x008C) // PSK suites enabled
+		}
+	case strings.HasPrefix(version, "3."):
+		suites = []uint16{
+			0xC02C, 0xC02B, 0xC030, 0xC02F, 0xC024, 0xC023, 0xC028, 0xC027,
+			0xC014, 0xC013, 0x009D, 0x009C, 0x003D, 0x003C, 0x0035, 0x002F,
+		}
+		exts = append(exts, uint16(tlswire.ExtECPointFormats), uint16(tlswire.ExtSignatureAlgorithms))
+		if version >= "3.12" {
+			// ChaCha default from 3.12.
+			suites = append([]uint16{0xCCA9, 0xCCA8}, suites...)
+			exts = append(exts, uint16(tlswire.ExtExtendedMasterSecret))
+		}
+		if version >= "3.6" && version < "3.12" {
+			exts = append(exts, uint16(tlswire.ExtSessionTicket))
+		}
+	default: // 4.x / WCv4
+		ver = tlswire.VersionTLS13
+		suites = []uint16{
+			0x1301, 0x1302, 0x1303, 0xCCA9, 0xCCA8, 0xC02C, 0xC02B, 0xC030,
+			0xC02F, 0xC024, 0xC023, 0xC028, 0xC027, 0x009D, 0x009C,
+		}
+		exts = append(exts,
+			uint16(tlswire.ExtECPointFormats),
+			uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtSupportedVersions),
+			uint16(tlswire.ExtKeyShare),
+		)
+		if strings.Contains(version, "RC") {
+			// Release candidates lacked the 0xC028/0xC027 CBC downgrade set.
+			suites = removeSuites(suites, 0xC028, 0xC027)
+		}
+	}
+	return fingerprint.Fingerprint{Version: ver, CipherSuites: suites, Extensions: exts}
+}
+
+// MbedTLS returns the 113 Mbed TLS / PolarSSL entries of Appendix B.1.
+func MbedTLS() []fingerprint.LibraryEntry {
+	versions := mbedVersions()
+	out := make([]fingerprint.LibraryEntry, 0, len(versions))
+	for _, v := range versions {
+		out = append(out, fingerprint.LibraryEntry{
+			Family:          "Mbed TLS",
+			Version:         v.version,
+			ReleaseYear:     v.year,
+			SupportedIn2020: strings.HasPrefix(v.version, "2.16"),
+			Print:           mbedPrint(v.version),
+		})
+	}
+	return out
+}
+
+type mbedVersion struct {
+	version string
+	year    int
+}
+
+func mbedVersions() []mbedVersion {
+	var out []mbedVersion
+	add := func(year int, versions ...string) {
+		for _, v := range versions {
+			out = append(out, mbedVersion{v, year})
+		}
+	}
+	add(2011, "0.13.1", "0.14.0", "0.14.2", "0.14.3")
+	add(2012, "1.0.0", "1.1.0", "1.1.1", "1.1.2", "1.1.3", "1.1.4", "1.1.5", "1.1.6", "1.1.7", "1.1.8")
+	add(2013, "1.2.0", "1.2.1", "1.2.2", "1.2.3", "1.2.4", "1.2.5", "1.2.6", "1.2.7", "1.2.8", "1.2.9",
+		"1.2.10", "1.2.11", "1.2.12", "1.2.13", "1.2.14", "1.2.15", "1.2.16", "1.2.17", "1.2.18", "1.2.19")
+	add(2014, "1.3.0", "1.3.1", "1.3.2", "1.3.3", "1.3.4", "1.3.5", "1.3.6", "1.3.7", "1.3.8", "1.3.9")
+	add(2015, "1.3.10", "1.3.11", "1.3.12", "1.3.13", "1.3.14", "1.3.15", "1.3.16", "1.3.17", "1.3.18",
+		"1.3.19", "1.3.20", "1.3.21", "1.3.22", "1.4-dtls-preview")
+	add(2016, "2.1.0", "2.1.1", "2.1.2", "2.1.3", "2.1.4", "2.1.5", "2.1.6", "2.1.7", "2.1.8", "2.1.9",
+		"2.1.10", "2.1.11", "2.1.12", "2.1.13", "2.1.14", "2.1.15", "2.1.16", "2.1.17", "2.1.18")
+	add(2016, "2.2.0", "2.2.1", "2.3.0", "2.4.0", "2.4.2", "2.5.1", "2.6.0")
+	add(2018, "2.7.0", "2.7.2", "2.7.3", "2.7.4", "2.7.5", "2.7.6", "2.7.7", "2.7.8", "2.7.9",
+		"2.7.10", "2.7.11", "2.7.12", "2.7.13", "2.7.14", "2.7.15")
+	add(2018, "2.8.0", "2.9.0", "2.11.0", "2.12.0", "2.13.0", "2.14.0", "2.14.1")
+	add(2019, "2.16.0", "2.16.1", "2.16.2", "2.16.3", "2.16.4", "2.16.5", "2.16.6")
+	return out
+}
+
+func mbedPrint(version string) fingerprint.Fingerprint {
+	ver := tlswire.VersionTLS12
+	var suites []uint16
+	var exts []uint16
+	switch {
+	case strings.HasPrefix(version, "0."):
+		ver = tlswire.VersionTLS10
+		suites = []uint16{0x0035, 0x002F, 0x000A, 0x0039, 0x0033, 0x0016, 0x0005, 0x0004}
+	case strings.HasPrefix(version, "1.0"), strings.HasPrefix(version, "1.1"):
+		ver = tlswire.VersionTLS11
+		suites = []uint16{0x0039, 0x0038, 0x0035, 0x0033, 0x0032, 0x002F, 0x0088, 0x0087,
+			0x0084, 0x0045, 0x0044, 0x0041, 0x0016, 0x000A, 0x0005, 0x0004}
+	case strings.HasPrefix(version, "1.2"):
+		suites = []uint16{0x006B, 0x006A, 0x0039, 0x0038, 0x003D, 0x0035, 0x0067, 0x0040,
+			0x0033, 0x0032, 0x003C, 0x002F, 0x0088, 0x0087, 0x0084, 0x0045, 0x0044, 0x0041,
+			0x0016, 0x000A, 0x0005, 0x0004, 0x00FF}
+		exts = []uint16{uint16(tlswire.ExtServerName), uint16(tlswire.ExtSignatureAlgorithms), uint16(tlswire.ExtRenegotiationInfo)}
+		// Patch releases >= 1.2.10 dropped RC4 from defaults.
+		if patchAtLeast(version, "1.2.", 10) {
+			suites = removeSuites(suites, 0x0005, 0x0004)
+		}
+	case strings.HasPrefix(version, "1.3"), strings.HasPrefix(version, "1.4"):
+		suites = []uint16{
+			0xC02C, 0xC030, 0xC024, 0xC028, 0xC00A, 0xC014, 0x009F, 0x006B,
+			0x0039, 0xC0A4, 0xC09F, 0x00A3, 0x006A, 0x0038, 0xC02B, 0xC02F,
+			0xC023, 0xC027, 0xC009, 0xC013, 0x009E, 0x0067, 0x0033, 0xC09E,
+			0x00A2, 0x0040, 0x0032, 0x009D, 0x003D, 0x0035, 0xC09D, 0x009C,
+			0x003C, 0x002F, 0xC09C, 0x000A, 0x00FF,
+		}
+		exts = []uint16{
+			uint16(tlswire.ExtServerName), uint16(tlswire.ExtSupportedGroups),
+			uint16(tlswire.ExtECPointFormats), uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtRenegotiationInfo),
+		}
+		if patchAtLeast(version, "1.3.", 10) {
+			exts = append(exts, uint16(tlswire.ExtSessionTicket))
+		}
+	default: // 2.x
+		suites = []uint16{
+			0xC02C, 0xC030, 0xC0AD, 0xC024, 0xC028, 0xC00A, 0xC014, 0x009F,
+			0xCCAA, 0xC09F, 0x006B, 0x0039, 0xC02B, 0xC02F, 0xC0AC, 0xC023,
+			0xC027, 0xC009, 0xC013, 0x009E, 0xC09E, 0x0067, 0x0033, 0x009D,
+			0xC09D, 0x003D, 0x0035, 0x009C, 0xC09C, 0x003C, 0x002F, 0x00FF,
+		}
+		exts = []uint16{
+			uint16(tlswire.ExtServerName), uint16(tlswire.ExtSupportedGroups),
+			uint16(tlswire.ExtECPointFormats), uint16(tlswire.ExtSignatureAlgorithms),
+			uint16(tlswire.ExtExtendedMasterSecret), uint16(tlswire.ExtSessionTicket),
+			uint16(tlswire.ExtRenegotiationInfo),
+		}
+		// ChaCha default from 2.12.
+		if versionAtLeast2x(version, 12) {
+			suites = append([]uint16{0xCCA9, 0xCCA8}, suites...)
+		}
+		// 3DES removed from defaults in 2.16.
+		if versionAtLeast2x(version, 16) {
+			suites = removeSuites(suites, 0x000A)
+		}
+	}
+	return fingerprint.Fingerprint{Version: ver, CipherSuites: suites, Extensions: exts}
+}
+
+// patchAtLeast reports whether version "prefixN..." has N >= n.
+func patchAtLeast(version, prefix string, n int) bool {
+	if !strings.HasPrefix(version, prefix) {
+		return false
+	}
+	rest := version[len(prefix):]
+	num := 0
+	for i := 0; i < len(rest) && rest[i] >= '0' && rest[i] <= '9'; i++ {
+		num = num*10 + int(rest[i]-'0')
+	}
+	return num >= n
+}
+
+// versionAtLeast2x reports whether a "2.X.Y" version has X >= minor.
+func versionAtLeast2x(version string, minor int) bool {
+	if !strings.HasPrefix(version, "2.") {
+		return false
+	}
+	rest := version[2:]
+	num := 0
+	for i := 0; i < len(rest) && rest[i] >= '0' && rest[i] <= '9'; i++ {
+		num = num*10 + int(rest[i]-'0')
+	}
+	return num >= minor
+}
+
+// curlVersions enumerates curl releases 7.19.0 .. 7.71.0 (the appendix's
+// range), including patch releases, newest last.
+func curlVersions() []string {
+	// minor -> number of patch releases (approximate real history; the
+	// exact patch counts only affect corpus size, which is trimmed below).
+	patches := map[int]int{
+		19: 8, 20: 2, 21: 8, 22: 1, 23: 2, 24: 1, 25: 1, 26: 1, 27: 1, 28: 2,
+		29: 1, 30: 1, 31: 1, 32: 1, 33: 1, 34: 1, 35: 1, 36: 1, 37: 2, 38: 1,
+		39: 1, 40: 1, 41: 1, 42: 2, 43: 1, 44: 1, 45: 1, 46: 1, 47: 2, 48: 1,
+		49: 2, 50: 4, 51: 1, 52: 2, 53: 2, 54: 2, 55: 2, 56: 2, 57: 1, 58: 1,
+		59: 1, 60: 1, 61: 2, 62: 1, 63: 1, 64: 2, 65: 4, 66: 1, 67: 1, 68: 1,
+		69: 2, 70: 1, 71: 2,
+	}
+	var out []string
+	for minor := 19; minor <= 71; minor++ {
+		n := patches[minor]
+		if n == 0 {
+			n = 1
+		}
+		for p := 0; p < n; p++ {
+			out = append(out, fmt.Sprintf("7.%d.%d", minor, p))
+		}
+	}
+	return out
+}
+
+// curlMinor extracts the minor number from "7.NN.P".
+func curlMinor(v string) int {
+	parts := strings.Split(v, ".")
+	n := 0
+	fmt.Sscanf(parts[1], "%d", &n)
+	return n
+}
+
+// curlPrint layers curl's extension behaviour on a TLS library's print.
+func curlPrint(curlVersion string, base fingerprint.Fingerprint) fingerprint.Fingerprint {
+	minor := curlMinor(curlVersion)
+	out := fingerprint.Fingerprint{
+		Version:      base.Version,
+		CipherSuites: append([]uint16(nil), base.CipherSuites...),
+		Extensions:   append([]uint16(nil), base.Extensions...),
+	}
+	// curl >= 7.33 negotiates HTTP/2 via ALPN when the TLS backend
+	// supports it.
+	if minor >= 33 {
+		out.Extensions = append(out.Extensions, uint16(tlswire.ExtALPN))
+	}
+	// curl >= 7.52 requests OCSP stapling by default in our model.
+	if minor >= 52 && !containsUint16(out.Extensions, uint16(tlswire.ExtStatusRequest)) {
+		out.Extensions = append(out.Extensions, uint16(tlswire.ExtStatusRequest))
+	}
+	// Very old curl disabled session tickets.
+	if minor < 23 {
+		out.Extensions = removeSuites(out.Extensions, uint16(tlswire.ExtSessionTicket))
+	}
+	return out
+}
+
+func containsUint16(s []uint16, v uint16) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// openSSLFull enumerates every letter revision of the OpenSSL series
+// (1.0.0a..t, 1.0.1a..u, ...): the paper's curl cross product was built
+// against the full release history, not just the 19 standalone builds.
+// Letter revisions within a series share the era fingerprint model, so
+// most of them collapse onto the same print — as in reality.
+func openSSLFull() []fingerprint.LibraryEntry {
+	series := []struct {
+		prefix    string
+		last      byte // last letter revision
+		startYear int
+	}{
+		{"1.0.0", 't', 2010},
+		{"1.0.1", 'u', 2012},
+		{"1.0.2", 'u', 2015},
+		{"1.1.0", 'l', 2016},
+		{"1.1.1", 'i', 2018},
+	}
+	var out []fingerprint.LibraryEntry
+	for _, s := range series {
+		// The plain ".0" release, then each letter revision.
+		versions := []string{s.prefix}
+		for c := byte('a'); c <= s.last; c++ {
+			versions = append(versions, s.prefix+string(c))
+		}
+		for i, v := range versions {
+			year := s.startYear + i/4 // ~4 letter revisions per year
+			out = append(out, fingerprint.LibraryEntry{
+				Family:          "OpenSSL",
+				Version:         v,
+				ReleaseYear:     year,
+				SupportedIn2020: strings.HasPrefix(v, "1.1.1"),
+				Print:           openSSLPrint(v),
+			})
+		}
+	}
+	return out
+}
+
+// CurlOpenSSL returns the curl×OpenSSL cross product trimmed to the
+// paper's 5,591 combinations (not every pairing builds in reality).
+func CurlOpenSSL() []fingerprint.LibraryEntry {
+	return curlCross("curl+OpenSSL", openSSLFull(), curlVersions(), 5591)
+}
+
+// CurlWolfSSL returns the curl×wolfSSL cross product trimmed to 1,130
+// combinations (curl 7.25.0 .. 7.68.0 per the appendix).
+func CurlWolfSSL() []fingerprint.LibraryEntry {
+	var curls []string
+	for _, v := range curlVersions() {
+		if m := curlMinor(v); m >= 25 && m <= 68 {
+			curls = append(curls, v)
+		}
+	}
+	return curlCross("curl+wolfSSL", WolfSSL(), curls, 1130)
+}
+
+func curlCross(family string, libs []fingerprint.LibraryEntry, curls []string, limit int) []fingerprint.LibraryEntry {
+	out := make([]fingerprint.LibraryEntry, 0, limit)
+	for _, cv := range curls {
+		for _, lib := range libs {
+			// A curl release only links against TLS libraries that existed:
+			// model buildability as curl-year >= lib-year (curl 7.19≈2008,
+			// two minors per year).
+			curlYear := 2008 + (curlMinor(cv)-19)/2
+			// Distros routinely pair a curl with a slightly newer TLS
+			// library, so allow a few years of slack.
+			if curlYear < lib.ReleaseYear-3 {
+				continue
+			}
+			out = append(out, fingerprint.LibraryEntry{
+				Family:          family,
+				Version:         cv + "/" + lib.Version,
+				ReleaseYear:     max(curlYear, lib.ReleaseYear),
+				SupportedIn2020: lib.SupportedIn2020 && curlMinor(cv) >= 66,
+				Print:           curlPrint(cv, lib.Print),
+			})
+			if len(out) == limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package libcorpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ciphersuite"
+	"repro/internal/fingerprint"
+	"repro/internal/tlswire"
+)
+
+func TestFamilyCounts(t *testing.T) {
+	// Appendix B.1 counts.
+	if n := len(OpenSSL()); n != 19 {
+		t.Errorf("OpenSSL: %d want 19", n)
+	}
+	if n := len(WolfSSL()); n != 38 {
+		t.Errorf("wolfSSL: %d want 38", n)
+	}
+	if n := len(MbedTLS()); n != 113 {
+		t.Errorf("Mbed TLS: %d want 113", n)
+	}
+	if n := len(CurlOpenSSL()); n != 5591 {
+		t.Errorf("curl+OpenSSL: %d want 5591", n)
+	}
+	if n := len(CurlWolfSSL()); n != 1130 {
+		t.Errorf("curl+wolfSSL: %d want 1130", n)
+	}
+	if n := len(Build()); n != 19+38+113+5591+1130 {
+		t.Errorf("total: %d want 6891", n)
+	}
+}
+
+func TestConsecutiveVersionsShareFingerprints(t *testing.T) {
+	// The paper notes that consecutive versions often share a fingerprint;
+	// the matcher must then report the highest version.
+	m := NewMatcher()
+	if m.DistinctFingerprints() >= m.CorpusSize() {
+		t.Fatalf("expected fingerprint sharing: %d distinct of %d entries",
+			m.DistinctFingerprints(), m.CorpusSize())
+	}
+	// 1.0.2f and 1.0.2u share a print (per the Wyze case study, all of
+	// 1.0.2f/1.0.2o/1.0.2u share the 3-tuple).
+	var f2f, f2u fingerprint.Fingerprint
+	for _, e := range OpenSSL() {
+		switch e.Version {
+		case "1.0.2f":
+			f2f = e.Print
+		case "1.0.2u":
+			f2u = e.Print
+		}
+	}
+	if f2f.Key() != f2u.Key() {
+		t.Fatal("1.0.2f and 1.0.2u should share a fingerprint")
+	}
+	// In the full corpus a curl build may legitimately share the print;
+	// restrict to OpenSSL entries to check highest-version selection.
+	om := fingerprint.NewMatcher(OpenSSL())
+	got, ok := om.MatchExact(f2f)
+	if !ok {
+		t.Fatal("no exact match for an in-corpus print")
+	}
+	if got.Version != "1.0.2u" {
+		t.Fatalf("matcher should pick highest sharing version, got %s", got.Version)
+	}
+	if _, ok := m.MatchExact(f2f); !ok {
+		t.Fatal("full corpus must also match the print")
+	}
+}
+
+func TestEraEvolution(t *testing.T) {
+	// Old OpenSSL proposes vulnerable suites; 1.1.1 proposes TLS 1.3.
+	var v100t, v111i fingerprint.Fingerprint
+	for _, e := range OpenSSL() {
+		switch e.Version {
+		case "1.0.0t":
+			v100t = e.Print
+		case "1.1.1i":
+			v111i = e.Print
+		}
+	}
+	if v100t.Level() != ciphersuite.Vulnerable {
+		t.Errorf("1.0.0t should be vulnerable, got %v", v100t.Level())
+	}
+	if v100t.Version != tlswire.VersionTLS10 {
+		t.Errorf("1.0.0t version %v", v100t.Version)
+	}
+	if v111i.Version != tlswire.VersionTLS13 {
+		t.Errorf("1.1.1i version %v", v111i.Version)
+	}
+	for _, cs := range v111i.CipherSuites {
+		s, _ := ciphersuite.Lookup(cs)
+		if s.VulnClass() == ciphersuite.VulnRC4 {
+			t.Error("1.1.1 must not propose RC4")
+		}
+	}
+}
+
+func TestRC4DroppedInLateReleases(t *testing.T) {
+	check := func(family, version string, print fingerprint.Fingerprint, wantRC4 bool) {
+		has := false
+		for _, cs := range print.CipherSuites {
+			if s, ok := ciphersuite.Lookup(cs); ok && s.VulnClass() == ciphersuite.VulnRC4 {
+				has = true
+			}
+		}
+		if has != wantRC4 {
+			t.Errorf("%s %s: RC4 present=%v want %v", family, version, has, wantRC4)
+		}
+	}
+	for _, e := range OpenSSL() {
+		switch e.Version {
+		case "1.0.1h":
+			check("OpenSSL", e.Version, e.Print, true)
+		case "1.0.1u":
+			check("OpenSSL", e.Version, e.Print, false)
+		}
+	}
+	for _, e := range MbedTLS() {
+		switch e.Version {
+		case "1.2.5":
+			check("Mbed TLS", e.Version, e.Print, true)
+		case "1.2.15":
+			check("Mbed TLS", e.Version, e.Print, false)
+		}
+	}
+}
+
+func TestCurlCrossProperties(t *testing.T) {
+	entries := CurlOpenSSL()
+	alpnSeen, noALPNSeen := false, false
+	for _, e := range entries {
+		hasALPN := false
+		for _, x := range e.Print.Extensions {
+			if x == uint16(tlswire.ExtALPN) {
+				hasALPN = true
+			}
+		}
+		parts := strings.SplitN(e.Version, "/", 2)
+		if len(parts) != 2 {
+			t.Fatalf("bad cross version %q", e.Version)
+		}
+		minor := curlMinor(parts[0])
+		if minor >= 33 && !hasALPN {
+			t.Fatalf("%s should carry ALPN", e.Version)
+		}
+		if minor < 33 && hasALPN {
+			t.Fatalf("%s should not carry ALPN", e.Version)
+		}
+		if hasALPN {
+			alpnSeen = true
+		} else {
+			noALPNSeen = true
+		}
+	}
+	if !alpnSeen || !noALPNSeen {
+		t.Fatal("cross product should span the ALPN transition")
+	}
+}
+
+func TestCurlWolfRange(t *testing.T) {
+	for _, e := range CurlWolfSSL() {
+		parts := strings.SplitN(e.Version, "/", 2)
+		m := curlMinor(parts[0])
+		if m < 25 || m > 68 {
+			t.Fatalf("curl+wolfSSL version out of range: %s", e.Version)
+		}
+	}
+}
+
+func TestOutdatedMajority(t *testing.T) {
+	// Most of the corpus must be unsupported by 2020 (the paper: 14 of 16
+	// matched libraries unsupported).
+	total, outdated := 0, 0
+	for _, e := range Build() {
+		total++
+		if !e.SupportedIn2020 {
+			outdated++
+		}
+	}
+	if ratio := float64(outdated) / float64(total); ratio < 0.80 {
+		t.Fatalf("outdated ratio %.2f, want >= 0.80", ratio)
+	}
+}
+
+func TestAllPrintsNonEmptyAndRegistered(t *testing.T) {
+	for _, e := range Build() {
+		if len(e.Print.CipherSuites) == 0 {
+			t.Fatalf("%s: empty suite list", e.Name())
+		}
+		for _, cs := range e.Print.CipherSuites {
+			if _, ok := ciphersuite.Lookup(cs); !ok {
+				t.Fatalf("%s proposes unregistered suite %04x", e.Name(), cs)
+			}
+		}
+		if !e.Print.Version.Known() {
+			t.Fatalf("%s: bad version", e.Name())
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Build(), Build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() || a[i].Print.Key() != b[i].Print.Key() {
+			t.Fatalf("nondeterministic entry %d", i)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build()
+	}
+}
+
+func BenchmarkMatcherConstruction(b *testing.B) {
+	entries := Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fingerprint.NewMatcher(entries)
+	}
+}

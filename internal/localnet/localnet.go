@@ -1,0 +1,252 @@
+// Package localnet implements the Section 6.2 case study: PKI on the
+// local network. Amazon Echo / Fire TV and Google Chromecast / Home
+// communicate with each other over TLS on the LAN with private chains —
+// Echo presents a single self-signed certificate whose Common Name is its
+// IP address and a one-year validity; Chromecast and Google Home present
+// leaf + "Chromecast ICA" chains signed by a "Cast Root CA" with 20–22
+// years of validity, absent from every trust store and from CT.
+//
+// The servers here are genuine crypto/tls listeners on the loopback
+// interface, and the observer is a genuine TLS client — the case study
+// exercises real network I/O end to end.
+package localnet
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/ctlog"
+	"repro/internal/pki"
+)
+
+// DeviceServer is one local IoT device's TLS listener.
+type DeviceServer struct {
+	// Name of the device ("Amazon Echo", "Google Chromecast").
+	Name string
+	// ListenPort the device serves TLS on (55443 for Echo, 8443/10101
+	// for the Google devices in the paper).
+	ListenPort int
+	// Chain presented during handshakes.
+	Chain pki.Chain
+	// TLSVersion the device negotiates at most.
+	TLSVersion uint16
+
+	ln  net.Listener
+	key any
+}
+
+// Addr returns the listener's address, valid after Start.
+func (d *DeviceServer) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Start begins serving TLS on loopback (an ephemeral port stands in for
+// ListenPort, which real devices bind).
+func (d *DeviceServer) Start() error {
+	cert := tls.Certificate{PrivateKey: d.key}
+	for _, c := range d.Chain.Certs {
+		cert.Certificate = append(cert.Certificate, c.Raw)
+	}
+	maxVersion := d.TLSVersion
+	if maxVersion == 0 {
+		maxVersion = tls.VersionTLS12
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+		MaxVersion:   maxVersion,
+	})
+	if err != nil {
+		return fmt.Errorf("localnet: listen: %w", err)
+	}
+	d.ln = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if tc, ok := c.(*tls.Conn); ok {
+					tc.Handshake()
+				}
+			}(conn)
+		}
+	}()
+	return nil
+}
+
+// Close stops the listener.
+func (d *DeviceServer) Close() {
+	if d.ln != nil {
+		d.ln.Close()
+	}
+}
+
+// NewEcho builds the Amazon Echo local server: a single self-signed
+// certificate, CN = the device's IP, one year of validity, port 55443.
+func NewEcho(ip string, now time.Time) *DeviceServer {
+	ca := pki.NewCA("Amazon Device", pki.PrivateCA, now.AddDate(-1, 0, 0), 30, 0)
+	leaf := ca.IssueSelfSignedLeaf(pki.LeafSpec{
+		CommonName: ip,
+		Org:        "Amazon",
+		NotBefore:  now.AddDate(0, -1, 0),
+		NotAfter:   now.AddDate(1, -1, 0), // one year from issuance
+	})
+	return &DeviceServer{
+		Name:       "Amazon Echo",
+		ListenPort: 55443,
+		Chain:      pki.Chain{Certs: []*x509.Certificate{leaf.Cert}},
+		TLSVersion: tls.VersionTLS12,
+		key:        leaf.Key,
+	}
+}
+
+// CastDevice describes the two Google devices of the case study.
+type CastDevice struct {
+	Name       string
+	ICAName    string
+	Years      int
+	ListenPort int
+}
+
+// NewCast builds a Google Cast device server: leaf (serial-number CN)
+// signed by a "Chromecast ICA" intermediate under "Cast Root CA", with a
+// 20–22 year validity, served over TLS 1.2 (Chromecast port 8443/10101).
+func NewCast(dev CastDevice, serial string, now time.Time) (*DeviceServer, *pki.CA) {
+	root := pki.NewCA("Cast Root CA", pki.PrivateCA, now.AddDate(-dev.Years, 0, 0), dev.Years*2, 0)
+	// The ICA certificate carries the Chromecast ICA common name.
+	ica := pki.NewSubCA(dev.ICAName, pki.PrivateCA, root, now.AddDate(-1, 0, 0), dev.Years)
+	leaf := ica.IssueLeaf(pki.LeafSpec{
+		CommonName: serial,
+		Org:        "Google",
+		NotBefore:  now.AddDate(0, -6, 0),
+		NotAfter:   now.AddDate(dev.Years, -6, 0),
+	})
+	chain := pki.Chain{Certs: []*x509.Certificate{leaf.Cert, ica.Intermediates[0].Cert}}
+	return &DeviceServer{
+		Name:       dev.Name,
+		ListenPort: dev.ListenPort,
+		Chain:      chain,
+		TLSVersion: tls.VersionTLS12,
+		key:        leaf.Key,
+	}, root
+}
+
+// Observation is what the passive observer (the Raspberry Pi running the
+// modified IoT Inspector) extracts from one local TLS connection.
+type Observation struct {
+	Device       string
+	Addr         string
+	TLSVersion   uint16
+	ChainLen     int
+	LeafCN       string
+	CNIsIP       bool
+	ValidityDays int
+	IssuerCN     string
+	// RootInStores: the chain's anchor is in the phone/laptop trust
+	// stores (it never is for these devices).
+	RootInStores bool
+	// InCT: the leaf appears in the public CT log (it never does).
+	InCT bool
+}
+
+// Observe connects to a local device server and extracts its certificate
+// chain over a real TLS handshake.
+func Observe(d *DeviceServer, stores *pki.StoreSet, log *ctlog.Log) (Observation, error) {
+	conn, err := tls.Dial("tcp", d.Addr(), &tls.Config{
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		return Observation{}, fmt.Errorf("localnet: dial %s: %w", d.Name, err)
+	}
+	defer conn.Close()
+	state := conn.ConnectionState()
+	peer := state.PeerCertificates
+	if len(peer) == 0 {
+		return Observation{}, fmt.Errorf("localnet: %s presented no certificates", d.Name)
+	}
+	leaf := peer[0]
+	obs := Observation{
+		Device:       d.Name,
+		Addr:         d.Addr(),
+		TLSVersion:   state.Version,
+		ChainLen:     len(peer),
+		LeafCN:       leaf.Subject.CommonName,
+		CNIsIP:       net.ParseIP(leaf.Subject.CommonName) != nil,
+		ValidityDays: int(leaf.NotAfter.Sub(leaf.NotBefore).Hours() / 24),
+		IssuerCN:     leaf.Issuer.CommonName,
+	}
+	if stores != nil {
+		obs.RootInStores = stores.ContainsOrg(pki.IssuerOrg(leaf))
+	}
+	if log != nil {
+		obs.InCT = log.Contains(leaf)
+	}
+	return obs, nil
+}
+
+// Lab is the full Section 6.2 testbed.
+type Lab struct {
+	Echo       *DeviceServer
+	Chromecast *DeviceServer
+	Home       *DeviceServer
+	// Stores models the Pixel phone and MacBook trust stores.
+	Stores *pki.StoreSet
+	// Log is the public CT log (none of the local certs are in it).
+	Log *ctlog.Log
+}
+
+// NewLab builds and starts the three local device servers.
+func NewLab(now time.Time) (*Lab, error) {
+	lab := &Lab{
+		Echo:   NewEcho("192.168.1.23", now),
+		Stores: pki.NewStoreSet(),
+		Log:    ctlog.New("public-ct", func() time.Time { return now }),
+	}
+	// The phone/laptop stores trust a normal public CA, not Cast Root CA.
+	lab.Stores.AddPublicRoot(pki.NewCA("DigiCert", pki.PublicTrustCA, now.AddDate(-10, 0, 0), 30, 1))
+
+	cc, _ := NewCast(CastDevice{Name: "Google Chromecast", ICAName: "Chromecast ICA 12", Years: 22, ListenPort: 8443}, "3b9f120a77", now)
+	home, _ := NewCast(CastDevice{Name: "Google Home", ICAName: "Chromecast ICA 16 (Audio Assist 4)", Years: 20, ListenPort: 10101}, "8c41e00b19", now)
+	lab.Chromecast = cc
+	lab.Home = home
+
+	for _, d := range []*DeviceServer{lab.Echo, lab.Chromecast, lab.Home} {
+		if err := d.Start(); err != nil {
+			lab.Close()
+			return nil, err
+		}
+	}
+	return lab, nil
+}
+
+// Close stops all servers.
+func (l *Lab) Close() {
+	for _, d := range []*DeviceServer{l.Echo, l.Chromecast, l.Home} {
+		if d != nil {
+			d.Close()
+		}
+	}
+}
+
+// ObserveAll captures all three devices.
+func (l *Lab) ObserveAll() ([]Observation, error) {
+	var out []Observation
+	for _, d := range []*DeviceServer{l.Echo, l.Chromecast, l.Home} {
+		obs, err := Observe(d, l.Stores, l.Log)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, obs)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package localnet
+
+import (
+	"crypto/tls"
+	"testing"
+	"time"
+)
+
+var now = time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC)
+
+func TestLabObservations(t *testing.T) {
+	lab, err := NewLab(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	obs, err := lab.ObserveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("observations %d", len(obs))
+	}
+	byName := map[string]Observation{}
+	for _, o := range obs {
+		byName[o.Device] = o
+		// None of the local chains anchor in the phone/laptop stores and
+		// none of the certs appear in CT (Section 6.2).
+		if o.RootInStores {
+			t.Errorf("%s: root in trust stores", o.Device)
+		}
+		if o.InCT {
+			t.Errorf("%s: certificate in CT", o.Device)
+		}
+		if o.TLSVersion != tls.VersionTLS12 {
+			t.Errorf("%s: negotiated %04x, want TLS 1.2", o.Device, o.TLSVersion)
+		}
+	}
+
+	echo := byName["Amazon Echo"]
+	if echo.ChainLen != 1 {
+		t.Errorf("Echo chain length %d, want 1 (single self-signed cert)", echo.ChainLen)
+	}
+	if !echo.CNIsIP {
+		t.Errorf("Echo CN %q should be an IP address", echo.LeafCN)
+	}
+	if echo.ValidityDays < 330 || echo.ValidityDays > 400 {
+		t.Errorf("Echo validity %d days, want ~365", echo.ValidityDays)
+	}
+
+	cc := byName["Google Chromecast"]
+	if cc.ChainLen != 2 {
+		t.Errorf("Chromecast chain length %d, want 2 (leaf + ICA)", cc.ChainLen)
+	}
+	if cc.IssuerCN != "Chromecast ICA 12 Public CA" {
+		t.Errorf("Chromecast issuer CN %q", cc.IssuerCN)
+	}
+	if cc.ValidityDays < 21*365 {
+		t.Errorf("Chromecast validity %d days, want ~22 years", cc.ValidityDays)
+	}
+	if cc.CNIsIP {
+		t.Error("Chromecast CN should be a serial, not an IP")
+	}
+
+	home := byName["Google Home"]
+	if home.ChainLen != 2 {
+		t.Errorf("Home chain length %d", home.ChainLen)
+	}
+	if home.ValidityDays < 19*365 {
+		t.Errorf("Home validity %d days, want ~20 years", home.ValidityDays)
+	}
+}
+
+func TestListenPortsDocumented(t *testing.T) {
+	lab, err := NewLab(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	if lab.Echo.ListenPort != 55443 {
+		t.Errorf("Echo port %d, want 55443", lab.Echo.ListenPort)
+	}
+	if lab.Chromecast.ListenPort != 8443 {
+		t.Errorf("Chromecast port %d, want 8443", lab.Chromecast.ListenPort)
+	}
+	if lab.Home.ListenPort != 10101 {
+		t.Errorf("Home port %d, want 10101", lab.Home.ListenPort)
+	}
+}
+
+func TestObserveUnstartedServer(t *testing.T) {
+	echo := NewEcho("10.0.0.9", now)
+	if echo.Addr() != "" {
+		t.Fatal("unstarted server has an address")
+	}
+	if _, err := Observe(echo, nil, nil); err == nil {
+		t.Fatal("observing an unstarted server should fail")
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	lab, err := NewLab(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	errs := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		go func() {
+			_, err := Observe(lab.Chromecast, lab.Stores, lab.Log)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	lab, err := NewLab(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Observe(lab.Echo, lab.Stores, lab.Log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

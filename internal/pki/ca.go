@@ -1,0 +1,170 @@
+package pki
+
+import (
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"time"
+)
+
+// CAKind distinguishes the two issuer classes of Section 5.2.
+type CAKind int
+
+const (
+	// PublicTrustCA has its root in major trust stores (or provides
+	// signing services to domain owners).
+	PublicTrustCA CAKind = iota
+	// PrivateCA signs only its own domains; its root is not in major
+	// trust stores.
+	PrivateCA
+)
+
+// String labels the kind ("public trust CA" / "private CA").
+func (k CAKind) String() string {
+	if k == PublicTrustCA {
+		return "public trust CA"
+	}
+	return "private CA"
+}
+
+// CA is a certificate authority: a root, zero or more intermediates, and
+// issuance state.
+type CA struct {
+	// Org is the issuer organization name ("DigiCert", "Roku", ...).
+	Org string
+	// Kind classifies the CA.
+	Kind CAKind
+	// Root is the self-signed root certificate.
+	Root Certificate
+	// Intermediates issued by the root, used to sign leaves when present.
+	Intermediates []Certificate
+}
+
+// NewCA creates a CA with a root valid for rootYears from notBefore and
+// numIntermediates intermediates (each valid for rootYears-1).
+func NewCA(org string, kind CAKind, notBefore time.Time, rootYears, numIntermediates int) *CA {
+	rootKey := newKey()
+	rootTmpl := caTemplate(org+" Root CA", org, notBefore, rootYears)
+	root := selfSign(rootTmpl, rootKey)
+	ca := &CA{Org: org, Kind: kind, Root: root}
+	for i := 0; i < numIntermediates; i++ {
+		key := newKey()
+		tmpl := caTemplate(intermediateName(org, i), org, notBefore, rootYears-1)
+		tmpl.MaxPathLen = 0
+		tmpl.MaxPathLenZero = true
+		ic := sign(tmpl, root, &key.PublicKey)
+		ic.Key = key
+		ca.Intermediates = append(ca.Intermediates, ic)
+	}
+	return ca
+}
+
+// NewSubCA creates a CA operated by org whose intermediate chains to the
+// parent CA's root (the "Netflix Public SHA2 RSA CA under VeriSign"
+// pattern of Table 9: a private organization issuing leaves that chain to
+// a public trust root).
+func NewSubCA(org string, kind CAKind, parent *CA, notBefore time.Time, years int) *CA {
+	key := newKey()
+	tmpl := caTemplate(org+" Public CA", org, notBefore, years)
+	tmpl.MaxPathLen = 0
+	tmpl.MaxPathLenZero = true
+	ic := sign(tmpl, parent.Root, &key.PublicKey)
+	ic.Key = key
+	return &CA{
+		Org:           org,
+		Kind:          kind,
+		Root:          parent.Root,
+		Intermediates: []Certificate{ic},
+	}
+}
+
+func intermediateName(org string, i int) string {
+	suffix := []string{"TLS CA", "Secure Server CA", "RSA CA 2018", "ECC CA-3"}
+	return org + " " + suffix[i%len(suffix)]
+}
+
+// signer returns the certificate used for leaf signing: the first
+// intermediate when present, else the root.
+func (ca *CA) signer() Certificate {
+	if len(ca.Intermediates) > 0 {
+		return ca.Intermediates[0]
+	}
+	return ca.Root
+}
+
+// IssueLeaf signs a leaf for the spec. The leaf carries no key material
+// callers need; the signing chain is what matters to the study.
+func (ca *CA) IssueLeaf(spec LeafSpec) Certificate {
+	key := newKey()
+	tmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: spec.CommonName, Organization: []string{spec.Org}},
+		DNSNames:     spec.DNSNames,
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	leaf := sign(tmpl, ca.signer(), &key.PublicKey)
+	leaf.Key = key
+	return leaf
+}
+
+// IssueSelfSignedLeaf creates a leaf with identical issuer and subject
+// (the "self-signed certificate" status rows of Table 14, e.g.
+// *.samsunghrm.com or a2.tuyaus.com).
+func (ca *CA) IssueSelfSignedLeaf(spec LeafSpec) Certificate {
+	key := newKey()
+	tmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: spec.CommonName, Organization: []string{spec.Org}},
+		DNSNames:     spec.DNSNames,
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	leaf := selfSign(tmpl, key)
+	return leaf
+}
+
+// ChainStyle controls how a server presents its chain — the source of the
+// misconfiguration taxonomy.
+type ChainStyle int
+
+const (
+	// ChainFull presents leaf + intermediates (+ root for private CAs so
+	// the chain is structurally complete).
+	ChainFull ChainStyle = iota
+	// ChainLeafOnly presents just the leaf (incomplete for CA-signed
+	// leaves; "chain length 1" rows of Table 7).
+	ChainLeafOnly
+	// ChainNoRoot presents leaf + intermediates without the root (normal
+	// for public CAs; incomplete-to-the-device for private roots).
+	ChainNoRoot
+	// ChainDuplicatedLeaf presents the leaf twice (the log.samsunghrm.com
+	// case: two identical certificates in the chain).
+	ChainDuplicatedLeaf
+)
+
+// BuildChain assembles the presented chain for a leaf issued by this CA.
+func (ca *CA) BuildChain(leaf Certificate, style ChainStyle) Chain {
+	switch style {
+	case ChainLeafOnly:
+		return Chain{Certs: []*x509.Certificate{leaf.Cert}}
+	case ChainDuplicatedLeaf:
+		return Chain{Certs: []*x509.Certificate{leaf.Cert, leaf.Cert}}
+	case ChainNoRoot:
+		certs := []*x509.Certificate{leaf.Cert}
+		for _, ic := range ca.Intermediates {
+			certs = append(certs, ic.Cert)
+		}
+		return Chain{Certs: certs}
+	default: // ChainFull
+		certs := []*x509.Certificate{leaf.Cert}
+		for _, ic := range ca.Intermediates {
+			certs = append(certs, ic.Cert)
+		}
+		certs = append(certs, ca.Root.Cert)
+		return Chain{Certs: certs}
+	}
+}

@@ -1,0 +1,147 @@
+package pki
+
+import (
+	"crypto/x509"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LintFinding is one certificate-hygiene violation.
+type LintFinding struct {
+	// Code is a stable identifier ("validity_too_long", "no_san", ...).
+	Code string
+	// Severity: "error" for violations of ecosystem requirements,
+	// "warning" for practices the study flags as risky.
+	Severity string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// Lint checks a leaf certificate against the hygiene rules the study's
+// findings motivate (and that the CA/Browser Forum baseline requirements
+// impose on public CAs):
+//
+//   - validity above 398 days (the post-2020 ballot limit) is an error
+//     for public-CA leaves and a warning for private ones; validity above
+//     five years is always an error (the study's 46.67% of vendor-signed
+//     certificates).
+//   - leaves must carry a SAN extension; CN-only certificates are
+//     errors (browsers stopped honoring CN in 2017 — the a2.tuyaus.com
+//     failure mode).
+//   - expired (or not-yet-valid) certificates are errors.
+//   - CA certificates used as leaves, and missing serverAuth EKU, are
+//     warnings.
+//   - leaf == issuer (self-signed end-entity) is a warning: revocation
+//     is impossible without replacing the pinned trust.
+func Lint(leaf *x509.Certificate, issuerPublic bool, now time.Time) []LintFinding {
+	var out []LintFinding
+	add := func(code, severity, format string, args ...any) {
+		out = append(out, LintFinding{Code: code, Severity: severity, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	days := int(leaf.NotAfter.Sub(leaf.NotBefore).Hours() / 24)
+	switch {
+	case days > 5*365:
+		add("validity_too_long", "error", "validity %d days exceeds 5 years", days)
+	case days > 398 && issuerPublic:
+		add("validity_over_baseline", "error", "public-CA validity %d days exceeds the 398-day baseline", days)
+	case days > 398:
+		add("validity_over_baseline", "warning", "validity %d days exceeds the 398-day baseline", days)
+	}
+
+	if len(leaf.DNSNames) == 0 && len(leaf.IPAddresses) == 0 {
+		add("no_san", "error", "certificate carries no subjectAltName; CN-only matching is obsolete")
+	}
+
+	if now.After(leaf.NotAfter) {
+		add("expired", "error", "expired %s", leaf.NotAfter.Format("2006-01-02"))
+	}
+	if now.Before(leaf.NotBefore) {
+		add("not_yet_valid", "error", "not valid before %s", leaf.NotBefore.Format("2006-01-02"))
+	}
+
+	if leaf.IsCA {
+		add("ca_as_leaf", "warning", "CA certificate presented as a server leaf")
+	}
+	hasServerAuth := false
+	for _, eku := range leaf.ExtKeyUsage {
+		if eku == x509.ExtKeyUsageServerAuth || eku == x509.ExtKeyUsageAny {
+			hasServerAuth = true
+		}
+	}
+	if !hasServerAuth {
+		add("no_server_auth_eku", "warning", "leaf lacks the serverAuth extended key usage")
+	}
+
+	if IsSelfIssued(leaf) && !leaf.IsCA {
+		add("self_signed_leaf", "warning", "self-signed end-entity certificate: revocation requires replacing pinned trust")
+	}
+	return out
+}
+
+// VendorGrade summarizes lint findings for the servers one vendor's
+// devices depend on.
+type VendorGrade struct {
+	Vendor   string
+	Servers  int
+	Errors   int
+	Warnings int
+	// ByCode counts findings per lint code.
+	ByCode map[string]int
+}
+
+// Grade is an A–F letter derived from the error rate.
+func (g VendorGrade) Grade() string {
+	if g.Servers == 0 {
+		return "-"
+	}
+	rate := float64(g.Errors) / float64(g.Servers)
+	switch {
+	case rate == 0 && g.Warnings == 0:
+		return "A"
+	case rate == 0:
+		return "B"
+	case rate < 0.1:
+		return "C"
+	case rate < 0.5:
+		return "D"
+	default:
+		return "F"
+	}
+}
+
+// GradeVendors lints a set of (vendor, leaf, issuerPublic) observations
+// and aggregates per-vendor report cards.
+func GradeVendors(observations []VendorLeaf, now time.Time) []VendorGrade {
+	grades := map[string]*VendorGrade{}
+	for _, o := range observations {
+		g := grades[o.Vendor]
+		if g == nil {
+			g = &VendorGrade{Vendor: o.Vendor, ByCode: map[string]int{}}
+			grades[o.Vendor] = g
+		}
+		g.Servers++
+		for _, f := range Lint(o.Leaf, o.IssuerPublic, now) {
+			g.ByCode[f.Code]++
+			if f.Severity == "error" {
+				g.Errors++
+			} else {
+				g.Warnings++
+			}
+		}
+	}
+	out := make([]VendorGrade, 0, len(grades))
+	for _, g := range grades {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vendor < out[j].Vendor })
+	return out
+}
+
+// VendorLeaf is one graded observation.
+type VendorLeaf struct {
+	Vendor       string
+	Leaf         *x509.Certificate
+	IssuerPublic bool
+}

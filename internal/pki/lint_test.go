@@ -1,0 +1,121 @@
+package pki
+
+import (
+	"testing"
+	"time"
+)
+
+func findCode(findings []LintFinding, code string) *LintFinding {
+	for i := range findings {
+		if findings[i].Code == code {
+			return &findings[i]
+		}
+	}
+	return nil
+}
+
+func TestLintCleanCert(t *testing.T) {
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	leaf := ca.IssueLeaf(leafSpec("clean.example.com", 398))
+	findings := Lint(leaf.Cert, true, probe)
+	if len(findings) != 0 {
+		t.Fatalf("clean cert has findings: %v", findings)
+	}
+}
+
+func TestLintLongValidity(t *testing.T) {
+	tuya := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	leaf := tuya.IssueLeaf(leafSpec("iot.tuya.example", 36500))
+	findings := Lint(leaf.Cert, false, probe)
+	f := findCode(findings, "validity_too_long")
+	if f == nil || f.Severity != "error" {
+		t.Fatalf("36500-day validity not flagged: %v", findings)
+	}
+}
+
+func TestLintBaselineValidity(t *testing.T) {
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	leaf := ca.IssueLeaf(leafSpec("long.example.com", 825))
+	pub := Lint(leaf.Cert, true, probe)
+	if f := findCode(pub, "validity_over_baseline"); f == nil || f.Severity != "error" {
+		t.Fatalf("825-day public validity not an error: %v", pub)
+	}
+	priv := Lint(leaf.Cert, false, probe)
+	if f := findCode(priv, "validity_over_baseline"); f == nil || f.Severity != "warning" {
+		t.Fatalf("825-day private validity not a warning: %v", priv)
+	}
+}
+
+func TestLintNoSAN(t *testing.T) {
+	tuya := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	spec := leafSpec("a2.tuyaus.example", 398)
+	spec.DNSNames = nil
+	leaf := tuya.IssueSelfSignedLeaf(spec)
+	findings := Lint(leaf.Cert, false, probe)
+	if findCode(findings, "no_san") == nil {
+		t.Fatalf("SAN-less cert not flagged: %v", findings)
+	}
+	if findCode(findings, "self_signed_leaf") == nil {
+		t.Fatalf("self-signed leaf not flagged: %v", findings)
+	}
+}
+
+func TestLintExpired(t *testing.T) {
+	ca := NewCA("COMODO", PublicTrustCA, t0, 25, 1)
+	spec := leafSpec("wink.example.com", 365)
+	spec.NotBefore = time.Date(2018, 4, 17, 0, 0, 0, 0, time.UTC)
+	spec.NotAfter = time.Date(2019, 4, 17, 0, 0, 0, 0, time.UTC)
+	leaf := ca.IssueLeaf(spec)
+	findings := Lint(leaf.Cert, true, probe)
+	if findCode(findings, "expired") == nil {
+		t.Fatalf("expired cert not flagged: %v", findings)
+	}
+}
+
+func TestLintCAAsLeaf(t *testing.T) {
+	ca := NewCA("Roku", PrivateCA, t0, 40, 0)
+	findings := Lint(ca.Root.Cert, false, probe)
+	if findCode(findings, "ca_as_leaf") == nil {
+		t.Fatalf("CA-as-leaf not flagged: %v", findings)
+	}
+	if findCode(findings, "no_server_auth_eku") == nil {
+		t.Fatalf("missing EKU not flagged: %v", findings)
+	}
+}
+
+func TestGradeVendors(t *testing.T) {
+	good := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	bad := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	var obs []VendorLeaf
+	for i := 0; i < 4; i++ {
+		leaf := good.IssueLeaf(leafSpec("ok.example.com", 398))
+		obs = append(obs, VendorLeaf{Vendor: "Wyze", Leaf: leaf.Cert, IssuerPublic: true})
+	}
+	for i := 0; i < 4; i++ {
+		spec := leafSpec("bad.example.com", 36500)
+		spec.DNSNames = nil
+		leaf := bad.IssueSelfSignedLeaf(spec)
+		obs = append(obs, VendorLeaf{Vendor: "Tuya", Leaf: leaf.Cert, IssuerPublic: false})
+	}
+	grades := GradeVendors(obs, probe)
+	if len(grades) != 2 {
+		t.Fatalf("grades %d", len(grades))
+	}
+	byVendor := map[string]VendorGrade{}
+	for _, g := range grades {
+		byVendor[g.Vendor] = g
+	}
+	if g := byVendor["Wyze"].Grade(); g != "A" {
+		t.Errorf("Wyze grade %s want A", g)
+	}
+	if g := byVendor["Tuya"].Grade(); g != "F" {
+		t.Errorf("Tuya grade %s want F", g)
+	}
+	if byVendor["Tuya"].ByCode["validity_too_long"] != 4 {
+		t.Errorf("Tuya code counts %v", byVendor["Tuya"].ByCode)
+	}
+	var empty VendorGrade
+	if empty.Grade() != "-" {
+		t.Error("empty grade")
+	}
+}

@@ -1,0 +1,165 @@
+// Package pki is the X.509 substrate for the server-side half of the
+// study (Section 5): it mints real ECDSA keys and certificates with
+// crypto/x509, models certificate authorities (public trust CAs with roots
+// in the simulated Mozilla/Apple/Microsoft root programs, and private
+// vendor CAs that sign only their own domains), assembles the certificate
+// chains servers present — including the misconfigurations the paper
+// observed (incomplete chains, untrusted roots, self-signed loops,
+// duplicated certificates, decades-long validity) — and validates chains
+// into the paper's status taxonomy.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// ChainStatus is the validation outcome taxonomy of Section 5.3.
+type ChainStatus int
+
+const (
+	// StatusValid: the chain verifies against a major trust store.
+	StatusValid ChainStatus = iota
+	// StatusIncompleteChain: the leaf is anchored in a public trust CA but
+	// the server omitted intermediates; the chain verifies once the known
+	// intermediates are supplied out of band.
+	StatusIncompleteChain
+	// StatusUntrustedRoot: the chain is structurally complete but its root
+	// is not present in any major trust store (private root CA).
+	StatusUntrustedRoot
+	// StatusSelfSigned: the leaf has identical issuer and subject and is
+	// issued by a private CA.
+	StatusSelfSigned
+	// StatusExpired: the leaf certificate's validity window has passed.
+	StatusExpired
+	// StatusCNMismatch: neither subject CN nor any SAN covers the SNI.
+	StatusCNMismatch
+)
+
+// String returns the report label for the status.
+func (s ChainStatus) String() string {
+	switch s {
+	case StatusValid:
+		return "valid"
+	case StatusIncompleteChain:
+		return "incomplete chain"
+	case StatusUntrustedRoot:
+		return "untrusted root CA"
+	case StatusSelfSigned:
+		return "self-signed certificate"
+	case StatusExpired:
+		return "expired certificate"
+	case StatusCNMismatch:
+		return "common name mismatch"
+	default:
+		return fmt.Sprintf("ChainStatus(%d)", int(s))
+	}
+}
+
+// Certificate pairs a parsed X.509 certificate with its DER bytes and the
+// signing key needed when the certificate belongs to a CA.
+type Certificate struct {
+	Cert *x509.Certificate
+	DER  []byte
+	Key  *ecdsa.PrivateKey
+}
+
+// Chain is the certificate chain a server presents: leaf first, then any
+// intermediates (and possibly a root, or duplicates, or nothing else).
+type Chain struct {
+	Certs []*x509.Certificate
+}
+
+// Leaf returns the first certificate of the chain, or nil.
+func (c Chain) Leaf() *x509.Certificate {
+	if len(c.Certs) == 0 {
+		return nil
+	}
+	return c.Certs[0]
+}
+
+// Len returns the number of certificates presented.
+func (c Chain) Len() int { return len(c.Certs) }
+
+// newSerial mints a random 128-bit serial number.
+func newSerial() *big.Int {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	n, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		panic("pki: rand.Int: " + err.Error())
+	}
+	return n
+}
+
+// newKey mints a P-256 key.
+func newKey() *ecdsa.PrivateKey {
+	k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		panic("pki: GenerateKey: " + err.Error())
+	}
+	return k
+}
+
+// LeafSpec describes a leaf certificate to issue.
+type LeafSpec struct {
+	// CommonName of the subject (usually the primary FQDN).
+	CommonName string
+	// DNSNames for the SAN extension. May be empty to model the Tuya-style
+	// CN/SAN mismatch.
+	DNSNames []string
+	// Org of the subject.
+	Org string
+	// NotBefore/NotAfter bound the validity window.
+	NotBefore time.Time
+	NotAfter  time.Time
+}
+
+// ValidityDays returns the validity period length in days.
+func (s LeafSpec) ValidityDays() int {
+	return int(s.NotAfter.Sub(s.NotBefore).Hours() / 24)
+}
+
+// selfSign creates a self-signed certificate from a template.
+func selfSign(tmpl *x509.Certificate, key *ecdsa.PrivateKey) Certificate {
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		panic("pki: CreateCertificate: " + err.Error())
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		panic("pki: ParseCertificate: " + err.Error())
+	}
+	return Certificate{Cert: cert, DER: der, Key: key}
+}
+
+// sign creates a certificate from tmpl signed by the parent.
+func sign(tmpl *x509.Certificate, parent Certificate, pub *ecdsa.PublicKey) Certificate {
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, parent.Cert, pub, parent.Key)
+	if err != nil {
+		panic("pki: CreateCertificate: " + err.Error())
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		panic("pki: ParseCertificate: " + err.Error())
+	}
+	return Certificate{Cert: cert, DER: der}
+}
+
+// caTemplate builds a CA certificate template.
+func caTemplate(cn, org string, notBefore time.Time, years int) *x509.Certificate {
+	return &x509.Certificate{
+		SerialNumber:          newSerial(),
+		Subject:               pkix.Name{CommonName: cn, Organization: []string{org}},
+		NotBefore:             notBefore,
+		NotAfter:              notBefore.AddDate(years, 0, 0),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+}

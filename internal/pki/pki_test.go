@@ -1,0 +1,291 @@
+package pki
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+)
+
+var (
+	t0    = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	probe = time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC)
+)
+
+func publicCA(t testing.TB) (*CA, *StoreSet, *Validator) {
+	t.Helper()
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	stores := NewStoreSet()
+	stores.AddPublicRoot(ca)
+	v := NewValidator(stores)
+	v.AddKnownCA(ca)
+	return ca, stores, v
+}
+
+func leafSpec(cn string, days int) LeafSpec {
+	nb := probe.AddDate(0, -6, 0)
+	return LeafSpec{
+		CommonName: cn,
+		DNSNames:   []string{cn},
+		Org:        "Example IoT",
+		NotBefore:  nb,
+		NotAfter:   nb.AddDate(0, 0, days),
+	}
+}
+
+func TestValidPublicChain(t *testing.T) {
+	ca, _, v := publicCA(t)
+	leaf := ca.IssueLeaf(leafSpec("api.example.com", 398))
+	chain := ca.BuildChain(leaf, ChainNoRoot)
+	res := v.Validate(chain, "api.example.com", probe)
+	if res.Status != StatusValid {
+		t.Fatalf("status %v want valid", res.Status)
+	}
+	if res.LeafIssuerOrg != "DigiCert" {
+		t.Fatalf("issuer org %q", res.LeafIssuerOrg)
+	}
+	if !res.RootInStores {
+		t.Fatal("DigiCert should be in stores")
+	}
+	if res.ChainLength != 2 {
+		t.Fatalf("chain length %d", res.ChainLength)
+	}
+}
+
+func TestIncompleteChain(t *testing.T) {
+	ca, _, v := publicCA(t)
+	leaf := ca.IssueLeaf(leafSpec("cdn.example.com", 398))
+	chain := ca.BuildChain(leaf, ChainLeafOnly)
+	res := v.Validate(chain, "cdn.example.com", probe)
+	if res.Status != StatusIncompleteChain {
+		t.Fatalf("status %v want incomplete", res.Status)
+	}
+}
+
+func TestIncompleteChainWithoutKnownIntermediates(t *testing.T) {
+	// Without the out-of-band pool the validator still reports
+	// IncompleteChain because the issuer org is in the stores.
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	stores := NewStoreSet()
+	stores.AddPublicRoot(ca)
+	v := NewValidator(stores) // no AddKnownCA
+	leaf := ca.IssueLeaf(leafSpec("cdn.example.com", 398))
+	res := v.Validate(ca.BuildChain(leaf, ChainLeafOnly), "cdn.example.com", probe)
+	if res.Status != StatusIncompleteChain {
+		t.Fatalf("status %v want incomplete", res.Status)
+	}
+}
+
+func TestUntrustedRootFullChain(t *testing.T) {
+	// Private vendor CA presenting its full chain incl. root.
+	roku := NewCA("Roku", PrivateCA, t0, 40, 1)
+	stores := NewStoreSet() // Roku not added
+	v := NewValidator(stores)
+	leaf := roku.IssueLeaf(leafSpec("api.roku.com", 5000))
+	res := v.Validate(roku.BuildChain(leaf, ChainFull), "api.roku.com", probe)
+	if res.Status != StatusUntrustedRoot {
+		t.Fatalf("status %v want untrusted root", res.Status)
+	}
+	if res.RootInStores {
+		t.Fatal("Roku must not be in stores")
+	}
+}
+
+func TestUntrustedRootWithoutRootPresented(t *testing.T) {
+	vendor := NewCA("Samsung Electronics", PrivateCA, t0, 40, 0)
+	stores := NewStoreSet()
+	v := NewValidator(stores)
+	leaf := vendor.IssueLeaf(leafSpec("log.samsungcloudsolution.net", 9000))
+	res := v.Validate(vendor.BuildChain(leaf, ChainLeafOnly), "log.samsungcloudsolution.net", probe)
+	if res.Status != StatusUntrustedRoot {
+		t.Fatalf("status %v want untrusted root", res.Status)
+	}
+}
+
+func TestSelfSignedLeaf(t *testing.T) {
+	tuya := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	stores := NewStoreSet()
+	v := NewValidator(stores)
+	leaf := tuya.IssueSelfSignedLeaf(leafSpec("a3.tuyaus.com", 36500))
+	res := v.Validate(Chain{Certs: []*x509.Certificate{leaf.Cert}}, "a3.tuyaus.com", probe)
+	if res.Status != StatusSelfSigned {
+		t.Fatalf("status %v want self-signed", res.Status)
+	}
+}
+
+func TestDuplicatedLeafChain(t *testing.T) {
+	// log.samsunghrm.com: two identical certificates in the chain.
+	sam := NewCA("Samsung Electronics", PrivateCA, t0, 40, 0)
+	stores := NewStoreSet()
+	v := NewValidator(stores)
+	leaf := sam.IssueSelfSignedLeaf(leafSpec("log.samsunghrm.com", 10950))
+	chain := sam.BuildChain(leaf, ChainDuplicatedLeaf)
+	res := v.Validate(chain, "log.samsunghrm.com", probe)
+	if res.Status != StatusSelfSigned {
+		t.Fatalf("status %v want self-signed", res.Status)
+	}
+	if res.ChainLength != 2 {
+		t.Fatalf("chain length %d want 2", res.ChainLength)
+	}
+}
+
+func TestExpiredDominates(t *testing.T) {
+	ca, _, v := publicCA(t)
+	spec := leafSpec("wink.example.com", 365)
+	spec.NotBefore = time.Date(2018, 4, 17, 0, 0, 0, 0, time.UTC)
+	spec.NotAfter = time.Date(2019, 4, 17, 0, 0, 0, 0, time.UTC)
+	leaf := ca.IssueLeaf(spec)
+	res := v.Validate(ca.BuildChain(leaf, ChainLeafOnly), "wink.example.com", probe)
+	if res.Status != StatusExpired {
+		t.Fatalf("status %v want expired", res.Status)
+	}
+}
+
+func TestNotYetValidIsExpiredStatus(t *testing.T) {
+	ca, _, v := publicCA(t)
+	spec := leafSpec("future.example.com", 365)
+	spec.NotBefore = probe.AddDate(1, 0, 0)
+	spec.NotAfter = probe.AddDate(2, 0, 0)
+	leaf := ca.IssueLeaf(spec)
+	res := v.Validate(ca.BuildChain(leaf, ChainNoRoot), "future.example.com", probe)
+	if res.Status != StatusExpired {
+		t.Fatalf("status %v want expired", res.Status)
+	}
+}
+
+func TestCNMismatch(t *testing.T) {
+	// a2.tuyaus.com: leaf carries neither the SNI in CN nor SAN.
+	tuya := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	stores := NewStoreSet()
+	v := NewValidator(stores)
+	spec := leafSpec("tuya-device.internal", 36500)
+	spec.DNSNames = []string{"tuya-device.internal"}
+	leaf := tuya.IssueLeaf(spec)
+	res := v.Validate(tuya.BuildChain(leaf, ChainFull), "a2.tuyaus.com", probe)
+	if res.Status != StatusCNMismatch {
+		t.Fatalf("status %v want CN mismatch", res.Status)
+	}
+}
+
+func TestEmptySNIIsNotMismatch(t *testing.T) {
+	ca, _, v := publicCA(t)
+	leaf := ca.IssueLeaf(leafSpec("api.example.com", 398))
+	res := v.Validate(ca.BuildChain(leaf, ChainNoRoot), "", probe)
+	if res.Status != StatusValid {
+		t.Fatalf("status %v want valid", res.Status)
+	}
+}
+
+func TestLeafSpecValidityDays(t *testing.T) {
+	s := leafSpec("x", 90)
+	if s.ValidityDays() != 90 {
+		t.Fatalf("validity %d", s.ValidityDays())
+	}
+}
+
+func TestChainStatusString(t *testing.T) {
+	want := map[ChainStatus]string{
+		StatusValid:           "valid",
+		StatusIncompleteChain: "incomplete chain",
+		StatusUntrustedRoot:   "untrusted root CA",
+		StatusSelfSigned:      "self-signed certificate",
+		StatusExpired:         "expired certificate",
+		StatusCNMismatch:      "common name mismatch",
+	}
+	for s, label := range want {
+		if s.String() != label {
+			t.Errorf("%d => %q want %q", s, s.String(), label)
+		}
+	}
+	if CAKind(0).String() != "public trust CA" || CAKind(1).String() != "private CA" {
+		t.Fatal("CAKind strings wrong")
+	}
+}
+
+func TestWildcardSAN(t *testing.T) {
+	ca, _, v := publicCA(t)
+	spec := leafSpec("*.example.com", 398)
+	spec.DNSNames = []string{"*.example.com"}
+	leaf := ca.IssueLeaf(spec)
+	res := v.Validate(ca.BuildChain(leaf, ChainNoRoot), "ota.example.com", probe)
+	if res.Status != StatusValid {
+		t.Fatalf("status %v want valid for wildcard", res.Status)
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	_, _, v := publicCA(t)
+	res := v.Validate(Chain{}, "x.example.com", probe)
+	if res.Status != StatusIncompleteChain {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestTrustStoreMembership(t *testing.T) {
+	ca := NewCA("Let's Encrypt", PublicTrustCA, t0, 20, 1)
+	stores := NewStoreSet()
+	stores.AddPublicRoot(ca)
+	if !stores.ContainsOrg("Let's Encrypt") {
+		t.Fatal("org missing")
+	}
+	if stores.ContainsOrg("Roku") {
+		t.Fatal("phantom org")
+	}
+	for _, ts := range stores.Stores {
+		if ts.Len() != 1 {
+			t.Fatalf("store %s has %d roots", ts.Name, ts.Len())
+		}
+	}
+}
+
+// Property-ish sweep: every ChainStyle × CA kind lands in a sane status.
+func TestStyleMatrix(t *testing.T) {
+	pub := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	priv := NewCA("Nintendo", PrivateCA, t0, 30, 1)
+	stores := NewStoreSet()
+	stores.AddPublicRoot(pub)
+	v := NewValidator(stores)
+	v.AddKnownCA(pub)
+
+	cases := []struct {
+		ca    *CA
+		style ChainStyle
+		want  ChainStatus
+	}{
+		{pub, ChainNoRoot, StatusValid},
+		{pub, ChainFull, StatusValid},
+		{pub, ChainLeafOnly, StatusIncompleteChain},
+		{priv, ChainFull, StatusUntrustedRoot},
+		{priv, ChainNoRoot, StatusUntrustedRoot},
+		{priv, ChainLeafOnly, StatusUntrustedRoot},
+	}
+	for i, c := range cases {
+		leaf := c.ca.IssueLeaf(leafSpec("host.example.org", 400))
+		res := v.Validate(c.ca.BuildChain(leaf, c.style), "host.example.org", probe)
+		if res.Status != c.want {
+			t.Errorf("case %d (%s/%d): %v want %v", i, c.ca.Org, c.style, res.Status, c.want)
+		}
+	}
+}
+
+func BenchmarkIssueLeaf(b *testing.B) {
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	spec := leafSpec("bench.example.com", 398)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ca.IssueLeaf(spec)
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	stores := NewStoreSet()
+	stores.AddPublicRoot(ca)
+	v := NewValidator(stores)
+	v.AddKnownCA(ca)
+	leaf := ca.IssueLeaf(leafSpec("bench.example.com", 398))
+	chain := ca.BuildChain(leaf, ChainNoRoot)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Validate(chain, "bench.example.com", probe)
+	}
+}

@@ -1,0 +1,172 @@
+package pki
+
+import (
+	"crypto/x509"
+	"sync"
+	"time"
+)
+
+// RevocationStatus is the outcome of an OCSP-style status check.
+type RevocationStatus int
+
+const (
+	// RevocationGood: the responder vouches for the certificate.
+	RevocationGood RevocationStatus = iota
+	// RevocationRevoked: the certificate has been revoked.
+	RevocationRevoked
+	// RevocationUnknown: no responder, an unknown serial, or stale data —
+	// the state every vendor-signed IoT certificate is in (Section 5.3:
+	// "the inability of public-not-trust issuers to quickly replace or
+	// rotate the certificate may open the door to attackers").
+	RevocationUnknown
+)
+
+// String labels the status.
+func (s RevocationStatus) String() string {
+	switch s {
+	case RevocationGood:
+		return "good"
+	case RevocationRevoked:
+		return "revoked"
+	default:
+		return "unknown"
+	}
+}
+
+// Responder is one CA's revocation service (the OCSP/CRL machinery
+// public CAs run and private vendor CAs typically do not).
+type Responder struct {
+	ca *CA
+	// UpdateInterval bounds the freshness of responses; a responder that
+	// has not been updated within it answers Unknown (stale CRL).
+	UpdateInterval time.Duration
+
+	mu         sync.RWMutex
+	revoked    map[string]time.Time // serial (decimal) -> revocation time
+	known      map[string]bool      // serials the CA issued
+	lastUpdate time.Time
+}
+
+// NewResponder creates the CA's revocation service.
+func (ca *CA) NewResponder(now time.Time, updateInterval time.Duration) *Responder {
+	if updateInterval <= 0 {
+		updateInterval = 7 * 24 * time.Hour
+	}
+	return &Responder{
+		ca:             ca,
+		UpdateInterval: updateInterval,
+		revoked:        map[string]time.Time{},
+		known:          map[string]bool{},
+		lastUpdate:     now,
+	}
+}
+
+// Track registers an issued certificate so status checks can distinguish
+// Good from Unknown.
+func (r *Responder) Track(cert *x509.Certificate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.known[cert.SerialNumber.String()] = true
+}
+
+// Revoke marks a certificate revoked at the given time.
+func (r *Responder) Revoke(cert *x509.Certificate, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	serial := cert.SerialNumber.String()
+	r.known[serial] = true
+	r.revoked[serial] = at
+}
+
+// Refresh publishes a new CRL epoch.
+func (r *Responder) Refresh(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastUpdate = now
+}
+
+// Check answers the certificate's revocation status at time now.
+func (r *Responder) Check(cert *x509.Certificate, now time.Time) RevocationStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if now.Sub(r.lastUpdate) > r.UpdateInterval {
+		return RevocationUnknown // stale responder
+	}
+	serial := cert.SerialNumber.String()
+	if at, ok := r.revoked[serial]; ok && !now.Before(at) {
+		return RevocationRevoked
+	}
+	if r.known[serial] {
+		return RevocationGood
+	}
+	return RevocationUnknown
+}
+
+// RevokedCount returns the number of revoked serials.
+func (r *Responder) RevokedCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.revoked)
+}
+
+// RevocationInfra routes status checks to per-issuer responders — the
+// ecosystem view: public CAs operate responders, private vendor CAs
+// usually do not, so their certificates are permanently Unknown.
+type RevocationInfra struct {
+	mu         sync.RWMutex
+	responders map[string]*Responder // issuer org -> responder
+}
+
+// NewRevocationInfra creates an empty infrastructure.
+func NewRevocationInfra() *RevocationInfra {
+	return &RevocationInfra{responders: map[string]*Responder{}}
+}
+
+// Register attaches a responder for an issuer organization.
+func (ri *RevocationInfra) Register(org string, r *Responder) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ri.responders[org] = r
+}
+
+// ResponderFor returns the responder of an issuer org, if any.
+func (ri *RevocationInfra) ResponderFor(org string) (*Responder, bool) {
+	ri.mu.RLock()
+	defer ri.mu.RUnlock()
+	r, ok := ri.responders[org]
+	return r, ok
+}
+
+// CheckLeaf answers the leaf's revocation status: Unknown when the
+// issuer runs no responder.
+func (ri *RevocationInfra) CheckLeaf(leaf *x509.Certificate, now time.Time) RevocationStatus {
+	r, ok := ri.ResponderFor(IssuerOrg(leaf))
+	if !ok {
+		return RevocationUnknown
+	}
+	return r.Check(leaf, now)
+}
+
+// CompromiseExposure models the Section 5.3 risk argument: after a key
+// compromise at time t, how long does a relying device keep accepting the
+// certificate? With a responder the window ends at the next refresh; with
+// none it runs to the certificate's own expiry.
+func (ri *RevocationInfra) CompromiseExposure(leaf *x509.Certificate, compromise time.Time) time.Duration {
+	if r, ok := ri.ResponderFor(IssuerOrg(leaf)); ok {
+		// The compromised cert gets revoked at the next CRL epoch.
+		window := r.UpdateInterval
+		if leaf.NotAfter.Sub(compromise) < window {
+			window = leaf.NotAfter.Sub(compromise)
+		}
+		if window < 0 {
+			window = 0
+		}
+		return window
+	}
+	// No responder: the certificate is trusted until it expires.
+	window := leaf.NotAfter.Sub(compromise)
+	if window < 0 {
+		window = 0
+	}
+	return window
+}

@@ -1,0 +1,119 @@
+package pki
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResponderLifecycle(t *testing.T) {
+	ca := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	resp := ca.NewResponder(probe, 7*24*time.Hour)
+	leaf := ca.IssueLeaf(leafSpec("a.example.com", 398))
+	other := ca.IssueLeaf(leafSpec("b.example.com", 398))
+
+	// Untracked serial: unknown.
+	if got := resp.Check(leaf.Cert, probe); got != RevocationUnknown {
+		t.Fatalf("untracked: %v", got)
+	}
+	resp.Track(leaf.Cert)
+	if got := resp.Check(leaf.Cert, probe); got != RevocationGood {
+		t.Fatalf("tracked: %v", got)
+	}
+	// Revocation takes effect at the revocation time.
+	revokeAt := probe.Add(24 * time.Hour)
+	resp.Revoke(leaf.Cert, revokeAt)
+	if got := resp.Check(leaf.Cert, probe); got != RevocationGood {
+		t.Fatalf("before revocation: %v", got)
+	}
+	resp.Refresh(revokeAt)
+	if got := resp.Check(leaf.Cert, revokeAt); got != RevocationRevoked {
+		t.Fatalf("after revocation: %v", got)
+	}
+	if resp.RevokedCount() != 1 {
+		t.Fatalf("revoked count %d", resp.RevokedCount())
+	}
+	// Unrelated cert unaffected.
+	resp.Track(other.Cert)
+	if got := resp.Check(other.Cert, revokeAt); got != RevocationGood {
+		t.Fatalf("other cert: %v", got)
+	}
+}
+
+func TestStaleResponder(t *testing.T) {
+	ca := NewCA("Sectigo", PublicTrustCA, t0, 25, 1)
+	resp := ca.NewResponder(probe, 24*time.Hour)
+	leaf := ca.IssueLeaf(leafSpec("c.example.com", 398))
+	resp.Track(leaf.Cert)
+	if got := resp.Check(leaf.Cert, probe.Add(12*time.Hour)); got != RevocationGood {
+		t.Fatalf("fresh: %v", got)
+	}
+	// Past the update interval without a refresh: unknown.
+	if got := resp.Check(leaf.Cert, probe.Add(48*time.Hour)); got != RevocationUnknown {
+		t.Fatalf("stale: %v", got)
+	}
+	resp.Refresh(probe.Add(48 * time.Hour))
+	if got := resp.Check(leaf.Cert, probe.Add(48*time.Hour)); got != RevocationGood {
+		t.Fatalf("refreshed: %v", got)
+	}
+}
+
+func TestInfraRouting(t *testing.T) {
+	digicert := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	roku := NewCA("Roku", PrivateCA, t0, 40, 0)
+	infra := NewRevocationInfra()
+	resp := digicert.NewResponder(probe, 7*24*time.Hour)
+	infra.Register("DigiCert", resp)
+
+	pubLeaf := digicert.IssueLeaf(leafSpec("pub.example.com", 398))
+	resp.Track(pubLeaf.Cert)
+	privLeaf := roku.IssueLeaf(leafSpec("api.roku.example", 5000))
+
+	if got := infra.CheckLeaf(pubLeaf.Cert, probe); got != RevocationGood {
+		t.Fatalf("public leaf: %v", got)
+	}
+	// Vendor CA runs no responder: permanently unknown.
+	if got := infra.CheckLeaf(privLeaf.Cert, probe); got != RevocationUnknown {
+		t.Fatalf("private leaf: %v", got)
+	}
+	if _, ok := infra.ResponderFor("Roku"); ok {
+		t.Fatal("phantom responder")
+	}
+}
+
+func TestCompromiseExposure(t *testing.T) {
+	digicert := NewCA("DigiCert", PublicTrustCA, t0, 25, 1)
+	tuya := NewCA("Tuya", PrivateCA, t0, 100, 0)
+	infra := NewRevocationInfra()
+	infra.Register("DigiCert", digicert.NewResponder(probe, 7*24*time.Hour))
+
+	pubLeaf := digicert.IssueLeaf(leafSpec("pub.example.com", 398))
+	privLeaf := tuya.IssueLeaf(leafSpec("iot.tuya.example", 36500))
+
+	// Public CA: exposure bounded by the CRL refresh interval.
+	pubWindow := infra.CompromiseExposure(pubLeaf.Cert, probe)
+	if pubWindow != 7*24*time.Hour {
+		t.Fatalf("public exposure %v", pubWindow)
+	}
+	// Vendor CA with a 100-year cert: exposure runs to expiry (decades).
+	privWindow := infra.CompromiseExposure(privLeaf.Cert, probe)
+	if privWindow < 90*365*24*time.Hour {
+		t.Fatalf("private exposure %v, want decades", privWindow)
+	}
+	if privWindow < 1000*pubWindow {
+		t.Fatalf("exposure ratio %v/%v too small", privWindow, pubWindow)
+	}
+	// Compromise after expiry: no exposure.
+	if w := infra.CompromiseExposure(pubLeaf.Cert, pubLeaf.Cert.NotAfter.AddDate(1, 0, 0)); w != 0 {
+		t.Fatalf("post-expiry exposure %v", w)
+	}
+}
+
+func TestRevocationStatusString(t *testing.T) {
+	for s, want := range map[RevocationStatus]string{
+		RevocationGood: "good", RevocationRevoked: "revoked", RevocationUnknown: "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d => %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package pki
+
+import (
+	"bytes"
+	"crypto/x509"
+	"time"
+)
+
+// Validator validates presented chains against the major trust stores,
+// reproducing the Zeek-based pipeline of Section 5.3. KnownIntermediates
+// lets the validator distinguish "incomplete chain" (a public-CA leaf whose
+// server forgot the intermediates) from "untrusted root".
+type Validator struct {
+	stores *StoreSet
+	// knownIntermediates is the out-of-band intermediate pool (the study
+	// effectively had this through AIA fetching / cached intermediates).
+	knownIntermediates *x509.CertPool
+	hasIntermediates   bool
+}
+
+// NewValidator creates a validator over the store set.
+func NewValidator(stores *StoreSet) *Validator {
+	return &Validator{stores: stores, knownIntermediates: x509.NewCertPool()}
+}
+
+// AddKnownIntermediate registers an intermediate certificate available out
+// of band.
+func (v *Validator) AddKnownIntermediate(cert *x509.Certificate) {
+	v.knownIntermediates.AddCert(cert)
+	v.hasIntermediates = true
+}
+
+// AddKnownCA registers every intermediate of a CA.
+func (v *Validator) AddKnownCA(ca *CA) {
+	for _, ic := range ca.Intermediates {
+		v.AddKnownIntermediate(ic.Cert)
+	}
+}
+
+// Result is the outcome of validating one presented chain.
+type Result struct {
+	Status ChainStatus
+	// ChainLength is the number of certificates the server presented.
+	ChainLength int
+	// LeafIssuerOrg is the organization of the leaf's issuer.
+	LeafIssuerOrg string
+	// RootInStores reports whether a store contains the chain's anchor.
+	RootInStores bool
+}
+
+// Validate classifies the presented chain for the given SNI at time now.
+// The precedence follows the paper's reporting: expiry dominates (Table 8
+// rows are reported as expired regardless of other problems), then CN
+// mismatch, then chain construction problems.
+func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
+	res := Result{ChainLength: chain.Len()}
+	leaf := chain.Leaf()
+	if leaf == nil {
+		res.Status = StatusIncompleteChain
+		return res
+	}
+	res.LeafIssuerOrg = issuerOrg(leaf)
+	res.RootInStores = v.stores.ContainsOrg(res.LeafIssuerOrg)
+
+	if now.After(leaf.NotAfter) || now.Before(leaf.NotBefore) {
+		res.Status = StatusExpired
+		return res
+	}
+	if sni != "" && leaf.VerifyHostname(sni) != nil {
+		res.Status = StatusCNMismatch
+		return res
+	}
+
+	// Assemble the intermediate pool from the presented chain.
+	presented := x509.NewCertPool()
+	presentedHasSelfSigned := false
+	for _, c := range chain.Certs[1:] {
+		presented.AddCert(c)
+		if isSelfIssued(c) {
+			presentedHasSelfSigned = true
+		}
+	}
+
+	verify := func(roots *x509.CertPool, inters *x509.CertPool) bool {
+		_, err := leaf.Verify(x509.VerifyOptions{
+			Roots:         roots,
+			Intermediates: inters,
+			CurrentTime:   now,
+			KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+		})
+		return err == nil
+	}
+
+	roots := v.stores.UnionPool()
+	if verify(roots, presented) {
+		res.Status = StatusValid
+		return res
+	}
+
+	// Self-signed leaf: identical issuer and subject.
+	if isSelfIssued(leaf) {
+		res.Status = StatusSelfSigned
+		return res
+	}
+
+	// Duplicated-leaf chains (log.samsunghrm.com) collapse to self-signed
+	// when every presented certificate is byte-identical to the leaf.
+	if chain.Len() > 1 && allSameCert(chain.Certs) {
+		res.Status = StatusSelfSigned
+		return res
+	}
+
+	// Would the chain verify with out-of-band intermediates? Then the
+	// server merely presented an incomplete chain.
+	if v.hasIntermediates && verify(roots, v.knownIntermediates) {
+		res.Status = StatusIncompleteChain
+		return res
+	}
+	// A structurally complete chain ending in a self-signed root that is
+	// not in the stores is the "untrusted root CA" case.
+	if presentedHasSelfSigned {
+		res.Status = StatusUntrustedRoot
+		return res
+	}
+
+	// Private-CA chains presented without their root: the anchor is not
+	// fetchable from any public program, so this is an untrusted root when
+	// the issuer is not a public-store org; otherwise the public-CA server
+	// sent an incomplete chain.
+	if res.RootInStores {
+		res.Status = StatusIncompleteChain
+		return res
+	}
+	res.Status = StatusUntrustedRoot
+	return res
+}
+
+// issuerOrg extracts the issuer organization (falling back to the issuer
+// CN when the organization is absent).
+func issuerOrg(c *x509.Certificate) string {
+	if len(c.Issuer.Organization) > 0 {
+		return c.Issuer.Organization[0]
+	}
+	return c.Issuer.CommonName
+}
+
+// IssuerOrg is the exported form of issuerOrg.
+func IssuerOrg(c *x509.Certificate) string { return issuerOrg(c) }
+
+// isSelfIssued reports whether issuer and subject are identical.
+func isSelfIssued(c *x509.Certificate) bool {
+	return bytes.Equal(c.RawIssuer, c.RawSubject)
+}
+
+// IsSelfIssued is the exported form of isSelfIssued.
+func IsSelfIssued(c *x509.Certificate) bool { return isSelfIssued(c) }
+
+func allSameCert(certs []*x509.Certificate) bool {
+	for _, c := range certs[1:] {
+		if !bytes.Equal(c.Raw, certs[0].Raw) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,555 @@
+// Package report renders the study's tables and figures as aligned text
+// and CSV, so the benchmark harness and the iotls CLI print the same rows
+// and series the paper reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ciphersuite"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+	"repro/internal/tlswire"
+)
+
+// Table is a generic rendered table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// WriteText renders the table with aligned columns.
+func (t Table) WriteText(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				io.WriteString(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		io.WriteString(w, "\n")
+	}
+	writeRow(t.Headers)
+	for i, wd := range widths {
+		if i > 0 {
+			io.WriteString(w, "  ")
+		}
+		io.WriteString(w, strings.Repeat("-", wd))
+	}
+	io.WriteString(w, "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// WriteCSV renders the table as CSV.
+func (t Table) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, 0, len(t.Headers))
+	for _, h := range t.Headers {
+		cells = append(cells, esc(h))
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+func f2(f float64) string  { return fmt.Sprintf("%.2f", f) }
+func itoa(n int) string    { return fmt.Sprintf("%d", n) }
+func ints(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Table2 renders the fingerprint degree distribution.
+func Table2(d graph.DegreeDistribution) Table {
+	return Table{
+		Title:   "Table 2: Fingerprint degree distribution",
+		Headers: []string{"Degree", "1", "2", "3-5", ">5"},
+		Rows: [][]string{{
+			"%.Fingerprints", pct(d.Deg1), pct(d.Deg2), pct(d.Deg3to5), pct(d.DegOver5),
+		}},
+	}
+}
+
+// Table3 renders the per-vendor heterogeneity rows.
+func Table3(rows []analysis.Table3Row) Table {
+	t := Table{
+		Title:   "Table 3: Heterogeneity in fingerprints across devices (top vendors)",
+		Headers: []string{"Vendor", "#.Fingerprints", "%.shared by 10+ devices", "%.used by 1 device"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Vendor, itoa(r.NumFingerprints), pct(r.SharedBy10Plus), pct(r.UsedBySingleDev)})
+	}
+	return t
+}
+
+// Table4 renders the vendor Jaccard tuples bucketed as in the paper.
+func Table4(pairs []graph.SimilarPair) Table {
+	t := Table{
+		Title:   "Table 4: Vendor tuples with Jaccard similarity >= 0.2",
+		Headers: []string{"Jaccard similarity", "Vendor tuple"},
+	}
+	buckets := []struct {
+		label     string
+		lo, hi    float64
+		inclusive bool
+	}{
+		{"1", 1, 1.01, true},
+		{"[0.7, 1)", 0.7, 1, false},
+		{"[0.4, 0.7)", 0.4, 0.7, false},
+		{"[0.3, 0.4)", 0.3, 0.4, false},
+		{"[0.2, 0.3)", 0.2, 0.3, false},
+	}
+	for _, b := range buckets {
+		var tuples []string
+		for _, p := range pairs {
+			in := p.Similarity >= b.lo && p.Similarity < b.hi
+			if b.inclusive {
+				in = p.Similarity >= 1
+			}
+			if in {
+				tuples = append(tuples, "{"+p.A+", "+p.B+"}")
+			}
+		}
+		if len(tuples) > 0 {
+			t.Rows = append(t.Rows, []string{b.label, strings.Join(tuples, ", ")})
+		}
+	}
+	return t
+}
+
+// Table5 renders the server-tied fingerprint rows.
+func Table5(rows []analysis.Table5Row) Table {
+	t := Table{
+		Title:   "Table 5: Servers linked with particular client fingerprints across vendors",
+		Headers: []string{"Second-level domain", "#.FQDNs", "Vulnerability", "#.Visiting devices", "Device vendors"},
+	}
+	for _, r := range rows {
+		vuln := "-"
+		if len(r.VulnLabels) > 0 {
+			vuln = strings.Join(r.VulnLabels, ",")
+		}
+		t.Rows = append(t.Rows, []string{r.SLD, itoa(r.FQDNs), vuln, itoa(r.Devices), strings.Join(r.Vendors, ",")})
+	}
+	return t
+}
+
+// LibMatch renders the Section 4.1 matching summary.
+func LibMatch(res analysis.LibMatchResult) Table {
+	t := Table{
+		Title:   "Section 4.1: TLS library matching",
+		Headers: []string{"Metric", "Value"},
+		Rows: [][]string{
+			{"Unique fingerprints", itoa(res.TotalFingerprints)},
+			{"Matched fingerprints", fmt.Sprintf("%d (%s)", res.MatchedFingerprints, pct(res.MatchRate()))},
+			{"Matched libraries", itoa(len(res.MatchedLibraries))},
+			{"Unsupported as of 2020", itoa(res.UnsupportedLibraries)},
+		},
+	}
+	fams := make([]string, 0, len(res.PerFamily))
+	for f := range res.PerFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		t.Rows = append(t.Rows, []string{"  from " + f, itoa(res.PerFamily[f])})
+	}
+	return t
+}
+
+// Table11 renders the semantics-aware matching results.
+func Table11(rows []analysis.Table11Row) Table {
+	t := Table{
+		Title:   "Table 11: Semantics-aware fingerprinting results",
+		Headers: []string{"Category", "%Total", "#.Vendors", "%Outdated"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Category.String(), pct(r.PercentTotal), itoa(r.Vendors), pct(r.PercentOutdated),
+		})
+	}
+	return t
+}
+
+// Table12 renders TLS version proposals.
+func Table12(counts map[tlswire.Version]int) Table {
+	order := []tlswire.Version{tlswire.VersionTLS12, tlswire.VersionTLS11, tlswire.VersionTLS10, tlswire.VersionSSL30}
+	t := Table{
+		Title:   "Table 12: TLS version proposed by IoT devices",
+		Headers: []string{"TLS version", "#.Proposals"},
+	}
+	for _, v := range order {
+		t.Rows = append(t.Rows, []string{v.String(), itoa(counts[v])})
+	}
+	return t
+}
+
+// VulnStats renders the Section 4.2 vulnerability summary.
+func VulnStats(st analysis.VulnStats) Table {
+	t := Table{
+		Title:   "Section 4.2: Vulnerabilities in ciphersuites",
+		Headers: []string{"Metric", "Value"},
+		Rows: [][]string{
+			{"Fingerprints total", itoa(st.TotalFingerprints)},
+			{"With vulnerable component", fmt.Sprintf("%d (%s)", st.WithVulnerable, pct(float64(st.WithVulnerable)/float64(max(1, st.TotalFingerprints))))},
+			{"Vulnerable on 2+ devices", pct(float64(st.VulnUsedByMultipleDevices) / float64(max(1, st.WithVulnerable)))},
+			{"Anon/export/NULL fingerprints", itoa(st.AwfulFingerprints)},
+			{"Anon/export/NULL devices", itoa(st.AwfulDevices)},
+			{"Anon/export/NULL vendors", fmt.Sprintf("%d (%s)", len(st.AwfulVendors), strings.Join(st.AwfulVendors, ", "))},
+		},
+	}
+	classes := make([]ciphersuite.VulnClass, 0, len(st.ByClass))
+	for cl := range st.ByClass {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return st.ByClass[classes[i]] > st.ByClass[classes[j]] })
+	for _, cl := range classes {
+		t.Rows = append(t.Rows, []string{"  with " + cl.String(),
+			fmt.Sprintf("%d (%s)", st.ByClass[cl], pct(float64(st.ByClass[cl])/float64(max(1, st.TotalFingerprints))))})
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figure2 renders the DoC CDFs as a two-series table.
+func Figure2(vendorDoC, deviceDoC map[string]float64) Table {
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	var vVals, dVals []float64
+	for _, v := range vendorDoC {
+		vVals = append(vVals, v)
+	}
+	for _, v := range deviceDoC {
+		dVals = append(dVals, v)
+	}
+	t := Table{
+		Title:   "Figure 2: Degree of TLS fingerprint customization (CDF)",
+		Headers: []string{"DoC <=", "CDF DoC_vendor", "CDF DoC_device"},
+	}
+	for _, x := range xs {
+		t.Rows = append(t.Rows, []string{
+			f2(x),
+			f2(graph.FractionAtMost(vVals, x)),
+			f2(graph.FractionAtMost(dVals, x)),
+		})
+	}
+	return t
+}
+
+// Table6 renders the certificate dataset summary.
+func Table6(t6 analysis.Table6) Table {
+	return Table{
+		Title:   "Table 6: IoT server certificate dataset",
+		Headers: []string{"Metric", "Value"},
+		Rows: [][]string{
+			{"#. Servers (FQDNs)", itoa(t6.Servers)},
+			{"#. Leaf certificates", itoa(t6.LeafCerts)},
+			{"#. Issuer organizations", itoa(t6.IssuerOrgs)},
+			{"#. Device vendors", itoa(t6.DeviceVendors)},
+		},
+	}
+}
+
+// Sharing renders the certificate sharing statistics.
+func Sharing(sh analysis.SharingStats) Table {
+	return Table{
+		Title:   "Section 5.1: Certificate sharing",
+		Headers: []string{"Metric", "Value"},
+		Rows: [][]string{
+			{"Servers per certificate (mean)", f2(sh.ServersPerCertMean)},
+			{"Servers per certificate (variance)", f2(sh.ServersPerCertVar)},
+			{"Servers per certificate (max)", itoa(sh.ServersPerCertMax)},
+			{"Certs on multiple IPs", pct(sh.MultiIPFraction)},
+			{"IPs per certificate (mean)", f2(sh.IPsPerCertMean)},
+			{"IPs per certificate (max)", itoa(sh.IPsPerCertMax)},
+		},
+	}
+}
+
+// DomainRows renders Table 7/8/14-style domain listings.
+func DomainRows(title string, rows []analysis.DomainRow, withNotAfter bool) Table {
+	t := Table{Title: title}
+	if withNotAfter {
+		t.Headers = []string{"Domain", "Not after", "Issued by", "#.devices", "Vendors"}
+	} else {
+		t.Headers = []string{"Domain", "#.FQDNs", "Leaf issued by", "Chain lengths", "#.devices", "Vendors"}
+	}
+	for _, r := range rows {
+		issuer := r.IssuerOrg
+		if r.IssuerPublic {
+			issuer += " (public)"
+		}
+		if withNotAfter {
+			t.Rows = append(t.Rows, []string{
+				r.SLD, r.NotAfter.Format("01/02/2006"), issuer, itoa(r.Devices), strings.Join(r.Vendors, ","),
+			})
+		} else {
+			t.Rows = append(t.Rows, []string{
+				r.SLD, itoa(r.FQDNs), issuer, ints(r.ChainLengths), itoa(r.Devices), strings.Join(r.Vendors, ","),
+			})
+		}
+	}
+	return t
+}
+
+// Figure5 renders the issuer × vendor matrix (sparse form).
+func Figure5(cells []analysis.Figure5Cell) Table {
+	t := Table{
+		Title:   "Figure 5: Issuers of certificates by device vendor",
+		Headers: []string{"Vendor", "Issuer", "Ratio"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{c.Vendor, c.Issuer, f2(c.Ratio)})
+	}
+	return t
+}
+
+// Figure6 renders the validity × CT scatter, one row per vendor summary.
+func Figure6(points []analysis.Figure6Point) Table {
+	type agg struct {
+		minDays, maxDays int
+		classes          map[int]bool
+		inCT, notInCT    int
+	}
+	vendors := map[string]*agg{}
+	for _, p := range points {
+		a := vendors[p.Vendor]
+		if a == nil {
+			a = &agg{minDays: p.ValidityDays, maxDays: p.ValidityDays, classes: map[int]bool{}}
+			vendors[p.Vendor] = a
+		}
+		if p.ValidityDays < a.minDays {
+			a.minDays = p.ValidityDays
+		}
+		if p.ValidityDays > a.maxDays {
+			a.maxDays = p.ValidityDays
+		}
+		a.classes[p.ChainClass] = true
+		if p.InCT {
+			a.inCT++
+		} else {
+			a.notInCT++
+		}
+	}
+	names := make([]string, 0, len(vendors))
+	for v := range vendors {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	t := Table{
+		Title:   "Figure 6: Certificate validity periods and CT status by vendor",
+		Headers: []string{"Vendor", "Validity days (min-max)", "Chain classes", "In CT", "Not in CT"},
+	}
+	classLabel := map[int]string{0: "public", 1: "private-leaf/public-root", 2: "private"}
+	for _, v := range names {
+		a := vendors[v]
+		var cls []string
+		for c := 0; c <= 2; c++ {
+			if a.classes[c] {
+				cls = append(cls, classLabel[c])
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			v, fmt.Sprintf("%d-%d", a.minDays, a.maxDays), strings.Join(cls, "+"), itoa(a.inCT), itoa(a.notInCT),
+		})
+	}
+	return t
+}
+
+// Table9 renders the Netflix validity variance.
+func Table9(rows []analysis.Table9Row) Table {
+	t := Table{
+		Title:   "Table 9: Variance in certificate validity periods by Netflix",
+		Headers: []string{"Leaf issuer", "Leaf validity days", "Topmost issuer", "#.Cert", "In CT"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.LeafIssuer, ints(r.ValidityDays), r.TopmostIssuer, itoa(r.Certs), fmt.Sprintf("%v", r.InCT),
+		})
+	}
+	return t
+}
+
+// CTStats renders the Section 5.4 CT summary.
+func CTStats(st analysis.CTStats) Table {
+	t := Table{
+		Title:   "Section 5.4: CT logging",
+		Headers: []string{"Leaf class", "Logged", "Not logged"},
+		Rows: [][]string{
+			{"Public trust CA", itoa(st.PublicLogged), itoa(st.PublicNotLogged)},
+			{"Private CA", itoa(st.PrivateLogged), itoa(st.PrivateNotLogged)},
+		},
+	}
+	issuers := make([]string, 0, len(st.PublicMissIssuers))
+	for i := range st.PublicMissIssuers {
+		issuers = append(issuers, i)
+	}
+	sort.Strings(issuers)
+	for _, i := range issuers {
+		t.Rows = append(t.Rows, []string{"  missing from CT: " + i, itoa(st.PublicMissIssuers[i]), ""})
+	}
+	return t
+}
+
+// Table15 renders the popular SLDs.
+func Table15(rows []analysis.Table15Row) Table {
+	t := Table{
+		Title:   "Table 15: Popular SLDs of IoT servers",
+		Headers: []string{"SLD", "#.Servers (FQDNs)", "Contacted by #.unique devices"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.SLD, itoa(r.Servers), itoa(r.Devices)})
+	}
+	return t
+}
+
+// Table16 renders the geographic comparison.
+func Table16(t16 analysis.Table16) Table {
+	t := Table{
+		Title:   "Table 16: Certificates usage across geographical locations",
+		Headers: []string{"Metric", "New York", "Frankfurt", "Singapore"},
+	}
+	row := []string{"#.SNIs with certificate extracted"}
+	for _, v := range simnet.Vantages() {
+		row = append(row, itoa(t16.Extracted[v]))
+	}
+	t.Rows = append(t.Rows, row)
+	t.Rows = append(t.Rows, []string{"#.SNIs shared across all places", itoa(t16.SharedAcrossAll), "", ""})
+	row = []string{"#.SNIs with location-exclusive certificate"}
+	for _, v := range simnet.Vantages() {
+		row = append(row, itoa(t16.ExclusivePerVantage[v]))
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Figure8 renders the Jaccard similarity histogram.
+func Figure8(buckets []analysis.Figure8Bucket) Table {
+	t := Table{
+		Title:   "Figure 8: Jaccard similarity of device suites vs closest library",
+		Headers: []string{"Similarity", "Same component", "Similar component"},
+	}
+	for _, b := range buckets {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("[%.1f,%.1f)", b.Low, b.High), itoa(b.SameComp), itoa(b.SimComp),
+		})
+	}
+	return t
+}
+
+// Figure11 renders the lowest-vulnerable-index summary.
+func Figure11(rows []analysis.Figure11Row) Table {
+	t := Table{
+		Title:   "Figure 11: Lowest index of vulnerable ciphersuites by vendor",
+		Headers: []string{"Vendor", "Tuples", "With vulnerable", "Vulnerable first", "Min index", "Median index"},
+	}
+	for _, r := range rows {
+		minIdx, median := "-", "-"
+		if len(r.Indices) > 0 {
+			minIdx = itoa(r.Indices[0])
+			median = itoa(r.Indices[len(r.Indices)/2])
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Vendor, itoa(r.Tuples), itoa(len(r.Indices)), itoa(r.FirstPreferred), minIdx, median,
+		})
+	}
+	return t
+}
+
+// Figure12 renders the most-preferred components per vendor.
+func Figure12(rows []analysis.Figure12Row) Table {
+	t := Table{
+		Title:   "Figure 12: Most preferred algorithm components by vendor",
+		Headers: []string{"Vendor", "Top kex", "Top cipher", "Top MAC"},
+	}
+	top := func(m map[string]int) string {
+		best, bestN := "-", 0
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if m[k] > bestN {
+				best, bestN = k, m[k]
+			}
+		}
+		return best
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Vendor, top(r.Kex), top(r.Cipher), top(r.MAC)})
+	}
+	return t
+}
+
+// Census renders the extension censuses.
+func Census(c analysis.ExtensionCensus) Table {
+	return Table{
+		Title:   "Appendix B: extension censuses",
+		Headers: []string{"Feature", "#.Devices", "#.Vendors"},
+		Rows: [][]string{
+			{"OCSP status_request", itoa(c.OCSPDevices), itoa(c.OCSPVendors)},
+			{"GREASE in ciphersuites", itoa(c.GREASESuiteDevices), itoa(c.GREASESuiteVendors)},
+			{"GREASE in extensions", itoa(c.GREASEExtDevices), itoa(c.GREASEExtVendors)},
+			{"TLS_FALLBACK_SCSV", itoa(c.FallbackSCSVDevices), itoa(c.FallbackSCSVVendors)},
+		},
+	}
+}
+
+// SecurityColor maps a fingerprint's level to the Figure 1 palette.
+func SecurityColor(f fingerprint.Fingerprint) string {
+	switch f.Level() {
+	case ciphersuite.Vulnerable:
+		if len(f.VulnClasses()) >= 3 {
+			return "#8b0000" // many vulnerable components: dark red
+		}
+		return "#d62728"
+	case ciphersuite.Suboptimal:
+		return "#aec7e8"
+	default:
+		return "#4878cf"
+	}
+}
+
+// SecuritySize maps a fingerprint's vulnerability count to node size.
+func SecuritySize(f fingerprint.Fingerprint) float64 {
+	return 0.12 + 0.08*float64(len(f.VulnClasses()))
+}

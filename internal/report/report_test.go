@@ -1,0 +1,198 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/fingerprint"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+	"repro/internal/tlswire"
+)
+
+func TestWriteTextAlignment(t *testing.T) {
+	tb := Table{
+		Title:   "Demo",
+		Headers: []string{"A", "LongHeader"},
+		Rows:    [][]string{{"value-that-is-long", "x"}, {"y", "z"}},
+	}
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	// Header and rows align on the same column.
+	hdrCol := strings.Index(lines[1], "LongHeader")
+	rowCol := strings.Index(lines[3], "x")
+	if hdrCol != rowCol {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", hdrCol, rowCol, out)
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	tb := Table{
+		Title:   "CSV",
+		Headers: []string{"name", "value"},
+		Rows:    [][]string{{`has,comma`, `has"quote`}, {"plain", "ok"}},
+	}
+	var buf bytes.Buffer
+	tb.WriteCSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote not doubled: %s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("header row wrong: %s", out)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	tb := Table2(graph.DegreeDistribution{Total: 100, Deg1: 0.7747, Deg2: 0.1143, Deg3to5: 0.0832, DegOver5: 0.0278})
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	for _, want := range []string{"77.47%", "11.43%", "8.32%", "2.78%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTable4Buckets(t *testing.T) {
+	pairs := []graph.SimilarPair{
+		{A: "HDHomeRun", B: "Silicondust", Similarity: 1.0},
+		{A: "Sharp", B: "TCL", Similarity: 0.75},
+		{A: "Arlo", B: "NETGEAR", Similarity: 0.5},
+		{A: "Onkyo", B: "Pioneer", Similarity: 0.33},
+		{A: "Denon", B: "Marantz", Similarity: 0.25},
+	}
+	tb := Table4(pairs)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d, want one per bucket", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" || !strings.Contains(tb.Rows[0][1], "HDHomeRun") {
+		t.Errorf("bucket 1 wrong: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][0] != "[0.7, 1)" || !strings.Contains(tb.Rows[1][1], "Sharp") {
+		t.Errorf("bucket 0.7 wrong: %v", tb.Rows[1])
+	}
+}
+
+func TestTable12Order(t *testing.T) {
+	tb := Table12(map[tlswire.Version]int{
+		tlswire.VersionTLS12: 5214,
+		tlswire.VersionTLS11: 18,
+		tlswire.VersionTLS10: 236,
+		tlswire.VersionSSL30: 31,
+	})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "TLS 1.2" || tb.Rows[0][1] != "5214" {
+		t.Errorf("first row %v", tb.Rows[0])
+	}
+	if tb.Rows[3][0] != "SSL 3.0" || tb.Rows[3][1] != "31" {
+		t.Errorf("last row %v", tb.Rows[3])
+	}
+}
+
+func TestDomainRowsVariants(t *testing.T) {
+	rows := []analysis.DomainRow{{
+		SLD:          "wink.com",
+		FQDNs:        2,
+		IssuerOrg:    "COMODO",
+		IssuerPublic: true,
+		ChainLengths: []int{1, 2},
+		Devices:      11,
+		Vendors:      []string{"Samsung", "Wink"},
+		NotAfter:     time.Date(2019, 4, 17, 0, 0, 0, 0, time.UTC),
+	}}
+	t8 := DomainRows("Table 8", rows, true)
+	var buf bytes.Buffer
+	t8.WriteText(&buf)
+	if !strings.Contains(buf.String(), "04/17/2019") {
+		t.Errorf("date missing: %s", buf.String())
+	}
+	t7 := DomainRows("Table 7", rows, false)
+	buf.Reset()
+	t7.WriteText(&buf)
+	if !strings.Contains(buf.String(), "1,2") {
+		t.Errorf("chain lengths missing: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "COMODO (public)") {
+		t.Errorf("issuer annotation missing: %s", buf.String())
+	}
+}
+
+func TestTable16Layout(t *testing.T) {
+	t16 := Table16(analysis.Table16{
+		Extracted: map[simnet.Vantage]int{
+			simnet.VantageNewYork:   1151,
+			simnet.VantageFrankfurt: 1149,
+			simnet.VantageSingapore: 1150,
+		},
+		SharedAcrossAll: 1087,
+		ExclusivePerVantage: map[simnet.Vantage]int{
+			simnet.VantageNewYork:   106,
+			simnet.VantageFrankfurt: 99,
+			simnet.VantageSingapore: 82,
+		},
+	})
+	var buf bytes.Buffer
+	t16.WriteText(&buf)
+	for _, want := range []string{"1151", "1149", "1150", "1087", "106", "99", "82"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSecurityColorAndSize(t *testing.T) {
+	optimal := fingerprint.Fingerprint{Version: tlswire.VersionTLS12, CipherSuites: []uint16{0xC02F}}
+	sub := fingerprint.Fingerprint{Version: tlswire.VersionTLS12, CipherSuites: []uint16{0x002F}}
+	vuln := fingerprint.Fingerprint{Version: tlswire.VersionTLS12, CipherSuites: []uint16{0x000A}}
+	awful := fingerprint.Fingerprint{Version: tlswire.VersionTLS12, CipherSuites: []uint16{0x000A, 0x0005, 0x0019, 0x0002}}
+
+	if SecurityColor(optimal) == SecurityColor(vuln) {
+		t.Error("optimal and vulnerable share a color")
+	}
+	if SecurityColor(sub) == SecurityColor(vuln) {
+		t.Error("suboptimal and vulnerable share a color")
+	}
+	if SecurityColor(awful) != "#8b0000" {
+		t.Errorf("many-component fingerprint should be dark red, got %s", SecurityColor(awful))
+	}
+	if SecuritySize(awful) <= SecuritySize(optimal) {
+		t.Error("vulnerable nodes should be larger")
+	}
+}
+
+func TestFigure6Aggregation(t *testing.T) {
+	tb := Figure6([]analysis.Figure6Point{
+		{Vendor: "Roku", ValidityDays: 5000, ChainClass: 2, InCT: false},
+		{Vendor: "Roku", ValidityDays: 398, ChainClass: 0, InCT: true},
+		{Vendor: "Wyze", ValidityDays: 90, ChainClass: 0, InCT: true},
+	})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	if !strings.Contains(buf.String(), "398-5000") {
+		t.Errorf("Roku validity range missing: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "public+private") {
+		t.Errorf("chain classes missing: %s", buf.String())
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/libcorpus"
+	"repro/internal/pki"
+	"repro/internal/tlswire"
+)
+
+func TestTable10Series(t *testing.T) {
+	tb := Table10(libcorpus.OpenSSL())
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	for _, want := range []string{"OpenSSL", "1.0.2", "1.1.1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMajorSeries(t *testing.T) {
+	cases := map[string]string{
+		"1.0.2u":        "1.0.2", // letter revisions collapse
+		"1.1.1-pre2":    "1.1.1",
+		"3.15.3-stable": "3.15.3", // suffixes collapse
+		"2.1.1":         "2.1.1",
+		"1.8.0":         "1.8.0",
+		"WCv4.0-RC4":    "WCv4.0-RC4", // no second dot group
+	}
+	for in, want := range cases {
+		if got := majorSeries(in); got != want {
+			t.Errorf("majorSeries(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable13AllVendors(t *testing.T) {
+	tb := Table13()
+	if len(tb.Rows) != 65 {
+		t.Fatalf("rows %d want 65", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" || tb.Rows[0][1] != "Roku" {
+		t.Errorf("first row %v", tb.Rows[0])
+	}
+	if tb.Rows[64][0] != "65" || tb.Rows[64][1] != "Withings" {
+		t.Errorf("last row %v", tb.Rows[64])
+	}
+}
+
+func TestExtensionFrequenciesRender(t *testing.T) {
+	rows := []analysis.ExtensionFrequency{
+		{Extension: tlswire.ExtSessionTicket, DeviceShare: 0.8, CorpusShare: 0.3},
+		{Extension: tlswire.ExtALPN, DeviceShare: 0.4, CorpusShare: 0.6},
+	}
+	tb := ExtensionFrequencies(rows, 1)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("topN not applied: %d rows", len(tb.Rows))
+	}
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	if !strings.Contains(buf.String(), "session_ticket") || !strings.Contains(buf.String(), "+50.00%") {
+		t.Errorf("render wrong:\n%s", buf.String())
+	}
+}
+
+func TestReportCardsRender(t *testing.T) {
+	grades := []pki.VendorGrade{
+		{Vendor: "Tuya", Servers: 4, Errors: 4},
+		{Vendor: "Wyze", Servers: 4},
+	}
+	tb := ReportCards(grades, time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC))
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Sorted best grade first.
+	if tb.Rows[0][0] != "Wyze" || tb.Rows[0][1] != "A" {
+		t.Errorf("first row %v", tb.Rows[0])
+	}
+	if tb.Rows[1][0] != "Tuya" || tb.Rows[1][1] != "F" {
+		t.Errorf("second row %v", tb.Rows[1])
+	}
+}

@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pki"
+)
+
+// Probe errors.
+var (
+	// ErrUnknownHost: the SNI resolves to nothing in this world.
+	ErrUnknownHost = errors.New("simnet: unknown host")
+	// ErrUnreachable: the server exists but cannot be reached (the 43
+	// SNIs the paper lost to the 2-year time lag).
+	ErrUnreachable = errors.New("simnet: host unreachable")
+)
+
+// Probe performs a genuine crypto/tls handshake with the server behind
+// the SNI, as seen from the vantage, and returns the certificate chain
+// the server presented. This is the collection path of Section 5.1.
+func (w *World) Probe(sni string, vantage Vantage) (pki.Chain, error) {
+	srv, ok := w.Servers[sni]
+	if !ok {
+		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnknownHost, sni)
+	}
+	if srv.Unreachable {
+		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnreachable, sni)
+	}
+	chain := srv.ChainAt(vantage)
+	leafKey := srv.LeafAt(vantage).Key
+	if leafKey == nil {
+		return pki.Chain{}, fmt.Errorf("simnet: no key for %s", sni)
+	}
+
+	tlsCert := tls.Certificate{PrivateKey: leafKey}
+	for _, c := range chain.Certs {
+		tlsCert.Certificate = append(tlsCert.Certificate, c.Raw)
+	}
+
+	clientSide, serverSide := net.Pipe()
+	defer clientSide.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		// Close the raw pipe when done; a TLS-level Close would block on
+		// the unbuffered pipe waiting for a close_notify reader.
+		defer serverSide.Close()
+		sconn := tls.Server(serverSide, &tls.Config{
+			Certificates: []tls.Certificate{tlsCert},
+			MinVersion:   tls.VersionTLS12,
+		})
+		errCh <- sconn.Handshake()
+	}()
+
+	cconn := tls.Client(clientSide, &tls.Config{
+		ServerName:         sni,
+		InsecureSkipVerify: true, // we validate ourselves, like the study's prober
+		MinVersion:         tls.VersionTLS12,
+	})
+	cconn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := cconn.Handshake(); err != nil {
+		<-errCh
+		return pki.Chain{}, fmt.Errorf("simnet: handshake with %s: %w", sni, err)
+	}
+	peer := cconn.ConnectionState().PeerCertificates
+	<-errCh
+
+	out := pki.Chain{Certs: make([]*x509.Certificate, len(peer))}
+	copy(out.Certs, peer)
+	return out, nil
+}
+
+// LeafAt returns the leaf certificate (with its key) for a vantage.
+func (s *Server) LeafAt(v Vantage) pki.Certificate {
+	if s.VantageLeaves != nil {
+		if leaf, ok := s.VantageLeaves[v]; ok {
+			return leaf
+		}
+	}
+	return s.Leaf
+}
+
+// ProbeFast returns the chain without a TLS handshake — byte-identical to
+// what Probe captures, for analysis at scale and benchmarks.
+func (w *World) ProbeFast(sni string, vantage Vantage) (pki.Chain, error) {
+	srv, ok := w.Servers[sni]
+	if !ok {
+		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnknownHost, sni)
+	}
+	if srv.Unreachable {
+		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnreachable, sni)
+	}
+	return srv.ChainAt(vantage), nil
+}
+
+// ProbeResult is one (SNI, vantage) capture.
+type ProbeResult struct {
+	SNI     string
+	Vantage Vantage
+	Chain   pki.Chain
+	Err     error
+}
+
+// ProbeAll captures every SNI from every vantage concurrently. When
+// realTLS is true every capture is a full crypto/tls handshake.
+func (w *World) ProbeAll(snis []string, vantages []Vantage, realTLS bool) []ProbeResult {
+	type job struct {
+		sni     string
+		vantage Vantage
+	}
+	jobs := make(chan job)
+	results := make([]ProbeResult, 0, len(snis)*len(vantages))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := 16
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				var chain pki.Chain
+				var err error
+				if realTLS {
+					chain, err = w.Probe(j.sni, j.vantage)
+				} else {
+					chain, err = w.ProbeFast(j.sni, j.vantage)
+				}
+				mu.Lock()
+				results = append(results, ProbeResult{SNI: j.sni, Vantage: j.vantage, Chain: chain, Err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, sni := range snis {
+		for _, v := range vantages {
+			jobs <- job{sni, v}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

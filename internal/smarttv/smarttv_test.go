@@ -1,0 +1,116 @@
+package smarttv
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pki"
+	"repro/internal/simnet"
+)
+
+func world(t testing.TB) *simnet.World {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{Seed: 61, Scale: 0.4})
+	return simnet.Build(simnet.Config{Seed: 6, SNIs: ds.SNIsByMinUsers(2)})
+}
+
+func TestGroupsPopulated(t *testing.T) {
+	st := Run(world(t))
+	counts := map[Group]int{}
+	for _, o := range st.Observations {
+		counts[o.Group]++
+	}
+	if counts[GroupAmazon] == 0 || counts[GroupRoku] == 0 {
+		t.Fatalf("group counts %v", counts)
+	}
+	// amazonaws/amazonvideo must not appear in the Amazon group.
+	for _, o := range st.Observations {
+		if o.Group == GroupAmazon && excludedFromAmazon[o.SLD] {
+			t.Errorf("excluded SLD %s in Amazon group", o.SLD)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	st := Run(world(t))
+	rows := st.Figure7()
+	if len(rows) == 0 {
+		t.Fatal("no figure 7 rows")
+	}
+	var rokuPrivate *Figure7Row
+	for i := range rows {
+		if rows[i].Group == GroupRoku && rows[i].Issuer == "Roku" {
+			rokuPrivate = &rows[i]
+		}
+		if rows[i].MinDays > rows[i].MaxDays {
+			t.Fatalf("row %v min>max", rows[i])
+		}
+	}
+	if rokuPrivate == nil {
+		t.Fatal("no Roku-signed certificates in the Roku group")
+	}
+	// Roku signs its own certs with ~13-year validity, never in CT.
+	if rokuPrivate.MaxDays < 4000 {
+		t.Errorf("Roku-signed max validity %d days, want ~5000", rokuPrivate.MaxDays)
+	}
+	if rokuPrivate.InCT != 0 {
+		t.Errorf("%d Roku-signed certs in CT, want 0", rokuPrivate.InCT)
+	}
+}
+
+func TestTable17HasInvalidChains(t *testing.T) {
+	st := Run(world(t))
+	rows := st.Table17()
+	if len(rows) == 0 {
+		t.Fatal("no invalid/misconfigured chains in either group")
+	}
+	statuses := map[pki.ChainStatus]bool{}
+	for _, r := range rows {
+		if r.Status == pki.StatusValid {
+			t.Fatal("valid status in Table 17")
+		}
+		statuses[r.Status] = true
+	}
+	if !statuses[pki.StatusUntrustedRoot] && !statuses[pki.StatusSelfSigned] {
+		t.Error("expected untrusted-root/self-signed rows (Roku's own chains)")
+	}
+}
+
+func TestKeyInfrastructure(t *testing.T) {
+	st := Run(world(t))
+	infra := st.KeyInfrastructure()
+	if len(infra) != 2 {
+		t.Fatalf("groups %d, want 2", len(infra))
+	}
+	byGroup := map[Group]VendorKeyInfrastructure{}
+	for _, k := range infra {
+		byGroup[k.Group] = k
+	}
+	roku := byGroup[GroupRoku]
+	// Roku's own servers use a mixture of issuers with a large validity
+	// variance, reaching ~5000 days (Section 6.1).
+	if roku.MaxValidity < 4000 {
+		t.Errorf("Roku max validity %d", roku.MaxValidity)
+	}
+	foundRoku := false
+	for _, i := range roku.Issuers {
+		if i == "Roku" {
+			foundRoku = true
+		}
+	}
+	if !foundRoku {
+		t.Error("Roku missing from its own issuer list")
+	}
+	amazon := byGroup[GroupAmazon]
+	if amazon.MaxValidity == 0 {
+		t.Error("Amazon group empty")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(w)
+	}
+}
