@@ -6,6 +6,7 @@
 package repro_bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/labdata"
 	"repro/internal/libcorpus"
 	"repro/internal/localnet"
+	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/simnet"
 	"repro/internal/smarttv"
@@ -407,6 +409,31 @@ func BenchmarkAblationMatcherIndex(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkResilientProbeEngine measures the resilient engine sweeping a
+// faulty world: 20% seeded transient failures, retries with full-jitter
+// backoff on a virtual clock (no wall sleeps), deterministic ordering.
+// The first iteration prints the recovery summary.
+func BenchmarkResilientProbeEngine(b *testing.B) {
+	ds := dataset.Generate(dataset.Config{Seed: 5, Scale: 0.1})
+	snis := ds.SNIsByMinUsers(2)
+	world := simnet.Build(simnet.Config{Seed: 6, SNIs: snis})
+	clock := probe.NewFakeClock(world.ProbeTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// SetFaults resets the per-attempt counters, so every iteration
+		// replays the identical fault schedule.
+		world.SetFaults(simnet.Faults{Seed: 7, TransientRate: 0.2, Sleep: clock.Sleep})
+		eng := probe.New(probe.WorldProber{World: world}, probe.Options{Seed: 7, Clock: clock})
+		_, stats := eng.Run(context.Background(), snis, simnet.Vantages())
+		if i == 0 && !testing.Short() {
+			fmt.Printf("== Probe resilience == jobs=%d attempts=%d retries=%d ok=%d recovered=%d transient=%d terminal=%d breaker-opens=%d\n\n",
+				stats.Jobs, stats.Attempts, stats.Retries, stats.Successes,
+				stats.RecoveredAfterRetry, stats.TransientFailures, stats.TerminalFailures, stats.BreakerOpens)
+		}
+	}
 }
 
 // BenchmarkEndToEndStudy measures the full pipeline at reduced scale.

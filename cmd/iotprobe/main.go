@@ -1,76 +1,134 @@
 // Command iotprobe is the standalone multi-vantage certificate prober of
 // Section 5.1: given a set of SNIs it establishes TLS connections from
-// three vantage points, captures the served chains, validates them
+// three vantage points through the resilient probe engine (per-attempt
+// timeouts, exponential backoff with full jitter, per-host retry budget
+// and circuit breaker), captures the served chains, validates them
 // against the major trust stores, and reports issuer, validity, chain
 // status, and CT presence for each server.
 //
 // Without an SNI list it probes every server of the simulated world built
-// from the crowdsourced dataset.
+// from the crowdsourced dataset. Positional SNIs are added to the hosted
+// world, so ad-hoc domains resolve instead of failing with unknown host.
 //
 // Usage:
 //
-//	iotprobe [-seed N] [-scale F] [-real-tls] [sni ...]
+//	iotprobe [-seed N] [-scale F] [-real-tls] [-vantage V]
+//	         [-timeout D] [-retries N] [-workers N] [-fault-rate F] [sni ...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/pki"
+	"repro/internal/probe"
 	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 20231024, "world seed")
-		scale   = flag.Float64("scale", 0.3, "population scale for the default SNI set")
-		realTLS = flag.Bool("real-tls", true, "use genuine crypto/tls handshakes")
-		vantage = flag.String("vantage", "all", "vantage: new-york, frankfurt, singapore, or all")
+		seed      = flag.Int64("seed", 20231024, "world seed")
+		scale     = flag.Float64("scale", 0.3, "population scale for the default SNI set")
+		realTLS   = flag.Bool("real-tls", true, "use genuine crypto/tls handshakes")
+		vantage   = flag.String("vantage", "all", "vantage: new-york, frankfurt, singapore, or all")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-attempt handshake timeout")
+		retries   = flag.Int("retries", 3, "max retries per (SNI, vantage) on transient failures")
+		workers   = flag.Int("workers", 0, "concurrent probe workers (0 = GOMAXPROCS)")
+		faultRate = flag.Float64("fault-rate", 0, "injected transient-failure probability per attempt, in [0,1]")
 	)
 	flag.Parse()
 
+	vantages, err := resolveVantages(*vantage)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fmt.Fprintf(os.Stderr, "iotprobe: -fault-rate %v outside [0,1]\n", *faultRate)
+		os.Exit(2)
+	}
+
 	ds := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
 	snis := flag.Args()
+	worldSNIs := ds.SNIsByMinUsers(2)
 	if len(snis) == 0 {
-		snis = ds.SNIsByMinUsers(2)
-	}
-	world := simnet.Build(simnet.Config{Seed: *seed + 1, SNIs: ds.SNIsByMinUsers(2)})
-
-	var vantages []simnet.Vantage
-	if *vantage == "all" {
-		vantages = simnet.Vantages()
+		snis = worldSNIs
 	} else {
-		vantages = []simnet.Vantage{simnet.Vantage(*vantage)}
-	}
-
-	sort.Strings(snis)
-	ok, failed := 0, 0
-	for _, sni := range snis {
-		for _, v := range vantages {
-			var chain pki.Chain
-			var err error
-			if *realTLS {
-				chain, err = world.Probe(sni, v)
-			} else {
-				chain, err = world.ProbeFast(sni, v)
+		// Host the user's SNIs too: a domain outside the default set
+		// should be probed, not rejected as unknown.
+		hosted := map[string]bool{}
+		for _, s := range worldSNIs {
+			hosted[s] = true
+		}
+		for _, s := range snis {
+			if !hosted[s] {
+				worldSNIs = append(worldSNIs, s)
+				hosted[s] = true
 			}
-			if err != nil {
-				failed++
-				fmt.Printf("%-40s %-10s ERROR %v\n", sni, v, err)
-				continue
-			}
-			ok++
-			res := world.Validator.Validate(chain, sni, world.ProbeTime)
-			leaf := chain.Leaf()
-			days := int(leaf.NotAfter.Sub(leaf.NotBefore).Hours() / 24)
-			fmt.Printf("%-40s %-10s issuer=%-28s status=%-22s chain=%d validity=%dd ct=%v\n",
-				sni, v, pki.IssuerOrg(leaf), res.Status, chain.Len(), days,
-				world.Log.Contains(leaf))
 		}
 	}
-	fmt.Fprintf(os.Stderr, "probed %d captures, %d failures across %d vantage(s)\n",
-		ok, failed, len(vantages))
+	world := simnet.Build(simnet.Config{Seed: *seed + 1, SNIs: worldSNIs})
+	if *faultRate > 0 {
+		world.SetFaults(simnet.Faults{Seed: *seed, TransientRate: *faultRate})
+	}
+
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1 // flag 0 means "no retries", not "engine default"
+	}
+	eng := probe.New(probe.WorldProber{World: world, RealTLS: *realTLS}, probe.Options{
+		Workers:        *workers,
+		AttemptTimeout: *timeout,
+		MaxRetries:     maxRetries,
+		Seed:           *seed,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sort.Strings(snis)
+	results, stats := eng.Run(ctx, snis, vantages)
+
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-40s %-10s ERROR [%s after %d attempt(s)] %v\n",
+				r.SNI, r.Vantage, r.Class, r.Attempts, r.Err)
+			continue
+		}
+		res := world.Validator.Validate(r.Chain, r.SNI, world.ProbeTime)
+		leaf := r.Chain.Leaf()
+		days := int(leaf.NotAfter.Sub(leaf.NotBefore).Hours() / 24)
+		fmt.Printf("%-40s %-10s issuer=%-28s status=%-22s chain=%d validity=%dd ct=%v attempts=%d\n",
+			r.SNI, r.Vantage, pki.IssuerOrg(leaf), res.Status, r.Chain.Len(), days,
+			world.Log.Contains(leaf), r.Attempts)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"probed %d jobs across %d vantage(s): %d ok (%d recovered by retry), %d transient, %d terminal, %d aborted\n",
+		stats.Jobs, len(vantages), stats.Successes, stats.RecoveredAfterRetry,
+		stats.TransientFailures, stats.TerminalFailures, stats.Aborted)
+	fmt.Fprintf(os.Stderr,
+		"attempts=%d retries=%d breaker-opens=%d breaker-fast-fails=%d budget-exhausted=%d\n",
+		stats.Attempts, stats.Retries, stats.BreakerOpens, stats.BreakerFastFails, stats.BudgetExhausted)
+	if stats.Aborted > 0 {
+		os.Exit(130)
+	}
+}
+
+// resolveVantages validates the -vantage flag against the known set.
+func resolveVantages(name string) ([]simnet.Vantage, error) {
+	if name == "all" {
+		return simnet.Vantages(), nil
+	}
+	for _, v := range simnet.Vantages() {
+		if string(v) == name {
+			return []simnet.Vantage{v}, nil
+		}
+	}
+	return nil, fmt.Errorf("iotprobe: unknown vantage %q (want new-york, frankfurt, singapore, or all)", name)
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"crypto/x509"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/ctlog"
 	"repro/internal/dataset"
 	"repro/internal/pki"
+	"repro/internal/probe"
 	"repro/internal/simnet"
 )
 
@@ -48,11 +50,21 @@ type Server struct {
 	ProbedSNIs []string
 	// UnreachableSNIs failed at every vantage.
 	UnreachableSNIs []string
+	// ProbeStats summarizes the resilient-probe run: attempts, retries,
+	// failure classes, breaker activity.
+	ProbeStats probe.Stats
 }
 
 // NewServer probes every SNI from every vantage (real TLS when realTLS is
-// set) and assembles the certificate dataset of Section 5.1.
+// set) through the resilient engine with default options and assembles
+// the certificate dataset of Section 5.1.
 func NewServer(w *simnet.World, ds *dataset.Dataset, snis []string, realTLS bool) *Server {
+	return NewServerProbed(w, ds, snis, probe.WorldProber{World: w, RealTLS: realTLS}, probe.Options{})
+}
+
+// NewServerProbed is NewServer with an explicit probing backend and
+// engine options, for fault-injected or live-backend collection runs.
+func NewServerProbed(w *simnet.World, ds *dataset.Dataset, snis []string, p probe.Prober, opts probe.Options) *Server {
 	s := &Server{
 		World:      w,
 		DS:         ds,
@@ -74,7 +86,8 @@ func NewServer(w *simnet.World, ds *dataset.Dataset, snis []string, realTLS bool
 		visitVendors[r.SNI][r.Vendor] = true
 	}
 
-	results := w.ProbeAll(snis, simnet.Vantages(), realTLS)
+	results, stats := probe.New(p, opts).Run(context.Background(), snis, simnet.Vantages())
+	s.ProbeStats = stats
 	chains := map[simnet.Vantage]map[string]pki.Chain{}
 	for _, v := range simnet.Vantages() {
 		chains[v] = map[string]pki.Chain{}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
 	"repro/internal/libcorpus"
+	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/simnet"
 )
@@ -30,6 +31,11 @@ type Config struct {
 	// RealTLS probes with genuine crypto/tls handshakes instead of the
 	// fast path.
 	RealTLS bool
+	// Probe tunes the resilient probe engine (zero value = defaults).
+	Probe probe.Options
+	// Faults optionally installs deterministic handshake-fault injection
+	// on the world before probing.
+	Faults *simnet.Faults
 }
 
 // DefaultConfig is the paper-scale run.
@@ -63,8 +69,9 @@ func Run(cfg Config) (*Study, error) {
 		return nil, fmt.Errorf("core: client analysis: %w", err)
 	}
 	snis := ds.SNIsByMinUsers(cfg.MinSNIUsers)
-	world := simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: snis})
-	server := analysis.NewServer(world, ds, snis, cfg.RealTLS)
+	world := simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: snis, Faults: cfg.Faults})
+	server := analysis.NewServerProbed(world, ds, snis,
+		probe.WorldProber{World: world, RealTLS: cfg.RealTLS}, cfg.Probe)
 	return &Study{
 		Config:  cfg,
 		Dataset: ds,
@@ -113,6 +120,7 @@ func (s *Study) ServerTables() []report.Table {
 		report.CTStats(s.Server.CT()),
 		report.Table15(s.Server.Table15(30)),
 		report.Table16(s.Server.Table16()),
+		report.ProbeStats(s.Server.ProbeStats),
 		report.ReportCards(s.Server.ReportCards(s.World.ProbeTime), s.World.ProbeTime),
 	}
 }

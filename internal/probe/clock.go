@@ -1,0 +1,76 @@
+package probe
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Clock abstracts time for the engine so backoff, breaker cooldowns, and
+// fault schedules run against a virtual clock in tests — no wall-clock
+// sleeps on any retry path.
+type Clock interface {
+	Now() time.Time
+	// Sleep waits for d or until ctx is done, returning the context error
+	// if it fires first.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	return simnet.RealSleep(ctx, d)
+}
+
+// FakeClock is a virtual clock: Sleep advances Now by the requested
+// duration and returns immediately, recording each sleep. Safe for
+// concurrent use. Its Sleep method is also a valid simnet.SleepFunc, so
+// one FakeClock can drive both the engine and the world's fault schedule.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFakeClock starts a virtual clock at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the virtual clock forward without recording a sleep.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Sleep advances the clock by d instantly, honouring prior cancellation.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+	return nil
+}
+
+// Sleeps returns a copy of every recorded sleep, in order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}

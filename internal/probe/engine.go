@@ -1,0 +1,365 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/simnet"
+)
+
+// Options tunes the engine. The zero value selects production defaults;
+// negative MaxRetries or RetryBudget disable the feature explicitly.
+type Options struct {
+	// Workers bounds probe concurrency (<= 0: runtime.GOMAXPROCS).
+	Workers int
+	// AttemptTimeout is the per-attempt context deadline (<= 0: 5s).
+	AttemptTimeout time.Duration
+	// MaxRetries caps retries per (SNI, vantage) job after the first
+	// attempt (0: default 3; < 0: no retries).
+	MaxRetries int
+	// RetryBudget caps total retries per host across all vantages
+	// (0: default 12; < 0: no budget-funded retries).
+	RetryBudget int
+	// BackoffBase and BackoffMax bound the exponential full-jitter
+	// backoff: attempt n sleeps uniform[0, min(BackoffMax, BackoffBase*2^(n-1))]
+	// (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens a host's breaker after that many consecutive
+	// transient failures (<= 0: default 5).
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open wait (<= 0: default 30s).
+	BreakerCooldown time.Duration
+	// Seed drives the jitter; a fixed seed reproduces backoff traces.
+	Seed int64
+	// Clock is the time source (nil: wall clock). Tests inject FakeClock
+	// so no retry path ever sleeps for real.
+	Clock Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 5 * time.Second
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 3
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	switch {
+	case o.RetryBudget == 0:
+		o.RetryBudget = 12
+	case o.RetryBudget < 0:
+		o.RetryBudget = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	return o
+}
+
+// AttemptRecord is one attempt in a job's retry trace.
+type AttemptRecord struct {
+	// Attempt number, 1-based.
+	Attempt int
+	// Class of the attempt's outcome.
+	Class Class
+	// Err is the attempt error text ("" on success).
+	Err string
+	// Backoff slept after this attempt (0 on the final attempt).
+	Backoff time.Duration
+}
+
+// Result is the final outcome of one (SNI, vantage) job.
+type Result struct {
+	SNI     string
+	Vantage simnet.Vantage
+	Chain   pki.Chain
+	Err     error
+	// Attempts counts loop iterations, including breaker fast-fails.
+	Attempts int
+	// Class of the final outcome (ClassNone on success).
+	Class Class
+	// Trace records every attempt in order.
+	Trace []AttemptRecord
+}
+
+// Stats aggregates one Run for the probe summary.
+type Stats struct {
+	// Jobs is the number of (SNI, vantage) pairs.
+	Jobs int
+	// Attempts counts actual probe calls (breaker fast-fails excluded).
+	Attempts int
+	// Retries counts attempts after the first, across all jobs.
+	Retries int
+	// Successes and RecoveredAfterRetry (successes needing > 1 attempt).
+	Successes           int
+	RecoveredAfterRetry int
+	// Final failures by class.
+	TransientFailures int
+	TerminalFailures  int
+	Aborted           int
+	// Breaker activity.
+	BreakerOpens     int
+	BreakerFastFails int
+	// BudgetExhausted counts jobs that gave up because the host's retry
+	// budget ran dry.
+	BudgetExhausted int
+}
+
+// Engine drives a Prober with retries, backoff, budgets, and breakers.
+// State (breakers, budgets, stats) persists across Run calls so repeated
+// sweeps against the same fleet keep warm breaker state.
+type Engine struct {
+	prober Prober
+	opts   Options
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	budgets  map[string]int
+	stats    Stats
+}
+
+// New builds an engine over the prober with normalized options.
+func New(p Prober, opts Options) *Engine {
+	return &Engine{
+		prober:   p,
+		opts:     opts.withDefaults(),
+		breakers: map[string]*breaker{},
+		budgets:  map[string]int{},
+	}
+}
+
+// Run probes every SNI from every vantage and returns results in
+// deterministic order: SNIs sorted and deduplicated, vantages in the
+// given order, results[i*len(vantages)+j] = (snis[i], vantages[j]).
+// Cancelling ctx stops the run gracefully: in-flight attempts observe the
+// cancellation, queued jobs return ClassAborted, and every job still gets
+// a Result.
+func (e *Engine) Run(ctx context.Context, snis []string, vantages []simnet.Vantage) ([]Result, Stats) {
+	ordered := append([]string(nil), snis...)
+	sort.Strings(ordered)
+	ordered = dedup(ordered)
+
+	type job struct {
+		sni     string
+		vantage simnet.Vantage
+	}
+	jobs := make([]job, 0, len(ordered)*len(vantages))
+	for _, sni := range ordered {
+		for _, v := range vantages {
+			jobs = append(jobs, job{sni, v})
+		}
+	}
+	results := make([]Result, len(jobs))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < e.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runJob(ctx, jobs[i].sni, jobs[i].vantage)
+			}
+		}()
+	}
+	// Feed every index: once ctx is cancelled, runJob returns aborted
+	// results immediately, so the queue drains without wedging.
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, e.StatsSnapshot()
+}
+
+// runJob drives one (SNI, vantage) pair through the retry loop.
+func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage) Result {
+	res := Result{SNI: sni, Vantage: vantage}
+	e.bump(func(s *Stats) { s.Jobs++ })
+	br := e.breakerFor(sni)
+
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			res.Err, res.Class = err, ClassAborted
+			res.Attempts = attempt - 1
+			e.bump(func(s *Stats) { s.Aborted++ })
+			return res
+		}
+		res.Attempts = attempt
+
+		var chain pki.Chain
+		var err error
+		if !br.allow(e.opts.Clock.Now()) {
+			err = fmt.Errorf("%w: %s", ErrCircuitOpen, sni)
+			e.bump(func(s *Stats) { s.BreakerFastFails++ })
+		} else {
+			attemptCtx, cancel := context.WithTimeout(ctx, e.opts.AttemptTimeout)
+			chain, err = e.prober.Probe(attemptCtx, sni, vantage)
+			cancel()
+			e.bump(func(s *Stats) { s.Attempts++ })
+		}
+
+		class := Classify(err)
+		rec := AttemptRecord{Attempt: attempt, Class: class}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+
+		switch class {
+		case ClassNone:
+			br.success()
+			res.Chain, res.Class = chain, ClassNone
+			res.Trace = append(res.Trace, rec)
+			e.bump(func(s *Stats) {
+				s.Successes++
+				if attempt > 1 {
+					s.RecoveredAfterRetry++
+				}
+			})
+			return res
+		case ClassTerminal:
+			res.Err, res.Class = err, ClassTerminal
+			res.Trace = append(res.Trace, rec)
+			e.bump(func(s *Stats) { s.TerminalFailures++ })
+			return res
+		case ClassAborted:
+			res.Err, res.Class = err, ClassAborted
+			res.Trace = append(res.Trace, rec)
+			e.bump(func(s *Stats) { s.Aborted++ })
+			return res
+		}
+
+		// Transient: feed the breaker (real probe failures only — a
+		// fast-fail is the breaker talking, not the host), then decide
+		// whether a retry is allowed.
+		fastFail := errors.Is(err, ErrCircuitOpen)
+		if !fastFail {
+			if br.failure(e.opts.Clock.Now()) {
+				e.bump(func(s *Stats) { s.BreakerOpens++ })
+			}
+		}
+		if attempt-1 >= e.opts.MaxRetries {
+			res.Err, res.Class = err, ClassTransient
+			res.Trace = append(res.Trace, rec)
+			e.bump(func(s *Stats) { s.TransientFailures++ })
+			return res
+		}
+		// Fast-fails retry for free: the breaker already suppressed the
+		// probe, and backoff gives its cooldown room to elapse.
+		if !fastFail && !e.takeBudget(sni) {
+			res.Err, res.Class = err, ClassTransient
+			res.Trace = append(res.Trace, rec)
+			e.bump(func(s *Stats) { s.TransientFailures++; s.BudgetExhausted++ })
+			return res
+		}
+		rec.Backoff = e.backoff(sni, vantage, attempt)
+		res.Trace = append(res.Trace, rec)
+		e.bump(func(s *Stats) { s.Retries++ })
+		if err := e.opts.Clock.Sleep(ctx, rec.Backoff); err != nil {
+			res.Err, res.Class = err, ClassAborted
+			e.bump(func(s *Stats) { s.Aborted++ })
+			return res
+		}
+	}
+}
+
+// backoff computes the full-jitter backoff after the given attempt:
+// uniform in [0, min(BackoffMax, BackoffBase*2^(attempt-1))], derived
+// deterministically from the seed.
+func (e *Engine) backoff(sni string, vantage simnet.Vantage, attempt int) time.Duration {
+	ceil := e.opts.BackoffMax
+	if shift := attempt - 1; shift < 62 {
+		if c := e.opts.BackoffBase << shift; c > 0 && c < ceil {
+			ceil = c
+		}
+	}
+	frac := hashFrac(e.opts.Seed, "backoff", sni, string(vantage), attempt)
+	return time.Duration(frac * float64(ceil))
+}
+
+func (e *Engine) breakerFor(sni string) *breaker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.breakers[sni]
+	if b == nil {
+		b = newBreaker(e.opts.BreakerThreshold, e.opts.BreakerCooldown)
+		e.breakers[sni] = b
+	}
+	return b
+}
+
+// takeBudget consumes one retry from the host's budget, reporting whether
+// any remained.
+func (e *Engine) takeBudget(sni string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rem, seen := e.budgets[sni]
+	if !seen {
+		rem = e.opts.RetryBudget
+	}
+	if rem <= 0 {
+		e.budgets[sni] = 0
+		return false
+	}
+	e.budgets[sni] = rem - 1
+	return true
+}
+
+// BreakerStateOf reports a host's breaker state (BreakerClosed when the
+// host has never been probed).
+func (e *Engine) BreakerStateOf(sni string) BreakerState {
+	e.mu.Lock()
+	b := e.breakers[sni]
+	e.mu.Unlock()
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.currentState()
+}
+
+// StatsSnapshot returns a copy of the cumulative stats.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) bump(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ciphersuite"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
+	"repro/internal/probe"
 	"repro/internal/simnet"
 	"repro/internal/tlswire"
 )
@@ -427,6 +428,28 @@ func CTStats(st analysis.CTStats) Table {
 		t.Rows = append(t.Rows, []string{"  missing from CT: " + i, itoa(st.PublicMissIssuers[i]), ""})
 	}
 	return t
+}
+
+// ProbeStats renders the resilient-probe run summary: attempt and retry
+// volume, final failures by taxonomy class, and circuit-breaker activity.
+func ProbeStats(st probe.Stats) Table {
+	return Table{
+		Title:   "Probe resilience: retry / failure / breaker summary",
+		Headers: []string{"Metric", "Count"},
+		Rows: [][]string{
+			{"(SNI, vantage) jobs", itoa(st.Jobs)},
+			{"probe attempts", itoa(st.Attempts)},
+			{"retries", itoa(st.Retries)},
+			{"successes", itoa(st.Successes)},
+			{"recovered after retry", itoa(st.RecoveredAfterRetry)},
+			{"transient failures (final)", itoa(st.TransientFailures)},
+			{"terminal failures", itoa(st.TerminalFailures)},
+			{"aborted (cancelled)", itoa(st.Aborted)},
+			{"breaker opens", itoa(st.BreakerOpens)},
+			{"breaker fast-fails", itoa(st.BreakerFastFails)},
+			{"retry budget exhausted", itoa(st.BudgetExhausted)},
+		},
+	}
 }
 
 // Table15 renders the popular SLDs.

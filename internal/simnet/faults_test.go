@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// virtualSleep is a no-wall-clock SleepFunc for fault tests.
+func virtualSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func faultyWorld(t testing.TB, seed int64) *World {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{Seed: 99, Scale: 0.15})
+	return Build(Config{Seed: 1, SNIs: ds.SNIsByMinUsers(2), Faults: &Faults{
+		Seed:          seed,
+		TransientRate: 0.3,
+		Sleep:         virtualSleep,
+	}})
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a, b := faultyWorld(t, 7), faultyWorld(t, 7)
+	ctx := context.Background()
+	attempts := 0
+	for sni, srv := range a.Servers {
+		if srv.Unreachable {
+			continue
+		}
+		for _, v := range Vantages() {
+			for i := 0; i < 3; i++ {
+				attempts++
+				_, errA := a.ProbeFastContext(ctx, sni, v)
+				_, errB := b.ProbeFastContext(ctx, sni, v)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s@%s attempt %d: schedules diverge (%v vs %v)", sni, v, i+1, errA, errB)
+				}
+				if errA != nil && errA.Error() != errB.Error() {
+					t.Fatalf("%s@%s attempt %d: errors differ (%v vs %v)", sni, v, i+1, errA, errB)
+				}
+			}
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no reachable servers exercised")
+	}
+}
+
+func TestFaultAttemptsDecorrelated(t *testing.T) {
+	// A host that fails attempt 1 must not be doomed on every retry: at a
+	// 30% rate, some failing host recovers within three further attempts.
+	w := faultyWorld(t, 7)
+	ctx := context.Background()
+	failedOnce, recovered := 0, 0
+	for sni, srv := range w.Servers {
+		if srv.Unreachable {
+			continue
+		}
+		if _, err := w.ProbeFastContext(ctx, sni, VantageNewYork); err == nil {
+			continue
+		}
+		failedOnce++
+		for i := 0; i < 3; i++ {
+			if _, err := w.ProbeFastContext(ctx, sni, VantageNewYork); err == nil {
+				recovered++
+				break
+			}
+		}
+	}
+	if failedOnce == 0 {
+		t.Fatal("no first-attempt failures at a 30% rate")
+	}
+	if recovered == 0 {
+		t.Fatalf("all %d failing hosts failed every retry — fault rolls correlated across attempts", failedOnce)
+	}
+}
+
+func TestFaultKindsObserved(t *testing.T) {
+	w := faultyWorld(t, 7)
+	ctx := context.Background()
+	resets, stalls := 0, 0
+	for sni, srv := range w.Servers {
+		if srv.Unreachable {
+			continue
+		}
+		for _, v := range Vantages() {
+			_, err := w.ProbeFastContext(ctx, sni, v)
+			switch {
+			case errors.Is(err, ErrConnReset):
+				resets++
+			case errors.Is(err, ErrStalled):
+				stalls++
+			}
+		}
+	}
+	if resets == 0 || stalls == 0 {
+		t.Fatalf("fault mix incomplete: %d resets, %d stalls", resets, stalls)
+	}
+}
+
+func TestStalledHandshakeHonoursDeadline(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Seed: 99, Scale: 0.15})
+	w := Build(Config{Seed: 1, SNIs: ds.SNIsByMinUsers(2), Faults: &Faults{
+		Seed:          3,
+		TransientRate: 1.0, // every attempt faults
+		ResetFraction: -1,  // negative: nothing classified as reset, all stalls
+		StallTimeout:  10 * time.Second,
+	}})
+	var sni string
+	for s, srv := range w.Servers {
+		if !srv.Unreachable {
+			sni = s
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := w.ProbeFastContext(ctx, sni, VantageNewYork)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("want stall, got %v", err)
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatal("context did not expire — stall returned without waiting on the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall ignored the deadline, took %v", elapsed)
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	w := faultyWorld(t, 7)
+	w.ClearFaults()
+	ctx := context.Background()
+	for sni, srv := range w.Servers {
+		if srv.Unreachable {
+			continue
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := w.ProbeFastContext(ctx, sni, VantageNewYork); err != nil {
+				t.Fatalf("fault injected after ClearFaults: %v", err)
+			}
+		}
+		break
+	}
+}

@@ -1,18 +1,21 @@
 package simnet
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/pki"
 )
 
-// Probe errors.
+// Probe errors. Both are terminal in the probe-engine failure taxonomy:
+// retrying an unknown or unreachable host cannot succeed.
 var (
 	// ErrUnknownHost: the SNI resolves to nothing in this world.
 	ErrUnknownHost = errors.New("simnet: unknown host")
@@ -21,16 +24,30 @@ var (
 	ErrUnreachable = errors.New("simnet: host unreachable")
 )
 
+// defaultHandshakeTimeout bounds a handshake when the caller's context
+// carries no deadline.
+const defaultHandshakeTimeout = 5 * time.Second
+
 // Probe performs a genuine crypto/tls handshake with the server behind
 // the SNI, as seen from the vantage, and returns the certificate chain
 // the server presented. This is the collection path of Section 5.1.
 func (w *World) Probe(sni string, vantage Vantage) (pki.Chain, error) {
+	return w.ProbeContext(context.Background(), sni, vantage)
+}
+
+// ProbeContext is Probe with cancellation: the context deadline bounds
+// the handshake (defaultHandshakeTimeout when absent), and the installed
+// fault schedule (SetFaults) runs before the handshake.
+func (w *World) ProbeContext(ctx context.Context, sni string, vantage Vantage) (pki.Chain, error) {
 	srv, ok := w.Servers[sni]
 	if !ok {
 		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnknownHost, sni)
 	}
 	if srv.Unreachable {
 		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnreachable, sni)
+	}
+	if err := w.faults.inject(ctx, sni, vantage); err != nil {
+		return pki.Chain{}, err
 	}
 	chain := srv.ChainAt(vantage)
 	leafKey := srv.LeafAt(vantage).Key
@@ -41,6 +58,11 @@ func (w *World) Probe(sni string, vantage Vantage) (pki.Chain, error) {
 	tlsCert := tls.Certificate{PrivateKey: leafKey}
 	for _, c := range chain.Certs {
 		tlsCert.Certificate = append(tlsCert.Certificate, c.Raw)
+	}
+
+	deadline := time.Now().Add(defaultHandshakeTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
 	}
 
 	clientSide, serverSide := net.Pipe()
@@ -55,6 +77,7 @@ func (w *World) Probe(sni string, vantage Vantage) (pki.Chain, error) {
 			Certificates: []tls.Certificate{tlsCert},
 			MinVersion:   tls.VersionTLS12,
 		})
+		sconn.SetDeadline(deadline)
 		errCh <- sconn.Handshake()
 	}()
 
@@ -63,13 +86,18 @@ func (w *World) Probe(sni string, vantage Vantage) (pki.Chain, error) {
 		InsecureSkipVerify: true, // we validate ourselves, like the study's prober
 		MinVersion:         tls.VersionTLS12,
 	})
-	cconn.SetDeadline(time.Now().Add(5 * time.Second))
+	cconn.SetDeadline(deadline)
 	if err := cconn.Handshake(); err != nil {
 		<-errCh
 		return pki.Chain{}, fmt.Errorf("simnet: handshake with %s: %w", sni, err)
 	}
 	peer := cconn.ConnectionState().PeerCertificates
-	<-errCh
+	// The client side can finish while the server side failed (e.g. its
+	// deadline fired flushing the last flight); a silent discard here
+	// would hide exactly the flaky-handshake class the engine retries.
+	if serr := <-errCh; serr != nil {
+		return pki.Chain{}, fmt.Errorf("simnet: server-side handshake with %s: %w", sni, serr)
+	}
 
 	out := pki.Chain{Certs: make([]*x509.Certificate, len(peer))}
 	copy(out.Certs, peer)
@@ -89,12 +117,22 @@ func (s *Server) LeafAt(v Vantage) pki.Certificate {
 // ProbeFast returns the chain without a TLS handshake — byte-identical to
 // what Probe captures, for analysis at scale and benchmarks.
 func (w *World) ProbeFast(sni string, vantage Vantage) (pki.Chain, error) {
+	return w.ProbeFastContext(context.Background(), sni, vantage)
+}
+
+// ProbeFastContext is ProbeFast with cancellation and fault injection, so
+// the resilient engine exercises identical retry paths on both probe
+// modes.
+func (w *World) ProbeFastContext(ctx context.Context, sni string, vantage Vantage) (pki.Chain, error) {
 	srv, ok := w.Servers[sni]
 	if !ok {
 		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnknownHost, sni)
 	}
 	if srv.Unreachable {
 		return pki.Chain{}, fmt.Errorf("%w: %s", ErrUnreachable, sni)
+	}
+	if err := w.faults.inject(ctx, sni, vantage); err != nil {
+		return pki.Chain{}, err
 	}
 	return srv.ChainAt(vantage), nil
 }
@@ -107,40 +145,43 @@ type ProbeResult struct {
 	Err     error
 }
 
-// ProbeAll captures every SNI from every vantage concurrently. When
-// realTLS is true every capture is a full crypto/tls handshake.
+// ProbeAll captures every SNI from every vantage concurrently with
+// GOMAXPROCS workers. When realTLS is true every capture is a full
+// crypto/tls handshake.
 func (w *World) ProbeAll(snis []string, vantages []Vantage, realTLS bool) []ProbeResult {
-	type job struct {
-		sni     string
-		vantage Vantage
+	return w.ProbeAllWorkers(snis, vantages, realTLS, 0)
+}
+
+// ProbeAllWorkers is ProbeAll with an explicit worker count (<= 0 means
+// runtime.GOMAXPROCS). Results are returned in deterministic (SNI,
+// vantage) order: results[i*len(vantages)+j] is snis[i] at vantages[j],
+// independent of worker interleaving.
+func (w *World) ProbeAllWorkers(snis []string, vantages []Vantage, realTLS bool, workers int) []ProbeResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	jobs := make(chan job)
-	results := make([]ProbeResult, 0, len(snis)*len(vantages))
-	var mu sync.Mutex
+	results := make([]ProbeResult, len(snis)*len(vantages))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	workers := 16
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			for idx := range jobs {
+				sni, v := snis[idx/len(vantages)], vantages[idx%len(vantages)]
 				var chain pki.Chain
 				var err error
 				if realTLS {
-					chain, err = w.Probe(j.sni, j.vantage)
+					chain, err = w.Probe(sni, v)
 				} else {
-					chain, err = w.ProbeFast(j.sni, j.vantage)
+					chain, err = w.ProbeFast(sni, v)
 				}
-				mu.Lock()
-				results = append(results, ProbeResult{SNI: j.sni, Vantage: j.vantage, Chain: chain, Err: err})
-				mu.Unlock()
+				results[idx] = ProbeResult{SNI: sni, Vantage: v, Chain: chain, Err: err}
 			}
 		}()
 	}
-	for _, sni := range snis {
-		for _, v := range vantages {
-			jobs <- job{sni, v}
-		}
+	for i := range results {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()

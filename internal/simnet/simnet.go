@@ -99,6 +99,9 @@ type World struct {
 	// CaptureWindow bounds of the ClientHello dataset, for the
 	// expired-during-capture analysis (Table 8).
 	CaptureStart, CaptureEnd time.Time
+	// faults is the optional deterministic fault-injection layer
+	// (SetFaults / ClearFaults).
+	faults *faultState
 }
 
 // Config parameterizes world construction.
@@ -109,6 +112,9 @@ type Config struct {
 	SNIs []string
 	// ProbeTime defaults to 2022-04-15 (the paper probed in April 2022).
 	ProbeTime time.Time
+	// Faults optionally installs deterministic fault injection on the
+	// probe path (equivalent to calling SetFaults after Build).
+	Faults *Faults
 }
 
 // publicCAWeights drives the Figure 5 issuer distribution (DigiCert signs
@@ -308,6 +314,9 @@ func Build(cfg Config) *World {
 		owner := ownerOf[sld]
 		issuerOrg := w.issuerForSLD(sld, owner, vendorOf, rng)
 		w.buildSLDServers(sld, snis, owner, issuerOrg, rng)
+	}
+	if cfg.Faults != nil {
+		w.SetFaults(*cfg.Faults)
 	}
 	return w
 }
