@@ -51,6 +51,7 @@ func emit(b *testing.B, i int, t report.Table) {
 }
 
 func BenchmarkTableLibraryMatch(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		res := s.Client.MatchLibraries(s.Matcher)
@@ -59,6 +60,7 @@ func BenchmarkTableLibraryMatch(b *testing.B) {
 }
 
 func BenchmarkTable2DegreeDistribution(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table2(s.Client.Table2()))
@@ -66,6 +68,7 @@ func BenchmarkTable2DegreeDistribution(b *testing.B) {
 }
 
 func BenchmarkFigure1VendorGraph(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		dot := s.Figure1Dot()
@@ -77,6 +80,7 @@ func BenchmarkFigure1VendorGraph(b *testing.B) {
 }
 
 func BenchmarkFigure2DoCCDF(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Figure2(s.Client.DoCVendorAll(), s.Client.DoCDeviceAll()))
@@ -84,6 +88,7 @@ func BenchmarkFigure2DoCCDF(b *testing.B) {
 }
 
 func BenchmarkTable3TopVendorHeterogeneity(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table3(s.Client.Table3(10)))
@@ -91,6 +96,7 @@ func BenchmarkTable3TopVendorHeterogeneity(b *testing.B) {
 }
 
 func BenchmarkFigure3AmazonTypes(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		g := s.Client.TypeGraphForVendor("Amazon")
@@ -102,6 +108,7 @@ func BenchmarkFigure3AmazonTypes(b *testing.B) {
 }
 
 func BenchmarkFigure4EchoClusters(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		g := s.Client.DeviceGraphForVendorType("Amazon", dataset.TypeSpeaker)
@@ -114,6 +121,7 @@ func BenchmarkFigure4EchoClusters(b *testing.B) {
 }
 
 func BenchmarkTable4VendorJaccard(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table4(s.Client.Table4(0.2)))
@@ -121,6 +129,7 @@ func BenchmarkTable4VendorJaccard(b *testing.B) {
 }
 
 func BenchmarkTable5ServerTiedFingerprints(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		rows := s.Client.Table5(2)
@@ -132,6 +141,7 @@ func BenchmarkTable5ServerTiedFingerprints(b *testing.B) {
 }
 
 func BenchmarkVulnerabilityStats(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.VulnStats(s.Client.Vulnerabilities()))
@@ -139,6 +149,7 @@ func BenchmarkVulnerabilityStats(b *testing.B) {
 }
 
 func BenchmarkTable11SemanticsAware(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table11(s.Client.Table11(s.Matcher)))
@@ -146,6 +157,7 @@ func BenchmarkTable11SemanticsAware(b *testing.B) {
 }
 
 func BenchmarkFigure8JaccardHistogram(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Figure8(s.Client.Figure8(s.Matcher, 10)))
@@ -153,6 +165,7 @@ func BenchmarkFigure8JaccardHistogram(b *testing.B) {
 }
 
 func BenchmarkTable12TLSVersions(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table12(s.Client.Table12()))
@@ -164,6 +177,7 @@ func BenchmarkTable12TLSVersions(b *testing.B) {
 }
 
 func BenchmarkFigure9VulnComponents(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		rows := s.Client.Figure9()
@@ -174,6 +188,7 @@ func BenchmarkFigure9VulnComponents(b *testing.B) {
 }
 
 func BenchmarkFigure10DoCDistribution(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	vendors := []string{"Amazon", "Google", "Samsung", "Synology", "Wyze"}
 	for i := 0; i < b.N; i++ {
@@ -189,6 +204,7 @@ func BenchmarkFigure10DoCDistribution(b *testing.B) {
 }
 
 func BenchmarkFigure11LowestVulnIndex(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Figure11(s.Client.Figure11()))
@@ -196,6 +212,7 @@ func BenchmarkFigure11LowestVulnIndex(b *testing.B) {
 }
 
 func BenchmarkFigure12PreferredAlgorithms(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Figure12(s.Client.Figure12()))
@@ -203,6 +220,7 @@ func BenchmarkFigure12PreferredAlgorithms(b *testing.B) {
 }
 
 func BenchmarkOCSPGrease(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Census(s.Client.Census()))
@@ -210,6 +228,7 @@ func BenchmarkOCSPGrease(b *testing.B) {
 }
 
 func BenchmarkTable6CertDataset(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table6(s.Server.Table6()))
@@ -220,6 +239,7 @@ func BenchmarkTable6CertDataset(b *testing.B) {
 }
 
 func BenchmarkFigure5IssuerMatrix(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		cells := s.Server.Figure5()
@@ -232,6 +252,7 @@ func BenchmarkFigure5IssuerMatrix(b *testing.B) {
 }
 
 func BenchmarkTable7ValidationFailures(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.DomainRows("Table 7: Certificate chains with validation failure", s.Server.Table7(), false))
@@ -239,6 +260,7 @@ func BenchmarkTable7ValidationFailures(b *testing.B) {
 }
 
 func BenchmarkTable8ExpiredCerts(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true))
@@ -246,6 +268,7 @@ func BenchmarkTable8ExpiredCerts(b *testing.B) {
 }
 
 func BenchmarkTable14PrivateIssuerChains(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.DomainRows("Table 14: Certificate chains with private issuers", s.Server.Table14(), false))
@@ -256,6 +279,7 @@ func BenchmarkTable14PrivateIssuerChains(b *testing.B) {
 }
 
 func BenchmarkFigure6ValidityCT(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Figure6(s.Server.Figure6()))
@@ -263,6 +287,7 @@ func BenchmarkFigure6ValidityCT(b *testing.B) {
 }
 
 func BenchmarkTable9NetflixValidity(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table9(s.Server.Table9()))
@@ -270,6 +295,7 @@ func BenchmarkTable9NetflixValidity(b *testing.B) {
 }
 
 func BenchmarkFigure13CTPrivateChains(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.CTStats(s.Server.CT()))
@@ -277,6 +303,7 @@ func BenchmarkFigure13CTPrivateChains(b *testing.B) {
 }
 
 func BenchmarkTable15PopularSLDs(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table15(s.Server.Table15(30)))
@@ -284,6 +311,7 @@ func BenchmarkTable15PopularSLDs(b *testing.B) {
 }
 
 func BenchmarkTable16GeoConsistency(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		emit(b, i, report.Table16(s.Server.Table16()))
@@ -291,6 +319,7 @@ func BenchmarkTable16GeoConsistency(b *testing.B) {
 }
 
 func BenchmarkLabCrossCheck(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	lab := labdata.Capture(s.World, s.Dataset, 99)
 	for i := 0; i < b.N; i++ {
@@ -303,6 +332,7 @@ func BenchmarkLabCrossCheck(b *testing.B) {
 }
 
 func BenchmarkFigure7SmartTV(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	for i := 0; i < b.N; i++ {
 		tv := smarttv.Run(s.World)
@@ -319,6 +349,7 @@ func BenchmarkFigure7SmartTV(b *testing.B) {
 }
 
 func BenchmarkTable17SmartTVChains(b *testing.B) {
+	b.ReportAllocs()
 	s := paperStudy(b)
 	tv := smarttv.Run(s.World)
 	for i := 0; i < b.N; i++ {
@@ -334,6 +365,7 @@ func BenchmarkTable17SmartTVChains(b *testing.B) {
 }
 
 func BenchmarkLocalNetworkPKI(b *testing.B) {
+	b.ReportAllocs()
 	lab, err := localnet.NewLab(paperStudy(b).World.ProbeTime)
 	if err != nil {
 		b.Fatal(err)
@@ -359,6 +391,7 @@ func BenchmarkLocalNetworkPKI(b *testing.B) {
 // genuine crypto/tls handshakes versus the direct chain path — the design
 // choice DESIGN.md calls out for the collection pipeline.
 func BenchmarkAblationRealTLSVsFastProbe(b *testing.B) {
+	b.ReportAllocs()
 	ds := dataset.Generate(dataset.Config{Seed: 5, Scale: 0.1})
 	snis := ds.SNIsByMinUsers(2)
 	world := simnet.Build(simnet.Config{Seed: 6, SNIs: snis})
@@ -370,6 +403,7 @@ func BenchmarkAblationRealTLSVsFastProbe(b *testing.B) {
 		}
 	}
 	b.Run("real-tls", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := world.Probe(sni, simnet.VantageNewYork); err != nil {
 				b.Fatal(err)
@@ -377,6 +411,7 @@ func BenchmarkAblationRealTLSVsFastProbe(b *testing.B) {
 		}
 	})
 	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := world.ProbeFast(sni, simnet.VantageNewYork); err != nil {
 				b.Fatal(err)
@@ -389,15 +424,18 @@ func BenchmarkAblationRealTLSVsFastProbe(b *testing.B) {
 // of the Appendix B.2 matcher: indexed lookup vs a linear scan over the
 // full 6,891-entry corpus.
 func BenchmarkAblationMatcherIndex(b *testing.B) {
+	b.ReportAllocs()
 	entries := libcorpus.Build()
 	matcher := libcorpus.NewMatcher()
 	suites := []uint16{0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x009D, 0x0035, 0x003D}
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			matcher.MatchSemantics(suites)
 		}
 	})
 	b.Run("linear-scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// The pre-optimization algorithm: categorize against every
 			// corpus entry and keep the best category.
@@ -416,11 +454,11 @@ func BenchmarkAblationMatcherIndex(b *testing.B) {
 // backoff on a virtual clock (no wall sleeps), deterministic ordering.
 // The first iteration prints the recovery summary.
 func BenchmarkResilientProbeEngine(b *testing.B) {
+	b.ReportAllocs()
 	ds := dataset.Generate(dataset.Config{Seed: 5, Scale: 0.1})
 	snis := ds.SNIsByMinUsers(2)
 	world := simnet.Build(simnet.Config{Seed: 6, SNIs: snis})
 	clock := probe.NewFakeClock(world.ProbeTime)
-	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// SetFaults resets the per-attempt counters, so every iteration
@@ -438,6 +476,7 @@ func BenchmarkResilientProbeEngine(b *testing.B) {
 
 // BenchmarkEndToEndStudy measures the full pipeline at reduced scale.
 func BenchmarkEndToEndStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(core.Config{Seed: int64(i) + 1, Scale: 0.1, MinSNIUsers: 2}); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,227 @@
+package repro_bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/libcorpus"
+)
+
+// benchPoint is one micro-benchmark measurement.
+type benchPoint struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Iterations  int    `json:"iterations"`
+}
+
+// e2ePoint is one end-to-end pipeline wall-time measurement (best of
+// three runs, to shave scheduler noise).
+type e2ePoint struct {
+	Name    string  `json:"name"`
+	Scale   float64 `json:"scale"`
+	Workers int     `json:"workers"`
+	WallMs  float64 `json:"wall_ms"`
+}
+
+// benchReport is the BENCH_PR2.json schema: the benchmark trajectory the
+// CI smoke job archives per commit.
+type benchReport struct {
+	GeneratedAt     string       `json:"generated_at"`
+	GoVersion       string       `json:"go_version"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	Micro           []benchPoint `json:"micro"`
+	EndToEnd        []e2ePoint   `json:"end_to_end"`
+	SpeedupWorkers  float64      `json:"speedup_scale1_workers_vs_1"`
+	SeedBaselineRef string       `json:"seed_baseline_ref"`
+}
+
+func microPoint(name string, fn func(b *testing.B)) benchPoint {
+	r := testing.Benchmark(fn)
+	return benchPoint{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func e2eWall(name string, scale float64, workers, runs int) e2ePoint {
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := core.Run(core.Config{Seed: 20231024, Scale: scale, MinSNIUsers: 3, Workers: workers}); err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return e2ePoint{Name: name, Scale: scale, Workers: workers, WallMs: float64(best.Microseconds()) / 1000}
+}
+
+// TestBenchTrajectory emits the machine-readable benchmark trajectory.
+// It is opt-in: set BENCH_JSON to an output path (or "1" for the default
+// BENCH_PR2.json) — unset, the test skips so `go test ./...` stays fast.
+func TestBenchTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<path> (or 1) to produce the benchmark trajectory")
+	}
+	if out == "1" {
+		out = "BENCH_PR2.json"
+	}
+
+	ds := dataset.Generate(dataset.DefaultConfig())
+	matcher := libcorpus.NewMatcher()
+	entry := matcher.Entries()[0]
+	suites := []uint16{0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x009D, 0x0035, 0x003D}
+	maxW := runtime.GOMAXPROCS(0)
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  maxW,
+		SeedBaselineRef: "PR1 HEAD (9308c72) single-threaded pipeline: core.Run ~480-545ms " +
+			"and WriteReport ~171ms at scale 1 on the CI runner class; see EXPERIMENTS.md §Performance",
+	}
+
+	rep.Micro = append(rep.Micro,
+		microPoint("fingerprint.Key", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				entry.Print.Key()
+			}
+		}),
+		microPoint("fingerprint.JaccardUint16", func(b *testing.B) {
+			b.ReportAllocs()
+			a := []uint16{0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x009D, 0x0035}
+			c := []uint16{0x0035, 0x003D, 0xC030, 0x009C}
+			for i := 0; i < b.N; i++ {
+				if fingerprint.JaccardUint16(a, c) < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		}),
+		microPoint("matcher.MatchExact", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matcher.MatchExact(entry.Print)
+			}
+		}),
+		microPoint("matcher.MatchSemantics/memoized", func(b *testing.B) {
+			matcher.MatchSemantics(suites)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matcher.MatchSemantics(suites)
+			}
+		}),
+		microPoint("analysis.NewClientWorkers/1", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.NewClientWorkers(ds, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		microPoint("analysis.NewClientWorkers/max", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.NewClientWorkers(ds, maxW); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		microPoint("dataset.Generate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dataset.Generate(dataset.DefaultConfig())
+			}
+		}),
+	)
+
+	// Table-level benchmarks over the shared paper-scale study: the same
+	// builders `go test -bench .` exercises, recorded as JSON.
+	s, err := core.Run(core.Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Micro = append(rep.Micro,
+		microPoint("table.Table2Degree", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.Table2()
+			}
+		}),
+		microPoint("table.Table4VendorJaccard", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.Table4(0.2)
+			}
+		}),
+		microPoint("table.Table11Semantics", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.Table11(s.Matcher)
+			}
+		}),
+		microPoint("table.Figure8JaccardHistogram", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.Figure8(s.Matcher, 10)
+			}
+		}),
+		microPoint("table.ExtensionFrequencies", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.ExtensionFrequencies(s.Matcher)
+			}
+		}),
+		microPoint("table.Table9NetflixValidity", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Server.Table9()
+			}
+		}),
+		microPoint("report.WriteReport", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.WriteReport(io.Discard)
+			}
+		}),
+	)
+
+	runs := 3
+	if testing.Short() {
+		runs = 1
+	}
+	rep.EndToEnd = append(rep.EndToEnd,
+		e2eWall("core.Run/scale=1/workers=1", 1, 1, runs),
+		e2eWall("core.Run/scale=1/workers=max", 1, maxW, runs),
+		e2eWall("core.Run/scale=4/workers=max", 4, maxW, 1),
+	)
+	if w1, wm := rep.EndToEnd[0].WallMs, rep.EndToEnd[1].WallMs; wm > 0 {
+		rep.SpeedupWorkers = w1 / wm
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d micro points, %d end-to-end points", out, len(rep.Micro), len(rep.EndToEnd))
+}

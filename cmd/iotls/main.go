@@ -39,6 +39,7 @@ func main() {
 		minUser = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users")
 		realTLS = flag.Bool("real-tls", false, "probe with genuine crypto/tls handshakes")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers = flag.Int("workers", 0, "worker pool size for ingestion, probing, and rendering (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -46,7 +47,7 @@ func main() {
 		cmd = "report"
 	}
 
-	cfg := core.Config{Seed: *seed, Scale: *scale, MinSNIUsers: *minUser, RealTLS: *realTLS}
+	cfg := core.Config{Seed: *seed, Scale: *scale, MinSNIUsers: *minUser, RealTLS: *realTLS, Workers: *workers}
 
 	switch cmd {
 	case "export":

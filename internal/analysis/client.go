@@ -8,7 +8,9 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/dataset"
@@ -55,8 +57,55 @@ type Client struct {
 }
 
 // NewClient parses the dataset's raw ClientHello records and builds the
-// fingerprint table.
+// fingerprint table, sharding ingestion across GOMAXPROCS workers.
 func NewClient(ds *dataset.Dataset) (*Client, error) {
+	return NewClientWorkers(ds, 0)
+}
+
+// printCacheKey memoizes parsing per (stack, SNI-presence) pair. Every
+// record of one stack carries the same ciphersuite and extension lists —
+// only the 32-byte random and the SNI value differ — except that the
+// server_name extension appears iff the record has an SNI or the stack
+// always sends one. So two cache slots per stack cover every record, and
+// parsing runs once per distinct stack instead of once per record.
+func printCacheKey(r dataset.Record) string {
+	if r.SNI != "" {
+		return r.StackID + "|s"
+	}
+	return r.StackID + "|"
+}
+
+// parsedPrint is one memoized parse result.
+type parsedPrint struct {
+	print fingerprint.Fingerprint
+	key   string
+}
+
+// clientShard is one worker's partial aggregation state. Every field
+// merges commutatively (set unions and count additions), so the final
+// Client is identical for any shard count and any merge order.
+type clientShard struct {
+	prints        map[string]*FingerprintInfo
+	devicePrints  map[string]map[string]bool
+	sniDevices    map[string]map[string]bool
+	versionCounts map[tlswire.Version]int
+	errIdx        int
+	err           error
+}
+
+// NewClientWorkers is NewClient with an explicit worker count (<= 0:
+// GOMAXPROCS). The result is byte-for-byte independent of the worker
+// count; workers only shard the parsing and aggregation work.
+func NewClientWorkers(ds *dataset.Dataset, workers int) (*Client, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ds.Records) {
+		workers = len(ds.Records)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	c := &Client{
 		DS:            ds,
 		Prints:        map[string]*FingerprintInfo{},
@@ -70,48 +119,144 @@ func NewClient(ds *dataset.Dataset) (*Client, error) {
 		c.DeviceVendor[d.ID] = d.Vendor
 		c.DeviceType[d.ID] = d.Type
 	}
-	for i, r := range ds.Records {
-		ch, err := r.Hello()
-		if err != nil {
-			return nil, fmt.Errorf("analysis: record %d: %w", i, err)
+
+	shards := make([]clientShard, workers)
+	var wg sync.WaitGroup
+	per := (len(ds.Records) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(ds.Records) {
+			hi = len(ds.Records)
 		}
-		f := fingerprint.FromClientHello(ch)
-		key := f.Key()
-		info := c.Prints[key]
-		if info == nil {
-			info = &FingerprintInfo{
-				Print:   f,
-				Key:     key,
-				Devices: map[string]bool{},
-				Vendors: map[string]bool{},
-				Types:   map[string]bool{},
-				SNIs:    map[string]bool{},
-			}
-			c.Prints[key] = info
+		if lo >= hi {
+			continue
 		}
-		info.Devices[r.DeviceID] = true
-		info.Vendors[r.Vendor] = true
-		info.Types[r.Type] = true
-		if r.SNI != "" {
-			info.SNIs[r.SNI] = true
-			if c.SNIDevices[r.SNI] == nil {
-				c.SNIDevices[r.SNI] = map[string]bool{}
-			}
-			c.SNIDevices[r.SNI][r.DeviceID] = true
-		}
-		info.Records++
-		if c.DevicePrints[r.DeviceID] == nil {
-			c.DevicePrints[r.DeviceID] = map[string]bool{}
-		}
-		c.DevicePrints[r.DeviceID][key] = true
-		c.VersionCounts[f.Version]++
+		wg.Add(1)
+		go func(shard *clientShard, lo, hi int) {
+			defer wg.Done()
+			shard.ingest(ds.Records[lo:hi], lo)
+		}(&shards[w], lo, hi)
 	}
+	wg.Wait()
+
+	// Deterministic merge: the shard with the lowest-index parse error
+	// wins (matching the sequential loop's first-error semantics), and
+	// aggregate state merges by union/addition.
+	for i := range shards {
+		if shards[i].err != nil {
+			return nil, fmt.Errorf("analysis: record %d: %w", shards[i].errIdx, shards[i].err)
+		}
+	}
+	for i := range shards {
+		c.merge(&shards[i])
+	}
+
 	c.orderedKeys = make([]string, 0, len(c.Prints))
 	for k := range c.Prints {
 		c.orderedKeys = append(c.orderedKeys, k)
 	}
 	sort.Strings(c.orderedKeys)
 	return c, nil
+}
+
+// ingest aggregates one contiguous record shard. base is the index of
+// records[0] in the full dataset, for error reporting.
+func (s *clientShard) ingest(records []dataset.Record, base int) {
+	s.prints = map[string]*FingerprintInfo{}
+	s.devicePrints = map[string]map[string]bool{}
+	s.sniDevices = map[string]map[string]bool{}
+	s.versionCounts = map[tlswire.Version]int{}
+	parsed := map[string]parsedPrint{}
+	for i, r := range records {
+		ck := printCacheKey(r)
+		p, ok := parsed[ck]
+		if !ok {
+			ch, err := r.Hello()
+			if err != nil {
+				s.err = err
+				s.errIdx = base + i
+				return
+			}
+			f := fingerprint.FromClientHello(ch)
+			p = parsedPrint{print: f, key: f.Key()}
+			parsed[ck] = p
+		}
+		info := s.prints[p.key]
+		if info == nil {
+			info = &FingerprintInfo{
+				Print:   p.print,
+				Key:     p.key,
+				Devices: map[string]bool{},
+				Vendors: map[string]bool{},
+				Types:   map[string]bool{},
+				SNIs:    map[string]bool{},
+			}
+			s.prints[p.key] = info
+		}
+		info.Devices[r.DeviceID] = true
+		info.Vendors[r.Vendor] = true
+		info.Types[r.Type] = true
+		if r.SNI != "" {
+			info.SNIs[r.SNI] = true
+			if s.sniDevices[r.SNI] == nil {
+				s.sniDevices[r.SNI] = map[string]bool{}
+			}
+			s.sniDevices[r.SNI][r.DeviceID] = true
+		}
+		info.Records++
+		if s.devicePrints[r.DeviceID] == nil {
+			s.devicePrints[r.DeviceID] = map[string]bool{}
+		}
+		s.devicePrints[r.DeviceID][p.key] = true
+		s.versionCounts[p.print.Version]++
+	}
+}
+
+// merge folds one shard into the client. All operations are commutative
+// and associative, so any merge order yields the same final state.
+func (c *Client) merge(s *clientShard) {
+	for key, part := range s.prints {
+		info := c.Prints[key]
+		if info == nil {
+			c.Prints[key] = part
+			continue
+		}
+		for d := range part.Devices {
+			info.Devices[d] = true
+		}
+		for v := range part.Vendors {
+			info.Vendors[v] = true
+		}
+		for t := range part.Types {
+			info.Types[t] = true
+		}
+		for sni := range part.SNIs {
+			info.SNIs[sni] = true
+		}
+		info.Records += part.Records
+	}
+	for dev, keys := range s.devicePrints {
+		if c.DevicePrints[dev] == nil {
+			c.DevicePrints[dev] = keys
+			continue
+		}
+		for k := range keys {
+			c.DevicePrints[dev][k] = true
+		}
+	}
+	for sni, devs := range s.sniDevices {
+		if c.SNIDevices[sni] == nil {
+			c.SNIDevices[sni] = devs
+			continue
+		}
+		for d := range devs {
+			c.SNIDevices[sni][d] = true
+		}
+	}
+	for v, n := range s.versionCounts {
+		c.VersionCounts[v] += n
+	}
 }
 
 // NumFingerprints returns the number of distinct fingerprints (the

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/fingerprint"
@@ -104,7 +103,6 @@ func (c *Client) Table11(matcher *fingerprint.Matcher) []Table11Row {
 	accs := map[fingerprint.MatchCategory]*acc{}
 	tuples := c.deviceSuiteTuples()
 	total := len(tuples)
-	cache := map[string]fingerprint.SemanticsMatch{}
 	for id, suites := range tuples {
 		var dev string
 		for i := 0; i < len(id); i++ {
@@ -113,12 +111,9 @@ func (c *Client) Table11(matcher *fingerprint.Matcher) []Table11Row {
 				break
 			}
 		}
-		ck := id[len(dev)+1:]
-		m, ok := cache[ck]
-		if !ok {
-			m = matcher.MatchSemantics(suites)
-			cache[ck] = m
-		}
+		// The matcher memoizes per distinct suite list, so repeated tuples
+		// cost a map hit and the memo is shared with Figure 8.
+		m := matcher.MatchSemantics(suites)
 		a := accs[m.Category]
 		if a == nil {
 			a = &acc{vendors: map[string]bool{}}
@@ -177,14 +172,8 @@ func (c *Client) Figure8(matcher *fingerprint.Matcher, buckets int) []Figure8Buc
 		out[i].Low = float64(i) / float64(buckets)
 		out[i].High = float64(i+1) / float64(buckets)
 	}
-	cache := map[string]fingerprint.SemanticsMatch{}
-	for id, suites := range c.deviceSuiteTuples() {
-		ck := id[strings.IndexByte(id, '|')+1:]
-		m, ok := cache[ck]
-		if !ok {
-			m = matcher.MatchSemantics(suites)
-			cache[ck] = m
-		}
+	for _, suites := range c.deviceSuiteTuples() {
+		m := matcher.MatchSemantics(suites)
 		if m.Category != fingerprint.SameComponent && m.Category != fingerprint.SimilarComponent {
 			continue
 		}

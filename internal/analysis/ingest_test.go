@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/libcorpus"
+	"repro/internal/tlswire"
+)
+
+// newClientReference is the seed's sequential, cache-free ingestion loop:
+// every record is parsed individually. It is the oracle for both the
+// per-stack parse memoization and the sharded worker pool.
+func newClientReference(t *testing.T, ds *dataset.Dataset) *Client {
+	t.Helper()
+	c := &Client{
+		DS:            ds,
+		Prints:        map[string]*FingerprintInfo{},
+		DevicePrints:  map[string]map[string]bool{},
+		DeviceVendor:  map[string]string{},
+		DeviceType:    map[string]string{},
+		VersionCounts: map[tlswire.Version]int{},
+		SNIDevices:    map[string]map[string]bool{},
+	}
+	for _, d := range ds.Devices {
+		c.DeviceVendor[d.ID] = d.Vendor
+		c.DeviceType[d.ID] = d.Type
+	}
+	for i, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		f := fingerprint.FromClientHello(ch)
+		key := f.Key()
+		info := c.Prints[key]
+		if info == nil {
+			info = &FingerprintInfo{
+				Print:   f,
+				Key:     key,
+				Devices: map[string]bool{},
+				Vendors: map[string]bool{},
+				Types:   map[string]bool{},
+				SNIs:    map[string]bool{},
+			}
+			c.Prints[key] = info
+		}
+		info.Devices[r.DeviceID] = true
+		info.Vendors[r.Vendor] = true
+		info.Types[r.Type] = true
+		if r.SNI != "" {
+			info.SNIs[r.SNI] = true
+			if c.SNIDevices[r.SNI] == nil {
+				c.SNIDevices[r.SNI] = map[string]bool{}
+			}
+			c.SNIDevices[r.SNI][r.DeviceID] = true
+		}
+		info.Records++
+		if c.DevicePrints[r.DeviceID] == nil {
+			c.DevicePrints[r.DeviceID] = map[string]bool{}
+		}
+		c.DevicePrints[r.DeviceID][key] = true
+		c.VersionCounts[f.Version]++
+	}
+	return c
+}
+
+// TestStackParseCacheInvariant verifies the dataset invariant the parse
+// memoization depends on: every record with the same (StackID,
+// SNI-presence) pair yields the same fingerprint.
+func TestStackParseCacheInvariant(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Seed: 7, Scale: 0.5})
+	seen := map[string]string{}
+	for i, r := range ds.Records {
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		key := fingerprint.FromClientHello(ch).Key()
+		ck := printCacheKey(r)
+		if prev, ok := seen[ck]; ok {
+			if prev != key {
+				t.Fatalf("record %d: cache key %q maps to two fingerprints:\n  %s\n  %s", i, ck, prev, key)
+			}
+			continue
+		}
+		seen[ck] = key
+	}
+}
+
+// TestNewClientWorkersEquivalence checks that sharded, memoized ingestion
+// reproduces the reference loop state exactly for several worker counts.
+func TestNewClientWorkersEquivalence(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.4})
+	want := newClientReference(t, ds)
+	for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)} {
+		got, err := NewClientWorkers(ds, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Prints) != len(want.Prints) {
+			t.Fatalf("workers=%d: %d prints, want %d", workers, len(got.Prints), len(want.Prints))
+		}
+		for key, w := range want.Prints {
+			g := got.Prints[key]
+			if g == nil {
+				t.Fatalf("workers=%d: missing print %s", workers, key)
+			}
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("workers=%d: print %s differs:\n got %+v\nwant %+v", workers, key, g, w)
+			}
+		}
+		if !reflect.DeepEqual(got.DevicePrints, want.DevicePrints) {
+			t.Fatalf("workers=%d: DevicePrints differ", workers)
+		}
+		if !reflect.DeepEqual(got.SNIDevices, want.SNIDevices) {
+			t.Fatalf("workers=%d: SNIDevices differ", workers)
+		}
+		if !reflect.DeepEqual(got.VersionCounts, want.VersionCounts) {
+			t.Fatalf("workers=%d: VersionCounts differ", workers)
+		}
+		if !reflect.DeepEqual(got.orderedKeys, want.orderedKeysForTest()) {
+			t.Fatalf("workers=%d: orderedKeys differ", workers)
+		}
+	}
+}
+
+// orderedKeysForTest computes the sorted key list the reference client
+// never built.
+func (c *Client) orderedKeysForTest() []string {
+	if c.orderedKeys != nil {
+		return c.orderedKeys
+	}
+	out := make([]string, 0, len(c.Prints))
+	for k := range c.Prints {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func BenchmarkNewClientIngestion(b *testing.B) {
+	ds := dataset.Generate(dataset.DefaultConfig())
+	b.Run("workers=1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewClientWorkers(ds, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewClientWorkers(ds, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchMatcher() *fingerprint.Matcher { return libcorpus.NewMatcher() }
+
+func BenchmarkMatchSemanticsCorpus(b *testing.B) {
+	ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.4})
+	c, err := NewClient(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := benchMatcher()
+			for _, suites := range c.deviceSuiteTuples() {
+				m.MatchSemantics(suites)
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		m := benchMatcher()
+		for _, suites := range c.deviceSuiteTuples() {
+			m.MatchSemantics(suites)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, suites := range c.deviceSuiteTuples() {
+				m.MatchSemantics(suites)
+			}
+		}
+	})
+}

@@ -8,6 +8,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -31,11 +33,23 @@ type Config struct {
 	// RealTLS probes with genuine crypto/tls handshakes instead of the
 	// fast path.
 	RealTLS bool
+	// Workers bounds the worker pools for record ingestion, probing, and
+	// table rendering. 0 means GOMAXPROCS. Results are identical for any
+	// worker count; only wall time changes.
+	Workers int
 	// Probe tunes the resilient probe engine (zero value = defaults).
 	Probe probe.Options
 	// Faults optionally installs deterministic handshake-fault injection
 	// on the world before probing.
 	Faults *simnet.Faults
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig is the paper-scale run.
@@ -63,79 +77,158 @@ func Run(cfg Config) (*Study, error) {
 	if cfg.MinSNIUsers <= 0 {
 		cfg.MinSNIUsers = 3
 	}
-	ds := dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale})
-	client, err := analysis.NewClient(ds)
-	if err != nil {
-		return nil, fmt.Errorf("core: client analysis: %w", err)
+	workers := cfg.workers()
+	probeOpts := cfg.Probe
+	if probeOpts.Workers == 0 {
+		probeOpts.Workers = workers
 	}
+	ds := dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+
+	// The client-side analysis and the library corpus depend only on the
+	// dataset, never on the server world: overlap them with world
+	// construction and probing. Every stage is deterministic on its own,
+	// so the interleaving cannot change results.
+	var (
+		client    *analysis.Client
+		clientErr error
+		matcher   *fingerprint.Matcher
+		wg        sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		client, clientErr = analysis.NewClientWorkers(ds, workers)
+	}()
+	go func() {
+		defer wg.Done()
+		matcher = libcorpus.NewMatcher()
+	}()
+
 	snis := ds.SNIsByMinUsers(cfg.MinSNIUsers)
 	world := simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: snis, Faults: cfg.Faults})
 	server := analysis.NewServerProbed(world, ds, snis,
-		probe.WorldProber{World: world, RealTLS: cfg.RealTLS}, cfg.Probe)
+		probe.WorldProber{World: world, RealTLS: cfg.RealTLS}, probeOpts)
+	wg.Wait()
+	if clientErr != nil {
+		return nil, fmt.Errorf("core: client analysis: %w", clientErr)
+	}
 	return &Study{
 		Config:  cfg,
 		Dataset: ds,
 		Client:  client,
-		Matcher: libcorpus.NewMatcher(),
+		Matcher: matcher,
 		World:   world,
 		Server:  server,
 		SNIs:    snis,
 	}, nil
 }
 
+// clientTableJobs lists the Section 4 + Appendix B table builders. Each
+// job is independent and reads only immutable post-Run state (the
+// matcher's memo is internally synchronized), so jobs may run on any
+// goroutine; order in the slice is the report order.
+func (s *Study) clientTableJobs() []func() report.Table {
+	return []func() report.Table{
+		func() report.Table { return report.LibMatch(s.Client.MatchLibraries(s.Matcher)) },
+		func() report.Table { return report.Table2(s.Client.Table2()) },
+		func() report.Table { return report.Figure2(s.Client.DoCVendorAll(), s.Client.DoCDeviceAll()) },
+		func() report.Table { return report.Table3(s.Client.Table3(10)) },
+		func() report.Table { return report.Table4(s.Client.Table4(0.2)) },
+		func() report.Table { return report.Table5(s.Client.Table5(2)) },
+		func() report.Table { return report.VulnStats(s.Client.Vulnerabilities()) },
+		func() report.Table { return report.Table11(s.Client.Table11(s.Matcher)) },
+		func() report.Table { return report.Figure8(s.Client.Figure8(s.Matcher, 10)) },
+		func() report.Table { return report.Table12(s.Client.Table12()) },
+		func() report.Table { return report.Figure11(s.Client.Figure11()) },
+		func() report.Table { return report.Figure12(s.Client.Figure12()) },
+		func() report.Table { return report.Census(s.Client.Census()) },
+		func() report.Table { return report.ExtensionFrequencies(s.Client.ExtensionFrequencies(s.Matcher), 12) },
+		func() report.Table { return report.Table10(s.Matcher.Entries()) },
+		func() report.Table { return report.Table13() },
+	}
+}
+
+// serverTableJobs lists the Section 5 + Appendix C table builders.
+func (s *Study) serverTableJobs() []func() report.Table {
+	return []func() report.Table{
+		func() report.Table { return report.Table6(s.Server.Table6()) },
+		func() report.Table { return report.Sharing(s.Server.Sharing()) },
+		func() report.Table { return report.Figure5(s.Server.Figure5()) },
+		func() report.Table {
+			return report.DomainRows("Table 7: Certificate chains with validation failure", s.Server.Table7(), false)
+		},
+		func() report.Table { return report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true) },
+		func() report.Table {
+			return report.DomainRows("Table 14: Certificate chains with private issuers", s.Server.Table14(), false)
+		},
+		func() report.Table {
+			return report.DomainRows("Section 5.3: Common Name mismatches", s.Server.CNMismatches(), false)
+		},
+		func() report.Table { return report.Figure6(s.Server.Figure6()) },
+		func() report.Table { return report.Table9(s.Server.Table9()) },
+		func() report.Table { return report.CTStats(s.Server.CT()) },
+		func() report.Table { return report.Table15(s.Server.Table15(30)) },
+		func() report.Table { return report.Table16(s.Server.Table16()) },
+		func() report.Table { return report.ProbeStats(s.Server.ProbeStats) },
+		func() report.Table {
+			return report.ReportCards(s.Server.ReportCards(s.World.ProbeTime), s.World.ProbeTime)
+		},
+	}
+}
+
+// buildTables runs table jobs across the study's worker pool, preserving
+// slice order in the result regardless of completion order.
+func (s *Study) buildTables(jobs []func() report.Table) []report.Table {
+	workers := s.Config.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]report.Table, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			out[i] = job()
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
 // ClientTables renders the Section 4 + Appendix B tables.
 func (s *Study) ClientTables() []report.Table {
-	return []report.Table{
-		report.LibMatch(s.Client.MatchLibraries(s.Matcher)),
-		report.Table2(s.Client.Table2()),
-		report.Figure2(s.Client.DoCVendorAll(), s.Client.DoCDeviceAll()),
-		report.Table3(s.Client.Table3(10)),
-		report.Table4(s.Client.Table4(0.2)),
-		report.Table5(s.Client.Table5(2)),
-		report.VulnStats(s.Client.Vulnerabilities()),
-		report.Table11(s.Client.Table11(s.Matcher)),
-		report.Figure8(s.Client.Figure8(s.Matcher, 10)),
-		report.Table12(s.Client.Table12()),
-		report.Figure11(s.Client.Figure11()),
-		report.Figure12(s.Client.Figure12()),
-		report.Census(s.Client.Census()),
-		report.ExtensionFrequencies(s.Client.ExtensionFrequencies(s.Matcher), 12),
-		report.Table10(s.Matcher.Entries()),
-		report.Table13(),
-	}
+	return s.buildTables(s.clientTableJobs())
 }
 
 // ServerTables renders the Section 5 + Appendix C tables.
 func (s *Study) ServerTables() []report.Table {
-	return []report.Table{
-		report.Table6(s.Server.Table6()),
-		report.Sharing(s.Server.Sharing()),
-		report.Figure5(s.Server.Figure5()),
-		report.DomainRows("Table 7: Certificate chains with validation failure", s.Server.Table7(), false),
-		report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true),
-		report.DomainRows("Table 14: Certificate chains with private issuers", s.Server.Table14(), false),
-		report.DomainRows("Section 5.3: Common Name mismatches", s.Server.CNMismatches(), false),
-		report.Figure6(s.Server.Figure6()),
-		report.Table9(s.Server.Table9()),
-		report.CTStats(s.Server.CT()),
-		report.Table15(s.Server.Table15(30)),
-		report.Table16(s.Server.Table16()),
-		report.ProbeStats(s.Server.ProbeStats),
-		report.ReportCards(s.Server.ReportCards(s.World.ProbeTime), s.World.ProbeTime),
-	}
+	return s.buildTables(s.serverTableJobs())
 }
 
-// WriteReport renders every table to w.
+// WriteReport renders every table to w. Tables are built concurrently
+// (bounded by Config.Workers) and emitted in fixed order, so the bytes
+// written are identical for every worker count.
 func (s *Study) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "IoT TLS & Certificate Study — %d devices, %d users, %d models, %d records\n",
 		len(s.Dataset.Devices), s.Dataset.Users(), s.Dataset.Models(), len(s.Dataset.Records))
 	fmt.Fprintf(w, "Fingerprints: %d unique; SNIs probed: %d (of %d observed)\n\n",
 		s.Client.NumFingerprints(), len(s.SNIs), len(s.Dataset.SNIs()))
-	for _, t := range s.ClientTables() {
-		t.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	for _, t := range s.ServerTables() {
+	jobs := append(s.clientTableJobs(), s.serverTableJobs()...)
+	for _, t := range s.buildTables(jobs) {
 		t.WriteText(w)
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestReportDeterministicAcrossWorkers asserts the PR's central invariant:
+// the rendered report is byte-identical for every worker count. Sharded
+// ingestion merges commutatively, probing orders results positionally, and
+// table rendering emits in fixed order, so parallelism must never leak
+// into the output. Run with -race in CI to also exercise the memo and
+// cache synchronization.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var want []byte
+	for _, workers := range counts {
+		s, err := Run(Config{Seed: 31, Scale: 0.25, MinSNIUsers: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		s.WriteReport(&buf)
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			a, b := buf.Bytes(), want
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+80, i+80
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			t.Fatalf("workers=%d: report differs from workers=1 at byte %d\n workers=%d: …%q…\n workers=1: …%q…",
+				workers, i, workers, a[lo:hiA], b[lo:hiB])
+		}
+	}
+}

@@ -233,6 +233,7 @@ func Generate(cfg Config) *Dataset {
 	}
 
 	windowSec := cfg.End.Unix() - cfg.Start.Unix()
+	helloTmpl := map[string][]byte{}
 	deviceSeq := 0
 	for _, v := range vendors {
 		count := int(float64(v.Weight)*cfg.Scale + 0.5)
@@ -406,7 +407,7 @@ func Generate(cfg Config) *Dataset {
 					}
 				}
 				ts := cfg.Start.Add(time.Duration(rng.Int63n(windowSec)) * time.Second)
-				raw := buildHello(print, sni, rng)
+				raw := buildHelloCached(helloTmpl, stackID, print, sni, rng)
 				ds.Records = append(ds.Records, Record{
 					DeviceID: dev.ID,
 					Vendor:   dev.Vendor,
@@ -425,8 +426,37 @@ func Generate(cfg Config) *Dataset {
 	return ds
 }
 
+// helloRandomOff is where the 32-byte client random sits in a marshaled
+// record: record header (5) + handshake header (4) + legacy version (2).
+const helloRandomOff = 5 + 4 + 2
+
+// buildHelloCached returns the marshaled hello for (stack, SNI), serializing
+// the record once per distinct pair and patching only the client random per
+// record. Records sharing a stack and SNI differ in nothing else, so the
+// template bytes are reusable; the rng is consumed exactly as buildHello
+// consumes it (one 32-byte read), keeping generation byte-identical.
+func buildHelloCached(cache map[string][]byte, stackID string, print fingerprint.Fingerprint, sni string, rng *rand.Rand) []byte {
+	key := stackID + "|" + sni
+	tmpl, ok := cache[key]
+	if !ok {
+		tmpl = buildHelloTemplate(print, sni)
+		cache[key] = tmpl
+	}
+	raw := make([]byte, len(tmpl))
+	copy(raw, tmpl)
+	rng.Read(raw[helloRandomOff : helloRandomOff+32])
+	return raw
+}
+
 // buildHello marshals a real ClientHello record for a fingerprint + SNI.
 func buildHello(print fingerprint.Fingerprint, sni string, rng *rand.Rand) []byte {
+	raw := buildHelloTemplate(print, sni)
+	rng.Read(raw[helloRandomOff : helloRandomOff+32])
+	return raw
+}
+
+// buildHelloTemplate marshals the record with a zeroed client random.
+func buildHelloTemplate(print fingerprint.Fingerprint, sni string) []byte {
 	legacy := print.Version
 	if legacy > tlswire.VersionTLS12 {
 		legacy = tlswire.VersionTLS12
@@ -435,7 +465,6 @@ func buildHello(print fingerprint.Fingerprint, sni string, rng *rand.Rand) []byt
 		LegacyVersion: legacy,
 		CipherSuites:  print.CipherSuites,
 	}
-	rng.Read(ch.Random[:])
 	hasServerName := false
 	for _, e := range print.Extensions {
 		if e == uint16(tlswire.ExtServerName) {

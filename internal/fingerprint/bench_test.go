@@ -1,0 +1,49 @@
+package fingerprint
+
+import "testing"
+
+var benchSuitesA = []uint16{
+	0xC030, 0xC02C, 0xC028, 0xC024, 0xC014, 0xC00A, 0x009D, 0x003D,
+	0x0035, 0xC032, 0xC02E, 0xC02A, 0xC026, 0xC00F, 0xC005, 0x009C,
+}
+
+var benchSuitesB = []uint16{
+	0xC02C, 0xC030, 0x009D, 0x0035, 0x003C, 0x002F, 0x000A, 0x1301,
+}
+
+func BenchmarkJaccardUint16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaccardUint16(benchSuitesA, benchSuitesB)
+	}
+}
+
+func BenchmarkMatchExact(b *testing.B) {
+	m := testCorpusMatcher()
+	f := Fingerprint{Version: 0x0303, CipherSuites: []uint16{0xC030, 0xC02C, 0x009D}, Extensions: []uint16{0, 10, 11}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MatchExact(f)
+	}
+}
+
+func BenchmarkMatchSemanticsMemo(b *testing.B) {
+	suites := []uint16{0xC030, 0xC02C, 0x009D, 0x0035}
+	b.Run("memoized", func(b *testing.B) {
+		m := testCorpusMatcher()
+		m.MatchSemantics(suites) // warm the memo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MatchSemantics(suites)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		m := testCorpusMatcher()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.matchSemanticsUncached(suites)
+		}
+	})
+}

@@ -16,7 +16,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/tlswire"
@@ -42,24 +41,35 @@ func FromClientHello(ch *tlswire.ClientHello) Fingerprint {
 // Key returns the canonical string form used for equality and map keys:
 // "version|cs1-cs2-...|ext1-ext2-...". Two ClientHellos have the same Key
 // iff they share the study's 3-tuple fingerprint.
+//
+// Key is on the ingestion hot path (once per ClientHello record and once
+// per corpus entry), so it appends hex digits directly instead of going
+// through fmt.
 func (f Fingerprint) Key() string {
-	var b strings.Builder
-	b.Grow(8 + 5*(len(f.CipherSuites)+len(f.Extensions)))
-	fmt.Fprintf(&b, "%04x|", uint16(f.Version))
+	b := make([]byte, 0, 6+5*(len(f.CipherSuites)+len(f.Extensions)))
+	b = appendHex16(b, uint16(f.Version))
+	b = append(b, '|')
 	for i, cs := range f.CipherSuites {
 		if i > 0 {
-			b.WriteByte('-')
+			b = append(b, '-')
 		}
-		fmt.Fprintf(&b, "%04x", cs)
+		b = appendHex16(b, cs)
 	}
-	b.WriteByte('|')
+	b = append(b, '|')
 	for i, e := range f.Extensions {
 		if i > 0 {
-			b.WriteByte('-')
+			b = append(b, '-')
 		}
-		fmt.Fprintf(&b, "%04x", e)
+		b = appendHex16(b, e)
 	}
-	return b.String()
+	return string(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex16 appends the four lowercase hex digits of v (= fmt "%04x").
+func appendHex16(b []byte, v uint16) []byte {
+	return append(b, hexDigits[v>>12], hexDigits[v>>8&0xF], hexDigits[v>>4&0xF], hexDigits[v&0xF])
 }
 
 // Hash returns a short stable hex digest of the fingerprint (12 bytes of
@@ -159,22 +169,29 @@ func JaccardSuites(a, b Fingerprint) float64 {
 
 // JaccardUint16 is the Jaccard similarity |A∩B| / |A∪B| of two uint16
 // multisets treated as sets. Two empty sets have similarity 1.
+//
+// The computation is a sorted-merge over two small stack buffers instead
+// of per-call maps: it runs in Table 4's O(V²) pair loop and per
+// candidate group inside MatchSemantics, where the old map-based version
+// dominated the allocation profile.
 func JaccardUint16(a, b []uint16) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	sa := map[uint16]bool{}
-	for _, v := range a {
-		sa[v] = true
-	}
-	sb := map[uint16]bool{}
-	for _, v := range b {
-		sb[v] = true
-	}
+	var bufA, bufB [jaccardBuf]uint16
+	sa := sortedDedup(bufA[:0], a)
+	sb := sortedDedup(bufB[:0], b)
 	inter := 0
-	for v := range sa {
-		if sb[v] {
+	for i, j := 0, 0; i < len(sa) && j < len(sb); {
+		switch {
+		case sa[i] == sb[j]:
 			inter++
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(sa) + len(sb) - inter
@@ -184,15 +201,78 @@ func JaccardUint16(a, b []uint16) float64 {
 	return float64(inter) / float64(union)
 }
 
-// JaccardStrings is the Jaccard similarity of two string sets.
+// jaccardBuf is sized for real ciphersuite lists (the longest corpus and
+// device lists are well under 128 suites); longer inputs spill to the heap.
+const jaccardBuf = 128
+
+// sortedDedup copies vs into buf, insertion-sorts it (lists are short),
+// and removes duplicates in place.
+func sortedDedup(buf []uint16, vs []uint16) []uint16 {
+	buf = append(buf, vs...)
+	for i := 1; i < len(buf); i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	n := 0
+	for i, v := range buf {
+		if i == 0 || v != buf[i-1] {
+			buf[n] = v
+			n++
+		}
+	}
+	return buf[:n]
+}
+
+// JaccardStrings is the Jaccard similarity of two string sets. It iterates
+// the maps directly without building per-call scratch sets; callers that
+// already hold sorted slices should prefer JaccardSortedStrings, which
+// avoids materializing maps at all.
 func JaccardStrings(a, b map[string]bool) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
+	}
+	// Probe from the smaller side: map lookups dominate, so this halves
+	// the work for skewed set sizes.
+	if len(a) > len(b) {
+		a, b = b, a
 	}
 	inter := 0
 	for v := range a {
 		if b[v] {
 			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardSortedStrings is the Jaccard similarity of two sorted, deduplicated
+// string slices, computed by sorted-merge with zero allocations. It is the
+// hot-path form used by the pairwise vendor-similarity table, where every
+// vendor's fingerprint set is sorted once and compared O(V²) times.
+func JaccardSortedStrings(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(a) + len(b) - inter

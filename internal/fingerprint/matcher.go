@@ -1,6 +1,9 @@
 package fingerprint
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // LibraryEntry is one known TLS library build in the matching corpus:
 // a library family + version and the fingerprint its default client emits.
@@ -23,10 +26,17 @@ type LibraryEntry struct {
 func (e LibraryEntry) Name() string { return e.Family + " " + e.Version }
 
 // Matcher indexes a corpus of known-library fingerprints for exact and
-// semantics-aware lookups.
+// semantics-aware lookups. All lookup methods are safe for concurrent use:
+// the indices are immutable after NewMatcher and the semantic-match memo
+// is guarded by a lock, so one Matcher can be shared by every table of a
+// study rendered in parallel.
 type Matcher struct {
 	entries []LibraryEntry
 	byKey   map[string][]int // fingerprint key -> entry indices
+	// byKeyBest resolves the highest-version entry per fingerprint key at
+	// build time, so MatchExact is a single map hit instead of a version
+	// scan per call.
+	byKeyBest map[string]LibraryEntry
 
 	// Semantic index: the corpus collapses to few distinct ciphersuite
 	// lists (curl builds only vary extensions), so the B.2 matcher scans
@@ -34,6 +44,12 @@ type Matcher struct {
 	groups       []*suiteGroup
 	byOrderedKey map[string]*suiteGroup
 	bySortedKey  map[string][]*suiteGroup
+
+	// semMu/semMemo memoize MatchSemantics by device suite-list key: the
+	// component-set scan runs once per distinct list and every table
+	// (Table 11, Figure 8, ...) shares the result.
+	semMu   sync.RWMutex
+	semMemo map[string]SemanticsMatch
 }
 
 // suiteGroup is one distinct corpus ciphersuite list with precomputed
@@ -49,12 +65,17 @@ func NewMatcher(entries []LibraryEntry) *Matcher {
 	m := &Matcher{
 		entries:      entries,
 		byKey:        make(map[string][]int, len(entries)),
+		byKeyBest:    make(map[string]LibraryEntry, len(entries)),
 		byOrderedKey: map[string]*suiteGroup{},
 		bySortedKey:  map[string][]*suiteGroup{},
+		semMemo:      map[string]SemanticsMatch{},
 	}
 	for i, e := range entries {
 		k := e.Print.Key()
 		m.byKey[k] = append(m.byKey[k], i)
+		if best, ok := m.byKeyBest[k]; !ok || versionLess(best.Version, e.Version) {
+			m.byKeyBest[k] = e
+		}
 
 		okey := suiteListKey(e.Print.CipherSuites)
 		g, ok := m.byOrderedKey[okey]
@@ -110,19 +131,11 @@ func (m *Matcher) DistinctFingerprints() int { return len(m.byKey) }
 // MatchExact returns the known library matching the fingerprint exactly on
 // the 3-tuple, if any. When several versions share the fingerprint, the
 // highest version is returned, mirroring Section 4.1 ("if OpenSSL versions
-// i through j share fingerprint F we report version j").
+// i through j share fingerprint F we report version j"). The winning
+// version per key is resolved once at NewMatcher time.
 func (m *Matcher) MatchExact(f Fingerprint) (LibraryEntry, bool) {
-	idx, ok := m.byKey[f.Key()]
-	if !ok {
-		return LibraryEntry{}, false
-	}
-	best := m.entries[idx[0]]
-	for _, i := range idx[1:] {
-		if versionLess(best.Version, m.entries[i].Version) {
-			best = m.entries[i]
-		}
-	}
-	return best, true
+	best, ok := m.byKeyBest[f.Key()]
+	return best, ok
 }
 
 // SemanticsMatch is the result of the semantics-aware matcher: the best
@@ -138,7 +151,27 @@ type SemanticsMatch struct {
 // MatchSemantics runs the Appendix B.2 matcher: it classifies the device
 // ciphersuite list against the corpus and returns the best category found.
 // A result with Category == Customization has no meaningful Library.
+//
+// Results are memoized per distinct suite list (thread-safe), so the
+// expensive component-set scan happens once per list no matter how many
+// tables replay the corpus.
 func (m *Matcher) MatchSemantics(deviceSuites []uint16) SemanticsMatch {
+	memoKey := suiteListKey(deviceSuites)
+	m.semMu.RLock()
+	cached, ok := m.semMemo[memoKey]
+	m.semMu.RUnlock()
+	if ok {
+		return cached
+	}
+	res := m.matchSemanticsUncached(deviceSuites)
+	m.semMu.Lock()
+	m.semMemo[memoKey] = res
+	m.semMu.Unlock()
+	return res
+}
+
+// matchSemanticsUncached is the memo-free matcher body.
+func (m *Matcher) matchSemanticsUncached(deviceSuites []uint16) SemanticsMatch {
 	// Exact list match: direct lookup.
 	if g, ok := m.byOrderedKey[suiteListKey(deviceSuites)]; ok {
 		return SemanticsMatch{

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/fingerprint"
 )
 
 // Bipartite is a bipartite graph between "left" nodes (vendors, devices,
@@ -190,16 +192,30 @@ type SimilarPair struct {
 }
 
 // SimilarPairs returns all left-node pairs with Jaccard >= threshold,
-// sorted by similarity descending then lexicographically.
+// sorted by similarity descending then lexicographically. Neighbor sets
+// are materialized as sorted slices once, so the O(V^2) pair loop runs a
+// merge-style Jaccard instead of rebuilding map probes per pair.
 func (g *Bipartite) SimilarPairs(threshold float64) []SimilarPair {
 	lefts := g.Lefts()
+	adj := make([][]string, len(lefts))
+	for i, l := range lefts {
+		ns := make([]string, 0, len(g.leftAdj[l]))
+		for r := range g.leftAdj[l] {
+			ns = append(ns, r)
+		}
+		sort.Strings(ns)
+		adj[i] = ns
+	}
 	var out []SimilarPair
 	for i := 0; i < len(lefts); i++ {
+		if len(adj[i]) == 0 {
+			continue
+		}
 		for j := i + 1; j < len(lefts); j++ {
-			if len(g.leftAdj[lefts[i]]) == 0 || len(g.leftAdj[lefts[j]]) == 0 {
+			if len(adj[j]) == 0 {
 				continue
 			}
-			s := g.Jaccard(lefts[i], lefts[j])
+			s := fingerprint.JaccardSortedStrings(adj[i], adj[j])
 			if s >= threshold {
 				out = append(out, SimilarPair{A: lefts[i], B: lefts[j], Similarity: s})
 			}

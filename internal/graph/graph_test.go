@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sort"
 	"math"
 	"strings"
 	"testing"
@@ -254,5 +255,54 @@ func BenchmarkSimilarPairs(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g.SimilarPairs(0.2)
+	}
+}
+
+// TestSimilarPairsMatchesJaccard checks the sorted-slice fast path against
+// brute-force per-pair Jaccard on a randomized graph.
+func TestSimilarPairsMatchesJaccard(t *testing.T) {
+	g := New()
+	// Deterministic pseudo-random edge set over 20 vendors x 30 prints.
+	x := uint32(12345)
+	next := func(n int) int {
+		x = x*1664525 + 1013904223
+		return int(x>>16) % n
+	}
+	for i := 0; i < 200; i++ {
+		g.AddEdge(string(rune('A'+next(20))), string(rune('a'+next(26))))
+	}
+	g.AddLeft("ZeroVendor") // edgeless node must be skipped, as before
+	for _, threshold := range []float64{0, 0.1, 0.2, 0.5, 1} {
+		got := g.SimilarPairs(threshold)
+		// Brute-force reference with the public map-based Jaccard.
+		var want []SimilarPair
+		lefts := g.Lefts()
+		for i := 0; i < len(lefts); i++ {
+			for j := i + 1; j < len(lefts); j++ {
+				if len(g.leftAdj[lefts[i]]) == 0 || len(g.leftAdj[lefts[j]]) == 0 {
+					continue
+				}
+				if s := g.Jaccard(lefts[i], lefts[j]); s >= threshold {
+					want = append(want, SimilarPair{A: lefts[i], B: lefts[j], Similarity: s})
+				}
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Similarity != want[j].Similarity {
+				return want[i].Similarity > want[j].Similarity
+			}
+			if want[i].A != want[j].A {
+				return want[i].A < want[j].A
+			}
+			return want[i].B < want[j].B
+		})
+		if len(got) != len(want) {
+			t.Fatalf("threshold %v: %d pairs, want %d", threshold, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("threshold %v pair %d: got %+v want %+v", threshold, i, got[i], want[i])
+			}
+		}
 	}
 }

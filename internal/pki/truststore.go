@@ -1,6 +1,9 @@
 package pki
 
-import "crypto/x509"
+import (
+	"crypto/x509"
+	"sync"
+)
 
 // TrustStore models one root program (Mozilla / Apple / Microsoft): a set
 // of trusted root certificates plus the issuer-organization index used for
@@ -41,6 +44,10 @@ func (ts *TrustStore) ContainsOrg(org string) bool { return ts.orgs[org] }
 // Microsoft).
 type StoreSet struct {
 	Stores []*TrustStore
+
+	unionMu  sync.Mutex
+	union    *x509.CertPool
+	unionLen int
 }
 
 // NewStoreSet creates the Mozilla+Apple+Microsoft set.
@@ -60,14 +67,27 @@ func (s *StoreSet) AddPublicRoot(ca *CA) {
 	}
 }
 
-// UnionPool returns a pool containing every root of every program.
+// UnionPool returns a pool containing every root of every program. The
+// pool is rebuilt only when roots have been added since the last call;
+// roots are append-only, so the total count is a sufficient freshness
+// check. Callers must not mutate the returned pool.
 func (s *StoreSet) UnionPool() *x509.CertPool {
+	total := 0
+	for _, ts := range s.Stores {
+		total += len(ts.roots)
+	}
+	s.unionMu.Lock()
+	defer s.unionMu.Unlock()
+	if s.union != nil && s.unionLen == total {
+		return s.union
+	}
 	pool := x509.NewCertPool()
 	for _, ts := range s.Stores {
 		for _, c := range ts.roots {
 			pool.AddCert(c)
 		}
 	}
+	s.union, s.unionLen = pool, total
 	return pool
 }
 

@@ -2,7 +2,10 @@ package pki
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/binary"
+	"sync"
 	"time"
 )
 
@@ -10,24 +13,40 @@ import (
 // reproducing the Zeek-based pipeline of Section 5.3. KnownIntermediates
 // lets the validator distinguish "incomplete chain" (a public-CA leaf whose
 // server forgot the intermediates) from "untrusted root".
+//
+// Validate is safe for concurrent use. The chain-construction verdict
+// (the ECDSA-heavy part) is cached per distinct (chain bytes, time), so
+// certificates shared across many FQDNs — the dominant pattern in the
+// probed world — pay for signature verification once.
 type Validator struct {
 	stores *StoreSet
 	// knownIntermediates is the out-of-band intermediate pool (the study
 	// effectively had this through AIA fetching / cached intermediates).
 	knownIntermediates *x509.CertPool
 	hasIntermediates   bool
+
+	trustMu    sync.Mutex
+	trustCache map[[sha256.Size]byte]ChainStatus
 }
 
 // NewValidator creates a validator over the store set.
 func NewValidator(stores *StoreSet) *Validator {
-	return &Validator{stores: stores, knownIntermediates: x509.NewCertPool()}
+	return &Validator{
+		stores:             stores,
+		knownIntermediates: x509.NewCertPool(),
+		trustCache:         map[[sha256.Size]byte]ChainStatus{},
+	}
 }
 
 // AddKnownIntermediate registers an intermediate certificate available out
-// of band.
+// of band. Registering an intermediate invalidates cached chain verdicts,
+// since incomplete chains may now verify.
 func (v *Validator) AddKnownIntermediate(cert *x509.Certificate) {
 	v.knownIntermediates.AddCert(cert)
 	v.hasIntermediates = true
+	v.trustMu.Lock()
+	v.trustCache = map[[sha256.Size]byte]ChainStatus{}
+	v.trustMu.Unlock()
 }
 
 // AddKnownCA registers every intermediate of a CA.
@@ -71,6 +90,44 @@ func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
 		return res
 	}
 
+	// Everything below depends only on the chain bytes and the validation
+	// time — never on the SNI — so the verdict is shared across every FQDN
+	// presenting the same chain.
+	key := trustCacheKey(chain, now)
+	v.trustMu.Lock()
+	status, ok := v.trustCache[key]
+	v.trustMu.Unlock()
+	if ok {
+		res.Status = status
+		return res
+	}
+	res.Status = v.trustStatus(chain, leaf, res.RootInStores, now)
+	v.trustMu.Lock()
+	v.trustCache[key] = res.Status
+	v.trustMu.Unlock()
+	return res
+}
+
+// trustCacheKey hashes the presented chain bytes and the validation time.
+func trustCacheKey(chain Chain, now time.Time) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(now.UnixNano()))
+	h.Write(buf[:])
+	for _, c := range chain.Certs {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(c.Raw)))
+		h.Write(buf[:])
+		h.Write(c.Raw)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// trustStatus classifies chain construction for a non-expired,
+// hostname-matching chain: the ECDSA-heavy, SNI-independent part of
+// Validate.
+func (v *Validator) trustStatus(chain Chain, leaf *x509.Certificate, rootInStores bool, now time.Time) ChainStatus {
 	// Assemble the intermediate pool from the presented chain.
 	presented := x509.NewCertPool()
 	presentedHasSelfSigned := false
@@ -93,46 +150,39 @@ func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
 
 	roots := v.stores.UnionPool()
 	if verify(roots, presented) {
-		res.Status = StatusValid
-		return res
+		return StatusValid
 	}
 
 	// Self-signed leaf: identical issuer and subject.
 	if isSelfIssued(leaf) {
-		res.Status = StatusSelfSigned
-		return res
+		return StatusSelfSigned
 	}
 
 	// Duplicated-leaf chains (log.samsunghrm.com) collapse to self-signed
 	// when every presented certificate is byte-identical to the leaf.
 	if chain.Len() > 1 && allSameCert(chain.Certs) {
-		res.Status = StatusSelfSigned
-		return res
+		return StatusSelfSigned
 	}
 
 	// Would the chain verify with out-of-band intermediates? Then the
 	// server merely presented an incomplete chain.
 	if v.hasIntermediates && verify(roots, v.knownIntermediates) {
-		res.Status = StatusIncompleteChain
-		return res
+		return StatusIncompleteChain
 	}
 	// A structurally complete chain ending in a self-signed root that is
 	// not in the stores is the "untrusted root CA" case.
 	if presentedHasSelfSigned {
-		res.Status = StatusUntrustedRoot
-		return res
+		return StatusUntrustedRoot
 	}
 
 	// Private-CA chains presented without their root: the anchor is not
 	// fetchable from any public program, so this is an untrusted root when
 	// the issuer is not a public-store org; otherwise the public-CA server
 	// sent an incomplete chain.
-	if res.RootInStores {
-		res.Status = StatusIncompleteChain
-		return res
+	if rootInStores {
+		return StatusIncompleteChain
 	}
-	res.Status = StatusUntrustedRoot
-	return res
+	return StatusUntrustedRoot
 }
 
 // issuerOrg extracts the issuer organization (falling back to the issuer
