@@ -33,7 +33,7 @@ var (
 func paperStudy(b *testing.B) *core.Study {
 	b.Helper()
 	studyOnce.Do(func() {
-		s, err := core.Run(core.Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3})
+		s, err := core.Run(context.Background(), core.Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3})
 		if err != nil {
 			panic(err)
 		}
@@ -478,7 +478,7 @@ func BenchmarkResilientProbeEngine(b *testing.B) {
 func BenchmarkEndToEndStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(core.Config{Seed: int64(i) + 1, Scale: 0.1, MinSNIUsers: 2}); err != nil {
+		if _, err := core.Run(context.Background(), core.Config{Seed: int64(i) + 1, Scale: 0.1, MinSNIUsers: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

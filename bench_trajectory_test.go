@@ -1,6 +1,7 @@
 package repro_bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -60,7 +61,7 @@ func e2eWall(name string, scale float64, workers, runs int) e2ePoint {
 	best := time.Duration(0)
 	for i := 0; i < runs; i++ {
 		start := time.Now()
-		if _, err := core.Run(core.Config{Seed: 20231024, Scale: scale, MinSNIUsers: 3, Workers: workers}); err != nil {
+		if _, err := core.Run(context.Background(), core.Config{Seed: 20231024, Scale: scale, MinSNIUsers: 3, Workers: workers}); err != nil {
 			panic(err)
 		}
 		if d := time.Since(start); best == 0 || d < best {
@@ -153,7 +154,7 @@ func TestBenchTrajectory(t *testing.T) {
 
 	// Table-level benchmarks over the shared paper-scale study: the same
 	// builders `go test -bench .` exercises, recorded as JSON.
-	s, err := core.Run(core.Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3})
+	s, err := core.Run(context.Background(), core.Config{Seed: 20231024, Scale: 1.0, MinSNIUsers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	ctquery [-seed N] [-scale F] [-verify N]
+//	ctquery [-seed N] [-scale F] [-workers N] [-timeout D] [-verify N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
+	"repro/internal/cliflags"
 	"repro/internal/ctlog"
 	"repro/internal/dataset"
 	"repro/internal/pki"
@@ -22,12 +26,11 @@ import (
 )
 
 func main() {
-	var (
-		seed   = flag.Int64("seed", 20231024, "world seed")
-		scale  = flag.Float64("scale", 0.3, "population scale")
-		verify = flag.Int("verify", 16, "number of inclusion proofs to verify")
-	)
+	common := cliflags.Common{Seed: 20231024, Scale: 0.3}
+	common.Register(flag.CommandLine)
+	verify := flag.Int("verify", 16, "number of inclusion proofs to verify")
 	flag.Parse()
+	seed, scale := &common.Seed, &common.Scale
 
 	ds := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
 	world := simnet.Build(simnet.Config{Seed: *seed + 1, SNIs: ds.SNIsByMinUsers(2)})
@@ -64,32 +67,81 @@ func main() {
 		fmt.Printf("%-32s %-8s %d/%d\n", i, kind, c.logged, c.total)
 	}
 
-	// Verify inclusion proofs for a sample of logged leaves.
+	// Verify inclusion proofs for a sample of logged leaves. Candidate
+	// selection is deterministic (sorted SNIs, first -verify logged
+	// entries); verification fans out across -workers goroutines and the
+	// results print in candidate order, so the output is identical for
+	// any worker count. -timeout bounds the whole verification phase.
 	fmt.Printf("\n== Verifying %d inclusion proofs ==\n", *verify)
 	snis := make([]string, 0, len(world.Servers))
 	for sni := range world.Servers {
 		snis = append(snis, sni)
 	}
 	sort.Strings(snis)
-	verified := 0
+	candidates := make([]string, 0, *verify)
 	for _, sni := range snis {
-		if verified >= *verify {
+		if len(candidates) >= *verify {
 			break
 		}
-		srv := world.Servers[sni]
-		if !srv.InCT {
-			continue
+		if world.Servers[sni].InCT {
+			candidates = append(candidates, sni)
 		}
-		idx, proof, err := log.InclusionProofForCert(srv.Leaf.Cert)
-		if err != nil {
-			fatal(fmt.Errorf("proof for %s: %w", sni, err))
+	}
+	ctx := context.Background()
+	if common.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, common.Timeout)
+		defer cancel()
+	}
+	type proofOut struct {
+		idx   uint64
+		path  int
+		err   error
+	}
+	outs := make([]proofOut, len(candidates))
+	workers := common.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) && len(candidates) > 0 {
+		workers = len(candidates)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sni := candidates[i]
+				srv := world.Servers[sni]
+				if err := ctx.Err(); err != nil {
+					outs[i].err = fmt.Errorf("proof for %s: %w", sni, err)
+					continue
+				}
+				idx, proof, err := log.InclusionProofForCert(srv.Leaf.Cert)
+				if err != nil {
+					outs[i].err = fmt.Errorf("proof for %s: %w", sni, err)
+					continue
+				}
+				if !ctlog.VerifyInclusion(ctlog.LeafHashOfCert(srv.Leaf.Cert), idx, head.Size, proof, head.RootHash) {
+					outs[i].err = fmt.Errorf("inclusion proof for %s FAILED", sni)
+					continue
+				}
+				outs[i] = proofOut{idx: idx, path: len(proof)}
+			}
+		}()
+	}
+	for i := range candidates {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, out := range outs {
+		if out.err != nil {
+			fatal(out.err)
 		}
-		okProof := ctlog.VerifyInclusion(ctlog.LeafHashOfCert(srv.Leaf.Cert), idx, head.Size, proof, head.RootHash)
-		if !okProof {
-			fatal(fmt.Errorf("inclusion proof for %s FAILED", sni))
-		}
-		fmt.Printf("%-40s leaf=%d path=%d OK\n", sni, idx, len(proof))
-		verified++
+		fmt.Printf("%-40s leaf=%d path=%d OK\n", candidates[i], out.idx, out.path)
 	}
 
 	// Consistency proof between half and full tree.

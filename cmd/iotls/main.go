@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/export"
@@ -33,13 +36,14 @@ import (
 )
 
 func main() {
+	common := cliflags.Common{Seed: 20231024, Scale: 1.0}
+	common.Register(flag.CommandLine)
+	var obsFlags cliflags.Obs
+	obsFlags.Register(flag.CommandLine)
 	var (
-		seed    = flag.Int64("seed", 20231024, "random seed for dataset and world generation")
-		scale   = flag.Float64("scale", 1.0, "population scale (1.0 = paper scale, ~2000 devices)")
 		minUser = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users")
 		realTLS = flag.Bool("real-tls", false, "probe with genuine crypto/tls handshakes")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		workers = flag.Int("workers", 0, "worker pool size for ingestion, probing, and rendering (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -47,15 +51,33 @@ func main() {
 		cmd = "report"
 	}
 
-	cfg := core.Config{Seed: *seed, Scale: *scale, MinSNIUsers: *minUser, RealTLS: *realTLS, Workers: *workers}
+	tracer, metrics, flush, err := obsFlags.Setup("iotls")
+	if err != nil {
+		fatal(err)
+	}
+	atExit = flush
+	defer flush()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := core.Config{
+		Seed: common.Seed, Scale: common.Scale, MinSNIUsers: *minUser,
+		RealTLS: *realTLS, Workers: common.Workers,
+		Tracer: tracer, Metrics: metrics,
+	}
+	cfg.Probe.AttemptTimeout = common.Timeout
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 
 	switch cmd {
 	case "export":
-		study, err := core.Run(cfg)
+		study, err := core.Run(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		anon := export.NewAnonymizer(fmt.Sprintf("iotls-%d", *seed))
+		anon := export.NewAnonymizer(fmt.Sprintf("iotls-%d", cfg.Seed))
 		n, err := export.WriteHellos(os.Stdout, study.Dataset, anon)
 		if err != nil {
 			fatal(err)
@@ -66,7 +88,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "exported %d hello rows and %d cert rows\n", n, m)
 	case "report", "client", "server", "dot", "summary":
-		study, err := core.Run(cfg)
+		study, err := core.Run(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +189,12 @@ func portOf(name string, lab *localnet.Lab) int {
 	}
 }
 
+// atExit flushes observability output before fatal terminates the
+// process (os.Exit skips deferred calls); main sets it once.
+var atExit = func() {}
+
 func fatal(err error) {
+	atExit()
 	fmt.Fprintln(os.Stderr, "iotls:", err)
 	os.Exit(1)
 }

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	iotprobe [-seed N] [-scale F] [-real-tls] [-vantage V]
-//	         [-timeout D] [-retries N] [-workers N] [-fault-rate F] [sni ...]
+//	         [-timeout D] [-retries N] [-workers N] [-fault-rate F]
+//	         [-trace] [-metrics FILE] [-pprof ADDR] [sni ...]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/dataset"
 	"repro/internal/pki"
 	"repro/internal/probe"
@@ -32,17 +34,25 @@ import (
 )
 
 func main() {
+	common := cliflags.Common{Seed: 20231024, Scale: 0.3, Timeout: 5 * time.Second}
+	common.Register(flag.CommandLine)
+	var obsFlags cliflags.Obs
+	obsFlags.Register(flag.CommandLine)
 	var (
-		seed      = flag.Int64("seed", 20231024, "world seed")
-		scale     = flag.Float64("scale", 0.3, "population scale for the default SNI set")
 		realTLS   = flag.Bool("real-tls", true, "use genuine crypto/tls handshakes")
 		vantage   = flag.String("vantage", "all", "vantage: new-york, frankfurt, singapore, or all")
-		timeout   = flag.Duration("timeout", 5*time.Second, "per-attempt handshake timeout")
 		retries   = flag.Int("retries", 3, "max retries per (SNI, vantage) on transient failures")
-		workers   = flag.Int("workers", 0, "concurrent probe workers (0 = GOMAXPROCS)")
 		faultRate = flag.Float64("fault-rate", 0, "injected transient-failure probability per attempt, in [0,1]")
 	)
 	flag.Parse()
+	seed, scale, workers, timeout := &common.Seed, &common.Scale, &common.Workers, &common.Timeout
+
+	tracer, metrics, flush, err := obsFlags.Setup("iotprobe")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotprobe:", err)
+		os.Exit(2)
+	}
+	defer flush()
 
 	vantages, err := resolveVantages(*vantage)
 	if err != nil {
@@ -54,7 +64,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	ds := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	buildSpan := tracer.Root().Child("world-build")
+	ds := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale, Metrics: metrics})
 	snis := flag.Args()
 	worldSNIs := ds.SNIsByMinUsers(2)
 	if len(snis) == 0 {
@@ -77,6 +88,9 @@ func main() {
 	if *faultRate > 0 {
 		world.SetFaults(simnet.Faults{Seed: *seed, TransientRate: *faultRate})
 	}
+	world.Validator.Instrument(metrics)
+	buildSpan.SetCount("servers", int64(len(world.Servers)))
+	buildSpan.End()
 
 	maxRetries := *retries
 	if maxRetries == 0 {
@@ -87,12 +101,17 @@ func main() {
 		AttemptTimeout: *timeout,
 		MaxRetries:     maxRetries,
 		Seed:           *seed,
+		Metrics:        metrics,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	sort.Strings(snis)
+	probeSpan := tracer.Root().Child("probe")
 	results, stats := eng.Run(ctx, snis, vantages)
+	probeSpan.SetCount("jobs", int64(stats.Jobs))
+	probeSpan.SetCount("attempts", int64(stats.Attempts))
+	probeSpan.End()
 
 	for _, r := range results {
 		if r.Err != nil {
@@ -116,6 +135,7 @@ func main() {
 		"attempts=%d retries=%d breaker-opens=%d breaker-fast-fails=%d budget-exhausted=%d\n",
 		stats.Attempts, stats.Retries, stats.BreakerOpens, stats.BreakerFastFails, stats.BudgetExhausted)
 	if stats.Aborted > 0 {
+		flush() // os.Exit skips the deferred flush
 		os.Exit(130)
 	}
 }

@@ -3,17 +3,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
-	study, err := core.Run(core.Config{Seed: 42, Scale: 0.2, MinSNIUsers: 2})
+	// A tracer is optional — leave it nil and the pipeline runs with zero
+	// observability overhead. With one attached, every stage gets a span.
+	tracer := obs.NewTracer("quickstart")
+	study, err := core.Run(context.Background(),
+		core.Config{Seed: 42, Scale: 0.2, MinSNIUsers: 2, Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tracer.WriteTree(os.Stderr)
 
 	// Client side (Section 4): fingerprints and customization.
 	match := study.Client.MatchLibraries(study.Matcher)

@@ -11,11 +11,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tlswire"
 )
 
@@ -91,12 +93,28 @@ type clientShard struct {
 	versionCounts map[tlswire.Version]int
 	errIdx        int
 	err           error
+	// memoHits / memoMisses tally the parse-memo effectiveness; records
+	// is the shard's input size. Plain ints: each shard owns its own
+	// counters and the merge publishes totals once, so the hot loop pays
+	// no atomics even when instrumentation is on.
+	memoHits   int64
+	memoMisses int64
+	records    int64
 }
 
 // NewClientWorkers is NewClient with an explicit worker count (<= 0:
 // GOMAXPROCS). The result is byte-for-byte independent of the worker
 // count; workers only shard the parsing and aggregation work.
 func NewClientWorkers(ds *dataset.Dataset, workers int) (*Client, error) {
+	return NewClientObserved(ds, workers, nil)
+}
+
+// NewClientObserved is NewClientWorkers with optional instrumentation:
+// when m is non-nil it records ingest_records_total, the parse-memo
+// hit/miss counters, and an ingest_seconds histogram (records/sec is the
+// ratio of the first to the last). nil m costs nothing.
+func NewClientObserved(ds *dataset.Dataset, workers int, m *obs.Registry) (*Client, error) {
+	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -157,6 +175,20 @@ func NewClientWorkers(ds *dataset.Dataset, workers int) (*Client, error) {
 		c.orderedKeys = append(c.orderedKeys, k)
 	}
 	sort.Strings(c.orderedKeys)
+
+	if m != nil {
+		var hits, misses, records int64
+		for i := range shards {
+			hits += shards[i].memoHits
+			misses += shards[i].memoMisses
+			records += shards[i].records
+		}
+		m.Counter("ingest_records_total").Add(records)
+		m.Counter("ingest_memo_hits_total").Add(hits)
+		m.Counter("ingest_memo_misses_total").Add(misses)
+		m.Counter("ingest_fingerprints_total").Add(int64(len(c.Prints)))
+		m.Histogram("ingest_seconds", obs.DurationBuckets).Observe(time.Since(start).Seconds())
+	}
 	return c, nil
 }
 
@@ -168,9 +200,15 @@ func (s *clientShard) ingest(records []dataset.Record, base int) {
 	s.sniDevices = map[string]map[string]bool{}
 	s.versionCounts = map[tlswire.Version]int{}
 	parsed := map[string]parsedPrint{}
+	s.records = int64(len(records))
 	for i, r := range records {
 		ck := printCacheKey(r)
 		p, ok := parsed[ck]
+		if ok {
+			s.memoHits++
+		} else {
+			s.memoMisses++
+		}
 		if !ok {
 			ch, err := r.Hello()
 			if err != nil {

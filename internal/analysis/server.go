@@ -65,6 +65,16 @@ func NewServer(w *simnet.World, ds *dataset.Dataset, snis []string, realTLS bool
 // NewServerProbed is NewServer with an explicit probing backend and
 // engine options, for fault-injected or live-backend collection runs.
 func NewServerProbed(w *simnet.World, ds *dataset.Dataset, snis []string, p probe.Prober, opts probe.Options) *Server {
+	results, stats := probe.New(p, opts).Run(context.Background(), snis, simnet.Vantages())
+	return NewServerFromProbes(w, ds, snis, results, stats)
+}
+
+// NewServerFromProbes assembles the Section 5 certificate dataset from an
+// already-completed probe run: chain validation, CT lookups, and the
+// visitation index. Splitting collection from validation lets the
+// stage-based pipeline of internal/core trace and cancel the two halves
+// independently.
+func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, results []probe.Result, stats probe.Stats) *Server {
 	s := &Server{
 		World:      w,
 		DS:         ds,
@@ -86,7 +96,6 @@ func NewServerProbed(w *simnet.World, ds *dataset.Dataset, snis []string, p prob
 		visitVendors[r.SNI][r.Vendor] = true
 	}
 
-	results, stats := probe.New(p, opts).Run(context.Background(), snis, simnet.Vantages())
 	s.ProbeStats = stats
 	chains := map[simnet.Vantage]map[string]pki.Chain{}
 	for _, v := range simnet.Vantages() {

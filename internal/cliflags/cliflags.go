@@ -1,0 +1,119 @@
+// Package cliflags holds the flag declarations shared by the study's
+// commands (iotls, iotprobe, ctquery), so -seed, -scale, -workers, and
+// -timeout mean the same thing — same name, same type, same help text —
+// everywhere. Per-command defaults stay with the command: Register reads
+// the struct's current values as the flag defaults.
+//
+// Obs bundles the observability flags (-trace, -metrics, -pprof) and
+// turns them into an obs.Tracer / obs.Registry pair plus a flush function
+// that emits the span tree and metrics exposition at exit.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Common is the flag set every command shares. Fill in the command's
+// defaults before calling Register.
+type Common struct {
+	// Seed drives every random decision (dataset + world).
+	Seed int64
+	// Scale multiplies the device population (1.0 = paper scale).
+	Scale float64
+	// Workers bounds the worker pools; 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds one attempt (probing) or the whole verification
+	// phase (ctquery); 0 means the engine default / no bound.
+	Timeout time.Duration
+}
+
+// Register declares the shared flags on fs with c's current values as
+// defaults. The flag names and help strings are identical across
+// commands by construction.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "random seed for dataset and world generation")
+	fs.Float64Var(&c.Scale, "scale", c.Scale, "population scale (1.0 = paper scale)")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "per-attempt timeout (0 = default)")
+}
+
+// Obs is the observability flag set: tracing, metrics exposition, and a
+// debug server with pprof.
+type Obs struct {
+	// Trace prints the hierarchical span tree to stderr at exit.
+	Trace bool
+	// Metrics names a file that receives the Prometheus-text exposition
+	// at exit; "-" writes to stderr.
+	Metrics string
+	// Pprof is a listen address (e.g. "localhost:6060") serving
+	// /metrics, /metrics.json, /debug/vars, and /debug/pprof/ while the
+	// command runs.
+	Pprof string
+}
+
+// Register declares -trace, -metrics, and -pprof on fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Trace, "trace", o.Trace, "print the stage span tree to stderr at exit")
+	fs.StringVar(&o.Metrics, "metrics", o.Metrics, `write the Prometheus-text metrics exposition to this file at exit ("-" = stderr)`)
+	fs.StringVar(&o.Pprof, "pprof", o.Pprof, "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
+}
+
+// Setup turns the parsed flags into observability handles. The returned
+// tracer and registry are nil when the corresponding flags are off, so
+// passing them straight into core.Config keeps the zero-cost path.
+// flush emits the span tree and the metrics exposition and shuts the
+// debug server down; call it once, after the work (it is safe when both
+// handles are nil). name labels the tracer root and the expvar
+// publication.
+func (o *Obs) Setup(name string) (tracer *obs.Tracer, registry *obs.Registry, flush func(), err error) {
+	if o.Trace {
+		tracer = obs.NewTracer(name)
+	}
+	if o.Metrics != "" || o.Pprof != "" {
+		registry = obs.NewRegistry(name)
+	}
+	var closeSrv func()
+	if o.Pprof != "" {
+		registry.PublishExpvar(name)
+		srv, addr, serr := obs.ServeDebug(o.Pprof, registry)
+		if serr != nil {
+			return nil, nil, nil, fmt.Errorf("cliflags: -pprof %s: %w", o.Pprof, serr)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/ (metrics, pprof)\n", name, addr)
+		closeSrv = func() { srv.Close() }
+	}
+	flush = func() {
+		if tracer != nil {
+			tracer.WriteTree(os.Stderr)
+		}
+		if o.Metrics != "" {
+			if err := writeMetrics(o.Metrics, registry); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", name, err)
+			}
+		}
+		if closeSrv != nil {
+			closeSrv()
+		}
+	}
+	return tracer, registry, flush, nil
+}
+
+// writeMetrics dumps the exposition to path ("-" = stderr).
+func writeMetrics(path string, r *obs.Registry) error {
+	var w io.Writer = os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return r.WritePrometheus(w)
+}

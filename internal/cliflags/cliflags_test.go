@@ -1,0 +1,117 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCommonRegisterParsesSharedFlags: values land in the struct, and the
+// struct's pre-set values act as defaults.
+func TestCommonRegisterParsesSharedFlags(t *testing.T) {
+	c := Common{Seed: 7, Scale: 0.3, Timeout: 5 * time.Second}
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-seed", "42", "-scale", "1.5", "-workers", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Scale != 1.5 || c.Workers != 8 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.Timeout != 5*time.Second {
+		t.Fatalf("unset flag lost its default: %v", c.Timeout)
+	}
+}
+
+// TestRegisterIsIdenticalAcrossCommands: two commands registering Common
+// with different defaults still declare the same flag names and usage
+// strings — the point of sharing the declarations.
+func TestRegisterIsIdenticalAcrossCommands(t *testing.T) {
+	a, b := Common{Scale: 1.0}, Common{Scale: 0.3}
+	fsA := flag.NewFlagSet("a", flag.ContinueOnError)
+	fsB := flag.NewFlagSet("b", flag.ContinueOnError)
+	a.Register(fsA)
+	b.Register(fsB)
+	for _, name := range []string{"seed", "scale", "workers", "timeout"} {
+		fa, fb := fsA.Lookup(name), fsB.Lookup(name)
+		if fa == nil || fb == nil {
+			t.Fatalf("flag -%s missing", name)
+		}
+		if fa.Usage != fb.Usage {
+			t.Errorf("-%s usage diverged: %q vs %q", name, fa.Usage, fb.Usage)
+		}
+	}
+}
+
+// TestObsSetupOffIsAllNil: with every flag off both handles are nil (the
+// zero-cost path) and flush is a safe no-op.
+func TestObsSetupOffIsAllNil(t *testing.T) {
+	var o Obs
+	tracer, registry, flush, err := o.Setup("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer != nil || registry != nil {
+		t.Fatalf("handles not nil with observability off: %v %v", tracer, registry)
+	}
+	flush()
+}
+
+// TestObsSetupWritesMetricsFile: -metrics dumps a parseable exposition.
+func TestObsSetupWritesMetricsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	o := Obs{Trace: true, Metrics: path}
+	tracer, registry, flush, err := o.Setup("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer == nil || registry == nil {
+		t.Fatal("handles nil with flags on")
+	}
+	registry.Counter("things_total").Add(3)
+	sp := tracer.Root().Child("work")
+	sp.End()
+	flush()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := obs.ParseText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SumSeries(samples, "test_things_total"); got != 3 {
+		t.Fatalf("things_total = %v, want 3", got)
+	}
+}
+
+// TestObsSetupServesDebug: -pprof with port 0 binds, serves /metrics, and
+// flush shuts the server down.
+func TestObsSetupServesDebug(t *testing.T) {
+	o := Obs{Pprof: "127.0.0.1:0"}
+	_, registry, flush, err := o.Setup("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flush()
+	if registry == nil {
+		t.Fatal("registry nil with -pprof set")
+	}
+	registry.Counter("served_total").Inc()
+	// The bound address is printed, not returned; hitting the listener is
+	// covered by the obs package tests — here it is enough that Setup
+	// succeeded and produced a working registry.
+	var sb strings.Builder
+	if err := registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test_served_total 1") {
+		t.Fatalf("exposition missing counter:\n%s", sb.String())
+	}
+}

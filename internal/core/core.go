@@ -1,21 +1,32 @@
-// Package core orchestrates the full study: generate (or ingest) the
-// crowdsourced ClientHello dataset, run the client-side TLS analyses of
-// Section 4, extract the SNI set, build and probe the server world of
-// Section 5, and render every table and figure. It is the library's
-// primary entry point; cmd/iotls and the examples are thin wrappers.
+// Package core orchestrates the full study as a stage-based pipeline:
+// generate (or ingest) the crowdsourced ClientHello dataset, run the
+// client-side TLS analyses of Section 4, extract the SNI set, build and
+// probe the server world of Section 5, validate the collected chains, and
+// render every table and figure. It is the library's primary entry point;
+// cmd/iotls and the examples are thin wrappers.
+//
+// Run executes the Stages DAG under a context: independent stages overlap
+// exactly as the hand-rolled pipeline of PR 2 did, every stage opens a
+// tracing span and records wall time and item counts (Config.Tracer /
+// Config.Metrics), and cancellation is honored between and inside stages.
+// With observability left nil the pipeline output is byte-identical and
+// the instrumentation costs nothing.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
-	"repro/internal/libcorpus"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/simnet"
@@ -40,8 +51,52 @@ type Config struct {
 	// Probe tunes the resilient probe engine (zero value = defaults).
 	Probe probe.Options
 	// Faults optionally installs deterministic handshake-fault injection
-	// on the world before probing.
+	// on the world before probing. Faults act on the simulated fast path,
+	// so they conflict with RealTLS (Validate rejects the combination).
 	Faults *simnet.Faults
+	// Tracer records one hierarchical span per pipeline stage plus a
+	// report span per WriteReport call. nil disables tracing at zero
+	// cost and never changes the study's output.
+	Tracer *obs.Tracer
+	// Metrics receives counters and histograms from every subsystem:
+	// probe attempts/retries/breaker activity and handshake latencies,
+	// ingestion records and memo hit rates, pki cache and verdict
+	// tallies, dataset generation counts, stage wall times. nil disables
+	// metrics at zero cost.
+	Metrics *obs.Registry
+}
+
+// Typed configuration errors, matchable with errors.Is after Validate
+// (and therefore Run) wraps them with the offending value.
+var (
+	// ErrBadWorkers: Workers is negative (0 means GOMAXPROCS).
+	ErrBadWorkers = errors.New("Workers must be >= 0")
+	// ErrBadScale: Scale is zero or negative.
+	ErrBadScale = errors.New("Scale must be > 0")
+	// ErrBadMinSNIUsers: MinSNIUsers is below 1.
+	ErrBadMinSNIUsers = errors.New("MinSNIUsers must be >= 1")
+	// ErrFaultsWithRealTLS: fault injection acts on the simulated fast
+	// path and cannot coexist with genuine crypto/tls handshakes.
+	ErrFaultsWithRealTLS = errors.New("Faults and RealTLS are mutually exclusive")
+)
+
+// Validate rejects nonsense configurations with typed errors instead of
+// silently "fixing" them. Run calls it first; callers constructing
+// configs from user input can call it directly for early feedback.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers = %d: %w", c.Workers, ErrBadWorkers)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("core: Scale = %v: %w", c.Scale, ErrBadScale)
+	}
+	if c.MinSNIUsers < 1 {
+		return fmt.Errorf("core: MinSNIUsers = %d: %w", c.MinSNIUsers, ErrBadMinSNIUsers)
+	}
+	if c.Faults != nil && c.RealTLS {
+		return fmt.Errorf("core: %w", ErrFaultsWithRealTLS)
+	}
+	return nil
 }
 
 // workers resolves the effective worker count.
@@ -67,60 +122,40 @@ type Study struct {
 	Server  *analysis.Server
 	// SNIs is the filtered SNI set fed to the prober.
 	SNIs []string
+
+	// probeResults carries the raw engine output from the probe stage to
+	// the chain-validation stage, which folds it into Server.
+	probeResults []probe.Result
+	probeStats   probe.Stats
 }
 
-// Run executes the full pipeline.
-func Run(cfg Config) (*Study, error) {
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1.0
+// Run executes the full pipeline under ctx. Cancelling ctx stops the run:
+// stages that have not started are skipped and the probe engine drains
+// in-flight attempts, so Run returns promptly with the context's error.
+// The entry point of record since PR 3; RunDefault keeps the old
+// context-free shape.
+func Run(ctx context.Context, cfg Config) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.MinSNIUsers <= 0 {
-		cfg.MinSNIUsers = 3
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	workers := cfg.workers()
-	probeOpts := cfg.Probe
-	if probeOpts.Workers == 0 {
-		probeOpts.Workers = workers
+	st := &Study{Config: cfg}
+	pipe := cfg.Tracer.Root().Child("core.Run")
+	defer pipe.End()
+	if err := RunStages(ctx, st, pipe, Stages()); err != nil {
+		return nil, err
 	}
-	ds := dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	return st, nil
+}
 
-	// The client-side analysis and the library corpus depend only on the
-	// dataset, never on the server world: overlap them with world
-	// construction and probing. Every stage is deterministic on its own,
-	// so the interleaving cannot change results.
-	var (
-		client    *analysis.Client
-		clientErr error
-		matcher   *fingerprint.Matcher
-		wg        sync.WaitGroup
-	)
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		client, clientErr = analysis.NewClientWorkers(ds, workers)
-	}()
-	go func() {
-		defer wg.Done()
-		matcher = libcorpus.NewMatcher()
-	}()
-
-	snis := ds.SNIsByMinUsers(cfg.MinSNIUsers)
-	world := simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: snis, Faults: cfg.Faults})
-	server := analysis.NewServerProbed(world, ds, snis,
-		probe.WorldProber{World: world, RealTLS: cfg.RealTLS}, probeOpts)
-	wg.Wait()
-	if clientErr != nil {
-		return nil, fmt.Errorf("core: client analysis: %w", clientErr)
-	}
-	return &Study{
-		Config:  cfg,
-		Dataset: ds,
-		Client:  client,
-		Matcher: matcher,
-		World:   world,
-		Server:  server,
-		SNIs:    snis,
-	}, nil
+// RunDefault executes the pipeline without cancellation.
+//
+// Deprecated: RunDefault exists for callers of the pre-observability API.
+// Use Run with a context.
+func RunDefault(cfg Config) (*Study, error) {
+	return Run(context.Background(), cfg)
 }
 
 // clientTableJobs lists the Section 4 + Appendix B table builders. Each
@@ -179,6 +214,13 @@ func (s *Study) serverTableJobs() []func() report.Table {
 // buildTables runs table jobs across the study's worker pool, preserving
 // slice order in the result regardless of completion order.
 func (s *Study) buildTables(jobs []func() report.Table) []report.Table {
+	if m := s.Config.Metrics; m != nil {
+		start := time.Now()
+		defer func() {
+			m.Histogram("report_render_seconds", obs.DurationBuckets).Observe(time.Since(start).Seconds())
+			m.Counter("report_tables_total").Add(int64(len(jobs)))
+		}()
+	}
 	workers := s.Config.workers()
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -223,11 +265,14 @@ func (s *Study) ServerTables() []report.Table {
 // (bounded by Config.Workers) and emitted in fixed order, so the bytes
 // written are identical for every worker count.
 func (s *Study) WriteReport(w io.Writer) {
+	sp := s.Config.Tracer.Root().Child("report")
+	defer sp.End()
 	fmt.Fprintf(w, "IoT TLS & Certificate Study — %d devices, %d users, %d models, %d records\n",
 		len(s.Dataset.Devices), s.Dataset.Users(), s.Dataset.Models(), len(s.Dataset.Records))
 	fmt.Fprintf(w, "Fingerprints: %d unique; SNIs probed: %d (of %d observed)\n\n",
 		s.Client.NumFingerprints(), len(s.SNIs), len(s.Dataset.SNIs()))
 	jobs := append(s.clientTableJobs(), s.serverTableJobs()...)
+	sp.SetCount("tables", int64(len(jobs)))
 	for _, t := range s.buildTables(jobs) {
 		t.WriteText(w)
 		fmt.Fprintln(w)

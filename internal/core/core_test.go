@@ -2,13 +2,14 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func runSmall(t testing.TB) *Study {
 	t.Helper()
-	s, err := Run(Config{Seed: 17, Scale: 0.2, MinSNIUsers: 2})
+	s, err := Run(context.Background(), Config{Seed: 17, Scale: 0.2, MinSNIUsers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRealTLSPath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real TLS probing in short mode")
 	}
-	s, err := Run(Config{Seed: 23, Scale: 0.05, MinSNIUsers: 2, RealTLS: true})
+	s, err := Run(context.Background(), Config{Seed: 23, Scale: 0.05, MinSNIUsers: 2, RealTLS: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,19 +100,15 @@ func TestConfigDefaults(t *testing.T) {
 	if cfg.Scale != 1.0 || cfg.MinSNIUsers != 3 {
 		t.Fatalf("unexpected defaults %+v", cfg)
 	}
-	// Run applies defaults for zero values.
-	s, err := Run(Config{Seed: 5, Scale: 0.05})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if s.Config.MinSNIUsers != 3 {
-		t.Fatalf("MinSNIUsers default not applied: %d", s.Config.MinSNIUsers)
+	// Run validates instead of silently fixing zero values.
+	if _, err := Run(context.Background(), Config{Seed: 5, Scale: 0.05}); err == nil {
+		t.Fatal("Run accepted MinSNIUsers = 0")
 	}
 }
 
 func BenchmarkFullStudySmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Seed: 9, Scale: 0.1, MinSNIUsers: 2}); err != nil {
+		if _, err := Run(context.Background(), Config{Seed: 9, Scale: 0.1, MinSNIUsers: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

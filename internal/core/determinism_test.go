@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"runtime"
 	"testing"
@@ -16,7 +17,7 @@ func TestReportDeterministicAcrossWorkers(t *testing.T) {
 	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
 	var want []byte
 	for _, workers := range counts {
-		s, err := Run(Config{Seed: 31, Scale: 0.25, MinSNIUsers: 2, Workers: workers})
+		s, err := Run(context.Background(), Config{Seed: 31, Scale: 0.25, MinSNIUsers: 2, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -28,7 +28,10 @@ func TestBuildHelloCachedMatchesDirect(t *testing.T) {
 			stackID := "stack-" + string(rune('a'+i))
 			for _, sni := range snis {
 				want := buildHello(p, sni, rngA)
-				got := buildHelloCached(cache, stackID, p, sni, rngB)
+				got, hit := buildHelloCached(cache, stackID, p, sni, rngB)
+				if wantHit := round > 0; hit != wantHit {
+					t.Fatalf("round %d print %d sni %q: cache hit = %v, want %v", round, i, sni, hit, wantHit)
+				}
 				if !bytes.Equal(got, want) {
 					t.Fatalf("round %d print %d sni %q: cached record differs\n got %x\nwant %x", round, i, sni, got, want)
 				}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshotFamily walks one family's series in sorted label order.
+func (f *family) snapshot(visit func(labelKey string, series any)) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	f.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.mu.Lock()
+		s := f.series[k]
+		f.mu.Unlock()
+		visit(k, s)
+	}
+}
+
+// sortedFamilies returns the registry's families by sorted metric name.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		r.mu.Lock()
+		out = append(out, r.families[n])
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// mergeLabels splices an extra label (le for histogram buckets) into an
+// already-rendered label key.
+func mergeLabels(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(key, "}") + "," + extra + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (families sorted by name, series by label key), suitable for a
+// /metrics endpoint or a file dump at exit.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		kind := "counter"
+		if f.isHist {
+			kind = "histogram"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kind)
+		f.snapshot(func(key string, series any) {
+			switch s := series.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, key, s.Value())
+			case *Histogram:
+				cum := int64(0)
+				counts := s.BucketCounts()
+				for i, ub := range s.Bounds() {
+					cum += counts[i]
+					le := strconv.FormatFloat(ub, 'g', -1, 64)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, mergeLabels(key, `le="`+le+`"`), cum)
+				}
+				cum += counts[len(counts)-1]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, mergeLabels(key, `le="+Inf"`), cum)
+				fmt.Fprintf(bw, "%s_sum%s %g\n", f.name, key, s.Sum())
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, key, s.Count())
+			}
+		})
+	}
+	return bw.Flush()
+}
+
+// jsonHistogram is the JSON exposition shape of one histogram series.
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// WriteJSON renders the registry as a JSON object: counters as
+// name{labels} -> value, histograms as name{labels} -> {count,sum,buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := struct {
+		Counters   map[string]int64         `json:"counters"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{map[string]int64{}, map[string]jsonHistogram{}}
+	for _, f := range r.sortedFamilies() {
+		f.snapshot(func(key string, series any) {
+			switch s := series.(type) {
+			case *Counter:
+				out.Counters[f.name+key] = s.Value()
+			case *Histogram:
+				jh := jsonHistogram{Count: s.Count(), Sum: s.Sum(), Buckets: map[string]int64{}}
+				counts := s.BucketCounts()
+				for i, ub := range s.Bounds() {
+					jh.Buckets[strconv.FormatFloat(ub, 'g', -1, 64)] = counts[i]
+				}
+				jh.Buckets["+Inf"] = counts[len(counts)-1]
+				out.Histograms[f.name+key] = jh
+			}
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ParseText parses a Prometheus text exposition into a flat
+// series -> value map (bucket/sum/count lines appear as distinct series).
+// It is the verification half of WritePrometheus, used by the CI smoke
+// check to assert a dumped exposition is well-formed.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is everything after the final space; the series name
+		// (with labels) is everything before, and label values may not
+		// contain spaces in our exposition.
+		i := strings.LastIndexByte(text, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("obs: exposition line %d: no value separator: %q", line, text)
+		}
+		series, valText := text[:i], text[i+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: bad value %q: %w", line, valText, err)
+		}
+		if strings.Count(series, "{") != strings.Count(series, "}") {
+			return nil, fmt.Errorf("obs: exposition line %d: unbalanced labels: %q", line, series)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SumSeries sums every parsed sample whose series name (before any label
+// block) equals name — the cross-label total of one family.
+func SumSeries(samples map[string]float64, name string) float64 {
+	total := 0.0
+	for series, v := range samples {
+		base := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			base = series[:i]
+		}
+		if base == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// PublishExpvar exposes the registry's JSON snapshot as an expvar under
+// the given name, visible on /debug/vars. A name that is already
+// published is left alone (expvar forbids re-publication), so repeated
+// calls are safe.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		var v any
+		if err := json.Unmarshal([]byte(b.String()), &v); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return v
+	}))
+}
+
+// ServeDebug starts an HTTP server on addr exposing the operational
+// surface: /metrics (Prometheus text), /metrics.json, /debug/vars
+// (expvar), and the /debug/pprof/ endpoints. It returns the server and
+// its bound address (addr may use port 0). Callers own shutdown.
+func ServeDebug(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension on a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds counter and histogram families under a common namespace
+// prefix. Lookups are synchronized; the returned handles update with a
+// single atomic op, so instrumented code resolves its series once and
+// then records lock-free. A nil *Registry hands out nil handles, which
+// no-op.
+type Registry struct {
+	namespace string
+
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name   string
+	isHist bool
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]any // labelKey -> *Counter | *Histogram
+	keys   []string
+}
+
+// NewRegistry creates a registry. Every metric name is prefixed with
+// namespace + "_" (no prefix when namespace is empty).
+func NewRegistry(namespace string) *Registry {
+	return &Registry{namespace: namespace, families: map[string]*family{}}
+}
+
+func (r *Registry) fullName(name string) string {
+	if r.namespace == "" {
+		return name
+	}
+	return r.namespace + "_" + name
+}
+
+func (r *Registry) family(name string, isHist bool, bounds []float64) *family {
+	full := r.fullName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[full]
+	if f == nil {
+		f = &family{name: full, isHist: isHist, bounds: bounds, series: map[string]any{}}
+		r.families[full] = f
+		r.names = append(r.names, full)
+	}
+	return f
+}
+
+// labelKey renders labels canonically: sorted by key, escaped values.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use. A nil registry returns a nil counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, false, nil)
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.series[key].(*Counter); ok {
+		return c
+	}
+	c := &Counter{}
+	f.series[key] = c
+	f.keys = append(f.keys, key)
+	return c
+}
+
+// Histogram returns the histogram series for (name, labels), creating it
+// with the given upper-bound buckets on first use (bounds must be sorted
+// ascending; the +Inf bucket is implicit). A nil registry returns nil.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, true, bounds)
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.series[key].(*Histogram); ok {
+		return h
+	}
+	h := newHistogram(f.bounds)
+	f.series[key] = h
+	f.keys = append(f.keys, key)
+	return h
+}
+
+// Counter is a monotonically increasing int64. The nil counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram counts observations into cumulative-style buckets and tracks
+// sum and count. The nil histogram no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count is the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum is the total of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the final
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DurationBuckets is the default handshake/stage latency bucketing, in
+// seconds: 1ms .. 10s, roughly geometric.
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry("iotls")
+	c := r.Counter("probe_attempts_total", L("vantage", "new-york"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	// Same (name, labels) resolves to the same series regardless of label
+	// order.
+	same := r.Counter("probe_attempts_total", L("vantage", "new-york"))
+	if same != c {
+		t.Fatal("same series resolved to a different counter")
+	}
+	other := r.Counter("probe_attempts_total", L("vantage", "frankfurt"))
+	if other == c {
+		t.Fatal("different labels resolved to the same counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.05} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.605) > 1e-9 {
+		t.Fatalf("Sum = %g, want 5.605", got)
+	}
+	want := []int64{1, 2, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestNilHandlesNoOpWithoutAllocation(t *testing.T) {
+	var r *Registry
+	var c *Counter
+	var h *Histogram
+	var tr *Tracer
+	var sp *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("x").Inc()
+		c.Add(3)
+		h.Observe(1)
+		sp = tr.Root().Child("stage")
+		sp.SetCount("items", 9)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op observability allocated %v times per op, want 0", allocs)
+	}
+	if c.Value() != 0 || h.Count() != 0 || sp != nil {
+		t.Fatal("nil handles must stay inert")
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry("iotls")
+	r.Counter("probe_attempts_total", L("vantage", "new-york")).Add(7)
+	r.Counter("probe_attempts_total", L("vantage", "frankfurt")).Add(3)
+	r.Counter("ingest_records_total").Add(1000)
+	h := r.Histogram("probe_handshake_seconds", []float64{0.01, 0.1}, L("vantage", "new-york"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE iotls_probe_attempts_total counter",
+		`iotls_probe_attempts_total{vantage="new-york"} 7`,
+		"# TYPE iotls_probe_handshake_seconds histogram",
+		`iotls_probe_handshake_seconds_bucket{vantage="new-york",le="0.01"} 1`,
+		`iotls_probe_handshake_seconds_bucket{vantage="new-york",le="+Inf"} 3`,
+		`iotls_probe_handshake_seconds_count{vantage="new-york"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SumSeries(samples, "iotls_probe_attempts_total"); got != 10 {
+		t.Fatalf("attempts across vantages = %g, want 10", got)
+	}
+	if got := samples["iotls_ingest_records_total"]; got != 1000 {
+		t.Fatalf("ingest_records_total = %g, want 1000", got)
+	}
+	if got := samples[`iotls_probe_handshake_seconds_bucket{vantage="new-york",le="0.1"}`]; got != 2 {
+		t.Fatalf("cumulative le=0.1 bucket = %g, want 2", got)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"novalue", "name{unbalanced 3", "name notanumber"} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry("t")
+	r.Counter("jobs_total").Add(4)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON exposition: %v\n%s", err, buf.String())
+	}
+	if parsed.Counters["t_jobs_total"] != 4 {
+		t.Fatalf("counters = %v", parsed.Counters)
+	}
+	if parsed.Histograms["t_lat"].Count != 1 || parsed.Histograms["t_lat"].Buckets["1"] != 1 {
+		t.Fatalf("histograms = %v", parsed.Histograms)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer("run")
+	a := tr.Root().Child("dataset")
+	a.SetCount("records", 11439)
+	a.End()
+	b := tr.Root().Child("probe")
+	c := b.Child("vantage-sweep")
+	c.End()
+	b.End()
+	tr.Root().End()
+
+	root := tr.Root()
+	if root.Name() != "run" {
+		t.Fatalf("root name = %q", root.Name())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "dataset" || kids[1].Name() != "probe" {
+		t.Fatalf("children = %v", kids)
+	}
+	if got := kids[0].Counts(); len(got) != 1 || got[0] != (Count{"records", 11439}) {
+		t.Fatalf("counts = %v", got)
+	}
+	if len(kids[1].Children()) != 1 {
+		t.Fatal("nested child lost")
+	}
+
+	var buf bytes.Buffer
+	tr.WriteTree(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "records=11439") || !strings.Contains(text, "  dataset") ||
+		!strings.Contains(text, "    vantage-sweep") {
+		t.Fatalf("tree rendering:\n%s", text)
+	}
+}
+
+func TestSpanBeginRestampsStart(t *testing.T) {
+	tr := NewTracer("run")
+	sp := tr.Root().Child("later")
+	time.Sleep(5 * time.Millisecond)
+	sp.Begin()
+	sp.End()
+	if d := sp.Duration(); d > 4*time.Millisecond {
+		t.Fatalf("Begin did not restamp start: duration %v", d)
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry("iotls")
+	r.Counter("probe_attempts_total").Add(2)
+	srv, addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "iotls_probe_attempts_total 2") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, "iotls_probe_attempts_total") {
+		t.Fatalf("/metrics.json body:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,189 @@
+// Package obs is the study's observability substrate: hierarchical
+// tracing spans over a monotonic clock, a metrics registry of counters
+// and histograms with Prometheus-text and JSON exposition, and the
+// expvar/pprof wiring the binaries expose behind -pprof.
+//
+// Everything is nil-safe: a nil *Tracer, *Span, *Registry, *Counter, or
+// *Histogram is a valid zero-allocation no-op, so instrumented code paths
+// never branch on "is observability enabled" and pay nothing when it is
+// off. Large active-measurement studies (Sosnowski et al.'s TLS
+// fingerprinting scans, Holz et al.'s TLS 1.3 monitoring) only scale
+// because every probe attempt and verdict is counted and timed; this
+// package gives the reproduction the same substrate.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer owns a tree of spans anchored at a root. All span timestamps are
+// offsets from the tracer's base time, so durations come from Go's
+// monotonic clock and are immune to wall-clock steps.
+type Tracer struct {
+	base time.Time
+	root *Span
+}
+
+// NewTracer starts a tracer whose root span carries the given name and
+// begins now.
+func NewTracer(name string) *Tracer {
+	t := &Tracer{base: time.Now()}
+	t.root = &Span{tracer: t, name: name}
+	return t
+}
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// now is the monotonic offset since the tracer started.
+func (t *Tracer) now() time.Duration { return time.Since(t.base) }
+
+// WriteTree renders the span tree to w, one span per line, indented by
+// depth: name, duration, and counts in insertion order. A span that has
+// not ended renders with the tracer's current offset as its end.
+func (t *Tracer) WriteTree(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.root.writeTree(w, 0)
+}
+
+// Count is one named item count attached to a span (records parsed,
+// probes attempted, tables rendered, ...).
+type Count struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed region. Spans form a tree; children appear in the
+// order Child was called, which instrumented code keeps deterministic by
+// creating sibling spans from a single goroutine.
+type Span struct {
+	tracer *Tracer
+	name   string
+
+	mu       sync.Mutex
+	start    time.Duration
+	end      time.Duration
+	ended    bool
+	counts   []Count
+	children []*Span
+}
+
+// Child creates and starts a sub-span. On a nil span it returns nil, so
+// the whole instrumentation chain no-ops without allocating.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, name: name, start: s.tracer.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Begin re-stamps the span's start to now. The stage runner pre-allocates
+// sibling spans in definition order (so tree shape is deterministic) and
+// Begins each one when its stage is actually scheduled.
+func (s *Span) Begin() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.start = s.tracer.now()
+	s.mu.Unlock()
+}
+
+// End stamps the span's end. Ending twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.end = s.tracer.now()
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetCount attaches (or overwrites) a named item count.
+func (s *Span) SetCount(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counts {
+		if s.counts[i].Key == key {
+			s.counts[i].Value = v
+			return
+		}
+	}
+	s.counts = append(s.counts, Count{Key: key, Value: v})
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration is end-start for an ended span, and the running duration
+// otherwise (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end - s.start
+	}
+	return s.tracer.now() - s.start
+}
+
+// Counts returns a copy of the span's item counts in insertion order.
+func (s *Span) Counts() []Count {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Count(nil), s.counts...)
+}
+
+// Children returns a copy of the child slice in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	fmt.Fprintf(w, "%s %.3fms", s.name, float64(s.Duration().Microseconds())/1000)
+	for _, c := range s.Counts() {
+		fmt.Fprintf(w, " %s=%d", c.Key, c.Value)
+	}
+	io.WriteString(w, "\n")
+	for _, c := range s.Children() {
+		c.writeTree(w, depth+1)
+	}
+}

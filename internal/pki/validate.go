@@ -7,6 +7,8 @@ import (
 	"encoding/binary"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Validator validates presented chains against the major trust stores,
@@ -27,6 +29,30 @@ type Validator struct {
 
 	trustMu    sync.Mutex
 	trustCache map[[sha256.Size]byte]ChainStatus
+
+	// Pre-resolved metric handles (nil when uninstrumented; every method
+	// on a nil handle no-ops).
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mVerdicts    map[ChainStatus]*obs.Counter
+}
+
+// Instrument attaches trust-cache hit/miss counters and per-status
+// verdict tallies to the registry. Call it before concurrent use of
+// Validate; a nil registry leaves the validator uninstrumented.
+func (v *Validator) Instrument(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	v.mCacheHits = m.Counter("pki_trust_cache_hits_total")
+	v.mCacheMisses = m.Counter("pki_trust_cache_misses_total")
+	v.mVerdicts = map[ChainStatus]*obs.Counter{}
+	for _, st := range []ChainStatus{
+		StatusValid, StatusIncompleteChain, StatusUntrustedRoot,
+		StatusSelfSigned, StatusExpired, StatusCNMismatch,
+	} {
+		v.mVerdicts[st] = m.Counter("pki_verdicts_total", obs.L("status", st.String()))
+	}
 }
 
 // NewValidator creates a validator over the store set.
@@ -76,6 +102,7 @@ func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
 	leaf := chain.Leaf()
 	if leaf == nil {
 		res.Status = StatusIncompleteChain
+		v.mVerdicts[res.Status].Inc()
 		return res
 	}
 	res.LeafIssuerOrg = issuerOrg(leaf)
@@ -83,10 +110,12 @@ func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
 
 	if now.After(leaf.NotAfter) || now.Before(leaf.NotBefore) {
 		res.Status = StatusExpired
+		v.mVerdicts[res.Status].Inc()
 		return res
 	}
 	if sni != "" && leaf.VerifyHostname(sni) != nil {
 		res.Status = StatusCNMismatch
+		v.mVerdicts[res.Status].Inc()
 		return res
 	}
 
@@ -99,12 +128,16 @@ func (v *Validator) Validate(chain Chain, sni string, now time.Time) Result {
 	v.trustMu.Unlock()
 	if ok {
 		res.Status = status
+		v.mCacheHits.Inc()
+		v.mVerdicts[res.Status].Inc()
 		return res
 	}
 	res.Status = v.trustStatus(chain, leaf, res.RootInStores, now)
 	v.trustMu.Lock()
 	v.trustCache[key] = res.Status
 	v.trustMu.Unlock()
+	v.mCacheMisses.Inc()
+	v.mVerdicts[res.Status].Inc()
 	return res
 }
 

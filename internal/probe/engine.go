@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pki"
 	"repro/internal/simnet"
 )
@@ -41,6 +42,12 @@ type Options struct {
 	// Clock is the time source (nil: wall clock). Tests inject FakeClock
 	// so no retry path ever sleeps for real.
 	Clock Clock
+	// Metrics optionally receives engine counters (attempts, retries,
+	// breaker activity, timeouts, outcome classes — attempts and
+	// handshake-latency histograms are labeled per vantage). nil disables
+	// instrumentation at zero cost: the engine then holds nil handles,
+	// whose methods no-op without allocating.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -129,12 +136,58 @@ type Stats struct {
 	BudgetExhausted int
 }
 
+// instruments holds the engine's pre-resolved metric handles. The zero
+// value (nil maps, nil counters) is the uninstrumented engine: every
+// method on a nil handle no-ops, and a lookup in a nil map yields a nil
+// handle, so the hot path never branches on "metrics enabled".
+type instruments struct {
+	attempts  map[simnet.Vantage]*obs.Counter
+	latency   map[simnet.Vantage]*obs.Histogram
+	retries   *obs.Counter
+	timeouts  *obs.Counter
+	successes *obs.Counter
+	recovered *obs.Counter
+	transient *obs.Counter
+	terminal  *obs.Counter
+	aborted   *obs.Counter
+	opens     *obs.Counter
+	fastFails *obs.Counter
+	budgetOut *obs.Counter
+}
+
+// newInstruments resolves every engine series once at construction.
+func newInstruments(m *obs.Registry) instruments {
+	if m == nil {
+		return instruments{}
+	}
+	in := instruments{
+		attempts:  map[simnet.Vantage]*obs.Counter{},
+		latency:   map[simnet.Vantage]*obs.Histogram{},
+		retries:   m.Counter("probe_retries_total"),
+		timeouts:  m.Counter("probe_timeouts_total"),
+		successes: m.Counter("probe_successes_total"),
+		recovered: m.Counter("probe_recovered_after_retry_total"),
+		transient: m.Counter("probe_failures_total", obs.L("class", "transient")),
+		terminal:  m.Counter("probe_failures_total", obs.L("class", "terminal")),
+		aborted:   m.Counter("probe_failures_total", obs.L("class", "aborted")),
+		opens:     m.Counter("probe_breaker_opens_total"),
+		fastFails: m.Counter("probe_breaker_fast_fails_total"),
+		budgetOut: m.Counter("probe_budget_exhausted_total"),
+	}
+	for _, v := range simnet.Vantages() {
+		in.attempts[v] = m.Counter("probe_attempts_total", obs.L("vantage", string(v)))
+		in.latency[v] = m.Histogram("probe_handshake_seconds", obs.DurationBuckets, obs.L("vantage", string(v)))
+	}
+	return in
+}
+
 // Engine drives a Prober with retries, backoff, budgets, and breakers.
 // State (breakers, budgets, stats) persists across Run calls so repeated
 // sweeps against the same fleet keep warm breaker state.
 type Engine struct {
 	prober Prober
 	opts   Options
+	inst   instruments
 
 	mu       sync.Mutex
 	breakers map[string]*breaker
@@ -147,6 +200,7 @@ func New(p Prober, opts Options) *Engine {
 	return &Engine{
 		prober:   p,
 		opts:     opts.withDefaults(),
+		inst:     newInstruments(opts.Metrics),
 		breakers: map[string]*breaker{},
 		budgets:  map[string]int{},
 	}
@@ -207,6 +261,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 			res.Err, res.Class = err, ClassAborted
 			res.Attempts = attempt - 1
 			e.bump(func(s *Stats) { s.Aborted++ })
+			e.inst.aborted.Inc()
 			return res
 		}
 		res.Attempts = attempt
@@ -216,11 +271,18 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		if !br.allow(e.opts.Clock.Now()) {
 			err = fmt.Errorf("%w: %s", ErrCircuitOpen, sni)
 			e.bump(func(s *Stats) { s.BreakerFastFails++ })
+			e.inst.fastFails.Inc()
 		} else {
 			attemptCtx, cancel := context.WithTimeout(ctx, e.opts.AttemptTimeout)
+			start := time.Now()
 			chain, err = e.prober.Probe(attemptCtx, sni, vantage)
+			e.inst.latency[vantage].Observe(time.Since(start).Seconds())
 			cancel()
 			e.bump(func(s *Stats) { s.Attempts++ })
+			e.inst.attempts[vantage].Inc()
+			if errors.Is(err, context.DeadlineExceeded) {
+				e.inst.timeouts.Inc()
+			}
 		}
 
 		class := Classify(err)
@@ -240,16 +302,22 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 					s.RecoveredAfterRetry++
 				}
 			})
+			e.inst.successes.Inc()
+			if attempt > 1 {
+				e.inst.recovered.Inc()
+			}
 			return res
 		case ClassTerminal:
 			res.Err, res.Class = err, ClassTerminal
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) { s.TerminalFailures++ })
+			e.inst.terminal.Inc()
 			return res
 		case ClassAborted:
 			res.Err, res.Class = err, ClassAborted
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) { s.Aborted++ })
+			e.inst.aborted.Inc()
 			return res
 		}
 
@@ -260,12 +328,14 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		if !fastFail {
 			if br.failure(e.opts.Clock.Now()) {
 				e.bump(func(s *Stats) { s.BreakerOpens++ })
+				e.inst.opens.Inc()
 			}
 		}
 		if attempt-1 >= e.opts.MaxRetries {
 			res.Err, res.Class = err, ClassTransient
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) { s.TransientFailures++ })
+			e.inst.transient.Inc()
 			return res
 		}
 		// Fast-fails retry for free: the breaker already suppressed the
@@ -274,14 +344,18 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 			res.Err, res.Class = err, ClassTransient
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) { s.TransientFailures++; s.BudgetExhausted++ })
+			e.inst.transient.Inc()
+			e.inst.budgetOut.Inc()
 			return res
 		}
 		rec.Backoff = e.backoff(sni, vantage, attempt)
 		res.Trace = append(res.Trace, rec)
 		e.bump(func(s *Stats) { s.Retries++ })
+		e.inst.retries.Inc()
 		if err := e.opts.Clock.Sleep(ctx, rec.Backoff); err != nil {
 			res.Err, res.Class = err, ClassAborted
 			e.bump(func(s *Stats) { s.Aborted++ })
+			e.inst.aborted.Inc()
 			return res
 		}
 	}

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -25,8 +26,12 @@ type Table struct {
 	Rows    [][]string
 }
 
-// WriteText renders the table with aligned columns.
-func (t Table) WriteText(w io.Writer) {
+// WriteText renders the table with aligned columns. Output is buffered
+// per table: the renderers emit many small writes, and the CLI hands
+// this an unbuffered stdout.
+func (t Table) WriteText(out io.Writer) {
+	w := bufio.NewWriter(out)
+	defer w.Flush()
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)
@@ -61,8 +66,10 @@ func (t Table) WriteText(w io.Writer) {
 	}
 }
 
-// WriteCSV renders the table as CSV.
-func (t Table) WriteCSV(w io.Writer) {
+// WriteCSV renders the table as CSV, buffered like WriteText.
+func (t Table) WriteCSV(out io.Writer) {
+	w := bufio.NewWriter(out)
+	defer w.Flush()
 	esc := func(s string) string {
 		if strings.ContainsAny(s, ",\"\n") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
@@ -236,7 +243,14 @@ func VulnStats(st analysis.VulnStats) Table {
 	for cl := range st.ByClass {
 		classes = append(classes, cl)
 	}
-	sort.Slice(classes, func(i, j int) bool { return st.ByClass[classes[i]] > st.ByClass[classes[j]] })
+	// Ties broken by name: classes comes from map iteration, and a
+	// count-only sort would leave equal-count rows in random order.
+	sort.Slice(classes, func(i, j int) bool {
+		if st.ByClass[classes[i]] != st.ByClass[classes[j]] {
+			return st.ByClass[classes[i]] > st.ByClass[classes[j]]
+		}
+		return classes[i].String() < classes[j].String()
+	})
 	for _, cl := range classes {
 		t.Rows = append(t.Rows, []string{"  with " + cl.String(),
 			fmt.Sprintf("%d (%s)", st.ByClass[cl], pct(float64(st.ByClass[cl])/float64(max(1, st.TotalFingerprints))))})
