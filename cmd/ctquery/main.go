@@ -94,9 +94,9 @@ func main() {
 		defer cancel()
 	}
 	type proofOut struct {
-		idx   uint64
-		path  int
-		err   error
+		idx  uint64
+		path int
+		err  error
 	}
 	outs := make([]proofOut, len(candidates))
 	workers := common.Workers

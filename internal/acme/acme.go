@@ -95,7 +95,7 @@ type Directory struct {
 // NewDirectory creates an ACME directory over a CA and CT log.
 func NewDirectory(ca *pki.CA, log *ctlog.Log, validityDays int, clock func() time.Time) *Directory {
 	if clock == nil {
-		clock = time.Now
+		clock = time.Now //lint:allow noclock default for the injectable clock, mirrors probe/clock.go
 	}
 	if validityDays <= 0 {
 		validityDays = 90

@@ -11,7 +11,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/dataset"
@@ -114,7 +113,7 @@ func NewClientWorkers(ds *dataset.Dataset, workers int) (*Client, error) {
 // hit/miss counters, and an ingest_seconds histogram (records/sec is the
 // ratio of the first to the last). nil m costs nothing.
 func NewClientObserved(ds *dataset.Dataset, workers int, m *obs.Registry) (*Client, error) {
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -187,7 +186,7 @@ func NewClientObserved(ds *dataset.Dataset, workers int, m *obs.Registry) (*Clie
 		m.Counter("ingest_memo_hits_total").Add(hits)
 		m.Counter("ingest_memo_misses_total").Add(misses)
 		m.Counter("ingest_fingerprints_total").Add(int64(len(c.Prints)))
-		m.Histogram("ingest_seconds", obs.DurationBuckets).Observe(time.Since(start).Seconds())
+		m.Histogram("ingest_seconds", obs.DurationBuckets).Observe(sw.Seconds())
 	}
 	return c, nil
 }

@@ -98,7 +98,12 @@ func (c *Client) ExtensionFrequencies(matcher *fingerprint.Matcher) []ExtensionF
 func (s *Server) ReportCards(now time.Time) []pki.VendorGrade {
 	var obs []pki.VendorLeaf
 	for _, r := range s.Records {
+		vendors := make([]string, 0, len(r.Vendors))
 		for v := range r.Vendors {
+			vendors = append(vendors, v)
+		}
+		sort.Strings(vendors)
+		for _, v := range vendors {
 			obs = append(obs, pki.VendorLeaf{Vendor: v, Leaf: r.Leaf, IssuerPublic: r.IssuerPublic})
 		}
 	}

@@ -20,7 +20,6 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -192,7 +191,9 @@ func (s *Study) serverTableJobs() []func() report.Table {
 		func() report.Table {
 			return report.DomainRows("Table 7: Certificate chains with validation failure", s.Server.Table7(), false)
 		},
-		func() report.Table { return report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true) },
+		func() report.Table {
+			return report.DomainRows("Table 8: Expired certificates", s.Server.Table8(), true)
+		},
 		func() report.Table {
 			return report.DomainRows("Table 14: Certificate chains with private issuers", s.Server.Table14(), false)
 		},
@@ -215,9 +216,9 @@ func (s *Study) serverTableJobs() []func() report.Table {
 // slice order in the result regardless of completion order.
 func (s *Study) buildTables(jobs []func() report.Table) []report.Table {
 	if m := s.Config.Metrics; m != nil {
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		defer func() {
-			m.Histogram("report_render_seconds", obs.DurationBuckets).Observe(time.Since(start).Seconds())
+			m.Histogram("report_render_seconds", obs.DurationBuckets).Observe(sw.Seconds())
 			m.Counter("report_tables_total").Add(int64(len(jobs)))
 		}()
 	}

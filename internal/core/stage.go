@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -209,12 +208,12 @@ func RunStages(ctx context.Context, st *Study, parent *obs.Span, stages []Stage)
 			}
 			rec := &StageRecorder{Span: spans[i], name: s.Name, metrics: metrics}
 			rec.Span.Begin()
-			start := time.Now()
+			sw := obs.NewStopwatch()
 			err := s.Run(ctx, st, rec)
 			rec.Span.End()
 			if metrics != nil {
 				metrics.Histogram("stage_seconds", obs.DurationBuckets, obs.L("stage", s.Name)).
-					Observe(time.Since(start).Seconds())
+					Observe(sw.Seconds())
 				metrics.Counter("stage_runs_total", obs.L("stage", s.Name)).Inc()
 			}
 			outs[i].err = err

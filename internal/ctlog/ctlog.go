@@ -74,7 +74,7 @@ type Log struct {
 // New creates an empty log. clock may be nil (wall clock).
 func New(id string, clock func() time.Time) *Log {
 	if clock == nil {
-		clock = time.Now
+		clock = time.Now //lint:allow noclock default for the injectable clock, mirrors probe/clock.go
 	}
 	return &Log{ID: id, byCert: map[Hash]uint64{}, clock: clock}
 }

@@ -1,8 +1,8 @@
 package graph
 
 import (
-	"sort"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"

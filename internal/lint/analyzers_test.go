@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+// Each analyzer runs against its fixture package(s); the fixtures
+// contain positive hits (which fail the test if the analyzer goes
+// silent), clean shapes, and //lint:allow suppressions.
+
+func TestNoclockFixture(t *testing.T) {
+	runFixture(t, Noclock(), "noclock")
+}
+
+func TestNoclockObsExemption(t *testing.T) {
+	// A package path ending internal/obs may read the wall clock; the
+	// fixture has time.Now/time.Since and zero wants.
+	runFixture(t, Noclock(), "noclock/internal/obs")
+}
+
+func TestNoclockClockFileExemption(t *testing.T) {
+	// Only clock.go inside internal/probe is exempt; engine.go in the
+	// same package is still flagged.
+	runFixture(t, Noclock(), "noclock/internal/probe")
+}
+
+func TestSeededrandFixture(t *testing.T) {
+	runFixture(t, Seededrand(), "seededrand")
+}
+
+func TestSortedrangeFixture(t *testing.T) {
+	runFixture(t, Sortedrange(), "sortedrange")
+}
+
+func TestCtxfirstFixture(t *testing.T) {
+	runFixture(t, Ctxfirst(), "ctxfirst")
+}
+
+func TestWrapsentinelFixture(t *testing.T) {
+	runFixture(t, Wrapsentinel(), "wrapsentinel")
+}
+
+func TestSuiteNamesUniqueAndStable(t *testing.T) {
+	want := []string{"noclock", "seededrand", "sortedrange", "ctxfirst", "wrapsentinel"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst returns the analyzer enforcing context discipline: a
+// function that takes a context.Context must take it as its first
+// parameter, and must pass that context down rather than minting a
+// fresh context.Background()/context.TODO() mid-call (which silently
+// detaches the callee from cancellation and deadlines). The one
+// allowed shape is the nil-guard that backfills the function's own
+// context parameter:
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+func Ctxfirst() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxfirst",
+		Doc: "context.Context parameters must come first, and functions that already " +
+			"have a context must pass it down instead of calling context.Background() " +
+			"or context.TODO()",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Type.Params == nil {
+					continue
+				}
+				checkCtxFunc(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Find the context parameter, flagging it if it is not first.
+	var ctxParams []types.Object
+	flat := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isContextType(tv.Type) {
+			if flat != 0 {
+				pass.Reportf(field.Type.Pos(),
+					"context.Context must be the first parameter of %s", fd.Name.Name)
+			}
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					ctxParams = append(ctxParams, obj)
+				}
+			}
+		}
+		flat += n
+	}
+	if len(ctxParams) == 0 || fd.Body == nil {
+		return
+	}
+
+	// The nil-guard `ctx = context.Background()` assigning to the
+	// context parameter itself is the documented compatibility shape.
+	allowed := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		for _, p := range ctxParams {
+			if obj == p {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isFreshContextCall(pass, call) {
+					allowed[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Closures often outlive the call (goroutines, servers);
+			// judging them needs escape knowledge the analyzer lacks.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isFreshContextCall(pass, call) || allowed[call] {
+			return true
+		}
+		fn := funcOf(pass.TypesInfo, call.Fun)
+		pass.Reportf(call.Pos(),
+			"%s has a context parameter; pass it down instead of context.%s()",
+			fd.Name.Name, fn.Name())
+		return true
+	})
+}
+
+func isFreshContextCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := funcOf(pass.TypesInfo, call.Fun)
+	return pkgFunc(fn, "context", "Background") || pkgFunc(fn, "context", "TODO")
+}

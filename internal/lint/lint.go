@@ -1,0 +1,247 @@
+// Package lint is a self-contained static-analysis suite that
+// mechanically enforces the pipeline's determinism and hygiene
+// invariants: no wall-clock reads outside the injected clocks
+// (noclock), no process-global randomness (seededrand), no map
+// iteration order leaking into report output (sortedrange),
+// context.Context threaded first and passed down (ctxfirst), and
+// sentinel errors compared with errors.Is and wrapped with %w
+// (wrapsentinel).
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard
+// library's go/ast, go/types, and go/importer, because the build
+// environment is hermetic: the loader type-checks every package from
+// source. cmd/iotlint is the multichecker binary; the self-check test
+// runs the whole suite over ./... and asserts zero unsuppressed
+// diagnostics, which is what keeps the seeded report byte-identical
+// across worker counts as the codebase grows.
+//
+// Findings are suppressed one line at a time with an annotation that
+// must carry a reason:
+//
+//	deadline := time.Now().Add(d) //lint:allow noclock real handshake deadline needs wall clock
+//
+// The annotation may sit on the flagged line or on the line directly
+// above it. An annotation with no reason, or naming an analyzer that
+// does not exist, is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the real framework wholesale if the dependency ever becomes
+// available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description shown by iotlint -list.
+	Doc string
+	// Run analyzes one type-checked package, reporting findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Suite returns every analyzer in the iotlint suite, in a fixed order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Noclock(),
+		Seededrand(),
+		Sortedrange(),
+		Ctxfirst(),
+		Wrapsentinel(),
+	}
+}
+
+// allowPrefix introduces a suppression annotation.
+const allowPrefix = "//lint:allow "
+
+// allowance is one parsed //lint:allow annotation.
+type allowance struct {
+	pos      token.Position // of the comment itself
+	analyzer string
+	reason   string
+}
+
+// collectAllowances parses every //lint:allow comment in the package.
+func collectAllowances(fset *token.FileSet, files []*ast.File) []allowance {
+	var out []allowance
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, allowance{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyAllowances drops diagnostics covered by a same-line or
+// line-above //lint:allow annotation and appends a diagnostic for
+// every malformed annotation (missing reason, unknown analyzer).
+// validNames is the set of analyzer names the caller ran.
+func applyAllowances(diags []Diagnostic, allows []allowance, validNames map[string]bool) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := map[key]bool{}
+	var out []Diagnostic
+	for _, a := range allows {
+		if !validNames[a.analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: "lintallow",
+				Pos:      a.pos,
+				Message:  fmt.Sprintf("lint:allow names unknown analyzer %q", a.analyzer),
+			})
+			continue
+		}
+		if a.reason == "" {
+			out = append(out, Diagnostic{
+				Analyzer: "lintallow",
+				Pos:      a.pos,
+				Message:  fmt.Sprintf("lint:allow %s needs a reason", a.analyzer),
+			})
+			continue
+		}
+		// The annotation covers its own line and the line below,
+		// so it works both trailing a statement and on its own line.
+		covered[key{a.pos.Filename, a.pos.Line, a.analyzer}] = true
+		covered[key{a.pos.Filename, a.pos.Line + 1, a.analyzer}] = true
+	}
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer, so
+// the linter's own output is deterministic.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Check runs analyzers over pkgs and returns the unsuppressed
+// diagnostics, sorted. Malformed //lint:allow annotations are reported
+// as diagnostics of the pseudo-analyzer "lintallow".
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	validNames := map[string]bool{}
+	for _, a := range analyzers {
+		validNames[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		allows := collectAllowances(pkg.Fset, pkg.Files)
+		all = append(all, applyAllowances(diags, allows, validNames)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// funcOf resolves a call or bare selector/ident to the *types.Func it
+// uses, or nil.
+func funcOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// pkgFunc reports whether fn is the package-level function path.name
+// (methods never match).
+func pkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != path {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// noclockFuncs are the time package functions that read the wall
+// clock. Referencing one — as a call or as a function value — makes
+// output depend on when the pipeline ran.
+var noclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// noclockExemptions is the repo policy: internal/obs owns all
+// observability timing (Tracer bases, Stopwatch), and probe/clock.go
+// is the production implementation of the injectable Clock.
+var noclockExemptions = []noclockExemption{
+	{pkgSuffix: "internal/obs"},
+	{pkgSuffix: "internal/probe", file: "clock.go"},
+}
+
+type noclockExemption struct {
+	pkgSuffix string // package path suffix; empty matches any package
+	file      string // file base name; empty matches every file
+}
+
+func (e noclockExemption) covers(pkgPath, filename string) bool {
+	if e.pkgSuffix != "" && !strings.HasSuffix(pkgPath, e.pkgSuffix) {
+		return false
+	}
+	return e.file == "" || e.file == filepath.Base(filename)
+}
+
+// Noclock returns the analyzer enforcing that production code never
+// reads the wall clock directly: time.Now/Since/Until are reserved to
+// internal/obs and probe/clock.go, everything else threads the
+// injected Clock or an obs.Stopwatch so seeded runs are reproducible.
+func Noclock() *Analyzer { return noclockAnalyzer(noclockExemptions) }
+
+func noclockAnalyzer(exempt []noclockExemption) *Analyzer {
+	a := &Analyzer{
+		Name: "noclock",
+		Doc: "forbids direct time.Now/time.Since/time.Until outside internal/obs and " +
+			"probe/clock.go; use the injected Clock or an obs.Stopwatch so output " +
+			"never depends on when the run happened",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			filename := pass.Fset.Position(f.Pos()).Filename
+			skip := false
+			for _, e := range exempt {
+				if e.covers(pass.Pkg.Path(), filename) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := funcOf(pass.TypesInfo, sel)
+				if fn == nil || !noclockFuncs[fn.Name()] || !pkgFunc(fn, "time", fn.Name()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; thread the injected Clock or an obs.Stopwatch",
+					fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// randPackages are the pseudo-randomness packages whose top-level
+// functions draw from a process-global (or self-seeding, in v2)
+// source, which no seeded pipeline run can reproduce.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Seededrand returns the analyzer forbidding the global math/rand
+// source. Constructors (rand.New, rand.NewSource, rand.NewPCG, ...)
+// stay legal: the rule is that randomness must flow through a
+// *rand.Rand that the caller seeded and threaded explicitly.
+func Seededrand() *Analyzer {
+	a := &Analyzer{
+		Name: "seededrand",
+		Doc: "forbids math/rand top-level functions (rand.Intn, rand.Shuffle, ...): they " +
+			"draw from a process-global source that seeded runs cannot reproduce; thread " +
+			"a seeded *rand.Rand instead",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := funcOf(pass.TypesInfo, sel)
+				if fn == nil || fn.Pkg() == nil || !randPackages[fn.Pkg().Path()] {
+					return true
+				}
+				if !pkgFunc(fn, fn.Pkg().Path(), fn.Name()) {
+					return true // method on *rand.Rand: properly threaded
+				}
+				if strings.HasPrefix(fn.Name(), "New") {
+					return true // constructing an explicit source is the fix
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s uses the process-global rand source; thread a seeded *rand.Rand",
+					fn.Pkg().Path(), fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfCheck runs the full analyzer suite over every package in the
+// repository — the same invocation as `go run ./cmd/iotlint ./...` and
+// the CI lint gate — and asserts zero unsuppressed diagnostics. This
+// is the test that keeps the determinism invariants (no wall clocks,
+// no global randomness, no map-order output, contexts threaded,
+// errors.Is everywhere) holding as the codebase grows.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check type-checks the whole repo from source; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckDirs(root, []string{"./..."}, Suite())
+	if err != nil {
+		t.Fatalf("CheckDirs: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d unsuppressed finding(s); fix them or add //lint:allow <analyzer> <reason>", len(diags))
+	}
+}
+
+// TestLoaderExpand pins the pattern semantics the binary and the
+// self-check rely on: ./... covers the repo, testdata and hidden
+// directories stay out.
+func TestLoaderExpand(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Module != "repro" {
+		t.Fatalf("module = %q, want repro", l.Module)
+	}
+	dirs, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		seen[filepath.ToSlash(d)] = true
+		if filepath.Base(d) == "testdata" {
+			t.Errorf("Expand included a testdata dir: %s", d)
+		}
+	}
+	// The repo root holds only _test.go files, so it is rightly absent.
+	for _, want := range []string{"internal/lint", "internal/core", "cmd/iotlint", "examples/quickstart"} {
+		if !seen[want] {
+			t.Errorf("Expand missed %s (got %v)", want, dirs)
+		}
+	}
+	if seen["internal/lint/testdata/src/noclock"] {
+		t.Error("Expand descended into testdata")
+	}
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// writerMethods are method names that emit output in call order; a
+// map-range body reaching one of these writes in nondeterministic
+// order.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteRow":    true,
+	"WriteAll":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+// sortCalls are the package-level functions that establish a
+// deterministic order over a slice.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// Sortedrange returns the analyzer that catches the exact bug class
+// fixed by hand in PR 3's VulnStats: ranging over a map and letting
+// the iteration order escape into output. Two shapes are flagged:
+//
+//   - the loop body writes directly (fmt.Fprintf, Write, WriteString,
+//     WriteRow, ...): the output is ordered by map iteration;
+//   - the loop body appends to a slice declared outside the loop, and
+//     no sort.*/slices.Sort* call mentioning that slice follows in
+//     the function: the collected elements keep map order.
+//
+// Sorting the slice afterwards, building another map, or counting are
+// all clean. Deliberately order-free aggregation (a commutative merge,
+// a sum) that still trips the heuristic takes a //lint:allow
+// sortedrange annotation with the reason.
+func Sortedrange() *Analyzer {
+	a := &Analyzer{
+		Name: "sortedrange",
+		Doc: "flags range-over-map loops whose iteration order escapes — direct writes " +
+			"from the loop body, or appends to an outer slice that is never sorted " +
+			"afterwards; sort the keys first or sort the result",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncRanges(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFuncRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	// Shape 1: the body writes output directly.
+	var writeCall *ast.CallExpr
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if writeCall != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcOf(pass.TypesInfo, call.Fun); fn != nil && writerMethods[fn.Name()] {
+			writeCall = call
+			return false
+		}
+		return true
+	})
+	if writeCall != nil {
+		pass.Reportf(rs.For,
+			"range over map writes output in map iteration order; iterate sorted keys instead")
+		return
+	}
+
+	// Shape 2: the body appends to outer slices; require a later sort.
+	appended := map[*types.Var]ast.Expr{} // slice var -> first append site
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := pass.TypesInfo.Uses[lhs].(*types.Var)
+			if !ok || v.Pos() > rs.Pos() {
+				continue // declared inside the loop: local scratch
+			}
+			if _, seen := appended[v]; !seen {
+				appended[v] = as.Lhs[i]
+			}
+		}
+		return true
+	})
+	for v, site := range appended {
+		if v.Parent() == v.Pkg().Scope() {
+			continue // package-level aggregation: beyond a local heuristic
+		}
+		if sortedAfter(pass, fd, rs, v) {
+			continue
+		}
+		pass.Reportf(site.Pos(),
+			"%s collects map-range elements and is never sorted afterwards in %s; "+
+				"sort it (or the map keys) before it reaches output",
+			v.Name(), fd.Name.Name)
+	}
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning v
+// appears in fd after the range statement.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := funcOf(pass.TypesInfo, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := sortCalls[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] || !mentionsVar(pass, call, v) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// mentionsVar reports whether v appears anywhere in the call's
+// arguments (covers sort.Strings(keys), sort.Slice(rows, ...),
+// sort.Sort(byName(rows))).
+func mentionsVar(pass *Pass, call *ast.CallExpr, v *types.Var) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}

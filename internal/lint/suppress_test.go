@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diagAt(analyzer, file string, line int) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line, Column: 1}, Message: "m"}
+}
+
+func allowAt(analyzer, reason, file string, line int) allowance {
+	return allowance{pos: token.Position{Filename: file, Line: line, Column: 40}, analyzer: analyzer, reason: reason}
+}
+
+func TestApplyAllowances(t *testing.T) {
+	valid := map[string]bool{"noclock": true, "sortedrange": true}
+
+	t.Run("same line and line below are covered", func(t *testing.T) {
+		diags := []Diagnostic{diagAt("noclock", "a.go", 10), diagAt("noclock", "a.go", 11)}
+		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
+		if got := applyAllowances(diags, allows, valid); len(got) != 0 {
+			t.Fatalf("want all suppressed, got %v", got)
+		}
+	})
+
+	t.Run("two lines below is not covered", func(t *testing.T) {
+		diags := []Diagnostic{diagAt("noclock", "a.go", 12)}
+		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
+		if got := applyAllowances(diags, allows, valid); len(got) != 1 {
+			t.Fatalf("want 1 surviving diagnostic, got %v", got)
+		}
+	})
+
+	t.Run("analyzer name must match", func(t *testing.T) {
+		diags := []Diagnostic{diagAt("sortedrange", "a.go", 10)}
+		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
+		if got := applyAllowances(diags, allows, valid); len(got) != 1 {
+			t.Fatalf("want 1 surviving diagnostic, got %v", got)
+		}
+	})
+
+	t.Run("missing reason is a diagnostic", func(t *testing.T) {
+		allows := []allowance{allowAt("noclock", "", "a.go", 10)}
+		got := applyAllowances(nil, allows, valid)
+		if len(got) != 1 || got[0].Analyzer != "lintallow" || !strings.Contains(got[0].Message, "needs a reason") {
+			t.Fatalf("want a lintallow reason diagnostic, got %v", got)
+		}
+	})
+
+	t.Run("reasonless annotation suppresses nothing", func(t *testing.T) {
+		diags := []Diagnostic{diagAt("noclock", "a.go", 10)}
+		allows := []allowance{allowAt("noclock", "", "a.go", 10)}
+		if got := applyAllowances(diags, allows, valid); len(got) != 2 {
+			t.Fatalf("want finding + lintallow diagnostic, got %v", got)
+		}
+	})
+
+	t.Run("unknown analyzer is a diagnostic", func(t *testing.T) {
+		allows := []allowance{allowAt("nosuch", "reason", "a.go", 10)}
+		got := applyAllowances(nil, allows, valid)
+		if len(got) != 1 || got[0].Analyzer != "lintallow" || !strings.Contains(got[0].Message, "unknown analyzer") {
+			t.Fatalf("want a lintallow unknown-analyzer diagnostic, got %v", got)
+		}
+	})
+
+	t.Run("output is sorted by position", func(t *testing.T) {
+		diags := []Diagnostic{
+			diagAt("sortedrange", "b.go", 5),
+			diagAt("noclock", "a.go", 20),
+			diagAt("noclock", "a.go", 3),
+		}
+		got := applyAllowances(diags, nil, valid)
+		if len(got) != 3 || got[0].Pos.Line != 3 || got[1].Pos.Line != 20 || got[2].Pos.Filename != "b.go" {
+			t.Fatalf("diagnostics not sorted: %v", got)
+		}
+	})
+}

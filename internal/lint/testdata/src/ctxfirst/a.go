@@ -1,0 +1,50 @@
+// Package a is the ctxfirst fixture: contexts come first and get
+// passed down; minting context.Background() mid-call detaches callees
+// from cancellation.
+package a
+
+import "context"
+
+func bad(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = name
+	use(ctx)
+	return nil
+}
+
+func detaches(ctx context.Context) {
+	use(context.Background()) // want `pass it down instead of context\.Background`
+	use(context.TODO())       // want `pass it down instead of context\.TODO`
+	use(ctx)
+}
+
+func nilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	use(ctx)
+}
+
+func ok(ctx context.Context, name string) {
+	_ = name
+	use(ctx)
+}
+
+// Functions without a context parameter may create roots.
+func root() context.Context {
+	return context.Background()
+}
+
+// Closures are skipped: they often outlive the call.
+func spawns(ctx context.Context) {
+	use(ctx)
+	go func() {
+		use(context.Background())
+	}()
+}
+
+func suppressed(ctx context.Context) {
+	use(context.Background()) //lint:allow ctxfirst fixture demonstrates a deliberate detach
+	use(ctx)
+}
+
+func use(context.Context) {}

@@ -1,0 +1,32 @@
+// Package a is the noclock fixture: wall-clock reads outside the
+// exempted packages must be flagged, derived time arithmetic must not.
+package a
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()                            // want `time\.Now reads the wall clock`
+	deadline := time.Until(start.Add(time.Second)) // want `time\.Until reads the wall clock`
+	_ = deadline
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// A bare function-value reference reads the clock at every later call
+// site, so it is just as nondeterministic as a direct call.
+var clockFn = time.Now // want `time\.Now reads the wall clock`
+
+func ok() time.Time {
+	t := time.Unix(0, 0)
+	t = t.Add(time.Second).Round(time.Minute)
+	_ = time.Date(2023, time.October, 24, 0, 0, 0, 0, time.UTC)
+	return t
+}
+
+func suppressed() time.Time {
+	//lint:allow noclock fixture demonstrates an annotated wall-clock read
+	return time.Now()
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow noclock fixture demonstrates a trailing annotation
+}

@@ -1,0 +1,10 @@
+// Package obs stands in for the real internal/obs: any package whose
+// path ends in internal/obs owns observability timing and may read the
+// wall clock freely, so nothing in this file is flagged.
+package obs
+
+import "time"
+
+func Base() time.Time { return time.Now() }
+
+func Elapsed(base time.Time) time.Duration { return time.Since(base) }

@@ -1,0 +1,9 @@
+// engine.go sits in the same exempted package as clock.go, but the
+// exemption is per-file: only clock.go may read the wall clock.
+package probe
+
+import "time"
+
+func attempt() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,34 @@
+// Package a is the seededrand fixture: top-level math/rand calls draw
+// from the process-global source and must be flagged; a threaded
+// *rand.Rand and crypto/rand stay legal.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func bad(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global rand source`
+	rand.Seed(42)                                                         // want `process-global rand source`
+	_ = rand.Float64()                                                    // want `process-global rand source`
+	return rand.Intn(6)                                                   // want `process-global rand source`
+}
+
+// A bare reference smuggles the global source just like a call.
+var pick = rand.Intn // want `process-global rand source`
+
+func threaded(r *rand.Rand) int {
+	r2 := rand.New(rand.NewSource(1))
+	return r.Intn(6) + r2.Intn(6)
+}
+
+func cryptoIsFine() byte {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return b[0]
+}
+
+func suppressed() int {
+	return rand.Intn(6) //lint:allow seededrand fixture demonstrates an annotated global draw
+}

@@ -1,0 +1,89 @@
+// Package a is the sortedrange fixture: map iteration order must not
+// escape into output, either by writing directly from the loop body or
+// by collecting into a slice that is never sorted.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func directWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map writes output in map iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map writes output in map iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys collects map-range elements and is never sorted`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type row struct{ name string }
+
+func collectSortSlice(m map[string]row) []row {
+	var rows []row
+	for _, r := range m {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+func counting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func buildingAnotherMap(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func localScratch(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var dedup []string
+		for _, v := range vs {
+			dedup = append(dedup, v)
+		}
+		n += len(dedup)
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) //lint:allow sortedrange fixture demonstrates commutative aggregation
+	}
+	return vals
+}

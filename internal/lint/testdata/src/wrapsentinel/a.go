@@ -1,0 +1,60 @@
+// Package a is the wrapsentinel fixture: sentinel errors are matched
+// with errors.Is and wrapped with %w, never compared with == or
+// flattened through %v.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrBadWorkers = errors.New("bad workers")
+	ErrTruncated  = errors.New("truncated")
+
+	// errInternal is unexported and not sentinel-cased; comparisons
+	// against it are the package's own business.
+	errInternal = errors.New("internal")
+)
+
+func compare(err error) bool {
+	if err == ErrBadWorkers { // want `use errors\.Is`
+		return true
+	}
+	return ErrTruncated != err // want `use errors\.Is`
+}
+
+func compareOK(err error) bool {
+	if err == nil {
+		return false
+	}
+	if err == errInternal {
+		return true
+	}
+	return errors.Is(err, ErrBadWorkers)
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("probe: %v", err) // want `wrap it with %w`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("probe %s failed: %s", "x", err) // want `wrap it with %w`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("probe: %w: attempt %d", err, 3)
+}
+
+func formatNonError(n int) error {
+	return fmt.Errorf("n = %v (%s)", n, "units")
+}
+
+func stringified(err error) string {
+	// Not fmt.Errorf: producing a string loses no chain.
+	return fmt.Sprintf("probe: %v", err)
+}
+
+func suppressed(err error) bool {
+	return err == ErrBadWorkers //lint:allow wrapsentinel fixture demonstrates an identity comparison
+}

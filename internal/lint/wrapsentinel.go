@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Wrapsentinel returns the analyzer enforcing Go 1.13 error
+// discipline around the repo's typed sentinels (ErrBadWorkers,
+// ErrTruncated, ErrCircuitOpen, ...): comparisons against a sentinel
+// must go through errors.Is — the probe engine and simnet wrap
+// sentinels with context, so == silently stops matching — and
+// fmt.Errorf must wrap error operands with %w, not flatten them with
+// %v/%s, or errors.Is/As stop seeing the chain.
+func Wrapsentinel() *Analyzer {
+	a := &Analyzer{
+		Name: "wrapsentinel",
+		Doc: "sentinel errors (ErrFoo) must be compared with errors.Is, not ==/!=, and " +
+			"error values passed to fmt.Errorf must use the %w verb so the chain stays " +
+			"inspectable",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, n)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// sentinelOf returns the package-level error variable named Err...
+// that e refers to, or nil.
+func sentinelOf(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil // only package-level sentinels
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	r, size := utf8.DecodeRuneInString(v.Name()[len("Err"):])
+	if size == 0 || !unicode.IsUpper(r) {
+		return nil
+	}
+	return v
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinelOf(pass, side); v != nil && isErrorType(v.Type()) {
+			pass.Reportf(be.OpPos,
+				"sentinel %s compared with %s; wrapped errors never match, use errors.Is",
+				v.Name(), be.Op)
+			return
+		}
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value
+// through %v or %s instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := funcOf(pass.TypesInfo, call.Fun)
+	if !pkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			return // vet owns arity complaints
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		argTV, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+		if !ok || argTV.Type == nil || !isErrorType(argTV.Type) {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(),
+			"error formatted with %%%c loses the chain for errors.Is/As; wrap it with %%w", verb)
+	}
+}
+
+// formatVerbs extracts the verb letters of a fmt format string in
+// argument order. Explicit argument indexes (%[1]v) make the mapping
+// positional-index-free, so the scan gives up on them.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	flagLoop:
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0', '.',
+				'1', '2', '3', '4', '5', '6', '7', '8', '9':
+				i++
+			case '[', '*':
+				// Explicit argument indexes and *-widths shift the
+				// verb/argument mapping; give up rather than misreport.
+				return nil
+			default:
+				break flagLoop
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}

@@ -274,9 +274,9 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 			e.inst.fastFails.Inc()
 		} else {
 			attemptCtx, cancel := context.WithTimeout(ctx, e.opts.AttemptTimeout)
-			start := time.Now()
+			start := e.opts.Clock.Now()
 			chain, err = e.prober.Probe(attemptCtx, sni, vantage)
-			e.inst.latency[vantage].Observe(time.Since(start).Seconds())
+			e.inst.latency[vantage].Observe(e.opts.Clock.Now().Sub(start).Seconds())
 			cancel()
 			e.bump(func(s *Stats) { s.Attempts++ })
 			e.inst.attempts[vantage].Inc()

@@ -270,10 +270,10 @@ func Figure2(vendorDoC, deviceDoC map[string]float64) Table {
 	xs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	var vVals, dVals []float64
 	for _, v := range vendorDoC {
-		vVals = append(vVals, v)
+		vVals = append(vVals, v) //lint:allow sortedrange FractionAtMost only counts values <= x, order-free
 	}
 	for _, v := range deviceDoC {
-		dVals = append(dVals, v)
+		dVals = append(dVals, v) //lint:allow sortedrange FractionAtMost only counts values <= x, order-free
 	}
 	t := Table{
 		Title:   "Figure 2: Degree of TLS fingerprint customization (CDF)",

@@ -152,7 +152,7 @@ func (f *faultState) inject(ctx context.Context, sni string, v Vantage) error {
 	// Stalled handshake: hang until the caller's deadline or the stall
 	// window elapses, whichever comes first.
 	if err := f.sleep(ctx, f.stallTimeout()); err != nil {
-		return fmt.Errorf("%w: %s (attempt %d): %v", ErrStalled, sni, attempt, err)
+		return fmt.Errorf("%w: %s (attempt %d): %w", ErrStalled, sni, attempt, err)
 	}
 	return fmt.Errorf("%w: %s (attempt %d)", ErrStalled, sni, attempt)
 }

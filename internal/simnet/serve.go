@@ -60,6 +60,7 @@ func (w *World) ProbeContext(ctx context.Context, sni string, vantage Vantage) (
 		tlsCert.Certificate = append(tlsCert.Certificate, c.Raw)
 	}
 
+	//lint:allow noclock deadline for a real TLS handshake over net.Pipe needs wall-clock time
 	deadline := time.Now().Add(defaultHandshakeTimeout)
 	if d, ok := ctx.Deadline(); ok {
 		deadline = d

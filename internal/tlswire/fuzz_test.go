@@ -1,0 +1,213 @@
+package tlswire
+
+// Native fuzz targets for the wire-format parsers. The checked-in seed
+// corpus under testdata/fuzz/<Target>/ runs as regression cases on
+// every plain `go test`; CI additionally runs each target with
+// -fuzztime 10s as a smoke step. Three invariants are enforced:
+//
+//   - parsing never panics, and accessors on a parsed hello never
+//     panic, for arbitrary input;
+//   - ParseRecord and ParseHandshake agree when the same handshake
+//     bytes are framed in a record;
+//   - Marshal∘Parse is the identity up to documented normalization
+//     (absent compression methods marshal as {0}).
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mustMarshal builds the record for a known-good hello used as seed.
+func mustMarshal(t testing.TB, ch *ClientHello) []byte {
+	t.Helper()
+	rec, err := ch.Marshal()
+	if err != nil {
+		t.Fatalf("marshal seed: %v", err)
+	}
+	return rec
+}
+
+func seedHello() *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion:      VersionTLS12,
+		SessionID:          []byte{1, 2, 3, 4},
+		CipherSuites:       []uint16{0x1301, 0xC02F, 0x000A},
+		CompressionMethods: []byte{0},
+		Extensions: []Extension{
+			{Type: ExtSupportedVersions, Data: []byte{2, 0x03, 0x04}},
+			{Type: ExtALPN, Data: []byte{0, 5, 4, 'h', 't', 't', 'p'}},
+			{Type: ExtSessionTicket, Data: nil},
+		},
+	}
+	for i := range ch.Random {
+		ch.Random[i] = byte(i)
+	}
+	ch.SetSNI("device.vendor.example")
+	return ch
+}
+
+// checkParsed exercises every accessor of a successfully parsed hello;
+// none may panic regardless of how hostile the input was.
+func checkParsed(ch *ClientHello) {
+	_ = ch.SNI()
+	_ = ch.EffectiveVersion()
+	_ = ch.ExtensionTypes()
+	_ = ch.HasExtension(ExtServerName)
+	_ = ch.LegacyVersion.String()
+	_ = ch.LegacyVersion.Known()
+	for _, e := range ch.Extensions {
+		_ = e.Type.String()
+	}
+}
+
+// checkRoundTrip asserts Marshal∘Parse is the identity on a parsed
+// hello (up to compression-method normalization).
+func checkRoundTrip(t *testing.T, ch *ClientHello) {
+	if len(ch.CipherSuites) == 0 {
+		return // parse tolerates an empty suite list; Marshal rejects it
+	}
+	rec, err := ch.Marshal()
+	if err != nil {
+		t.Fatalf("re-marshal of parsed hello failed: %v", err)
+	}
+	ch2, err := ParseRecord(rec)
+	if err != nil {
+		t.Fatalf("re-parse of marshaled hello failed: %v", err)
+	}
+	if ch2.LegacyVersion != ch.LegacyVersion {
+		t.Fatalf("round-trip version: %v != %v", ch2.LegacyVersion, ch.LegacyVersion)
+	}
+	if ch2.Random != ch.Random {
+		t.Fatalf("round-trip random changed")
+	}
+	if !bytes.Equal(ch2.SessionID, ch.SessionID) {
+		t.Fatalf("round-trip session id: %x != %x", ch2.SessionID, ch.SessionID)
+	}
+	if len(ch2.CipherSuites) != len(ch.CipherSuites) {
+		t.Fatalf("round-trip suites: %v != %v", ch2.CipherSuites, ch.CipherSuites)
+	}
+	for i := range ch.CipherSuites {
+		if ch2.CipherSuites[i] != ch.CipherSuites[i] {
+			t.Fatalf("round-trip suites: %v != %v", ch2.CipherSuites, ch.CipherSuites)
+		}
+	}
+	comp := ch.CompressionMethods
+	if len(comp) == 0 {
+		comp = []byte{0} // Marshal's documented normalization
+	}
+	if !bytes.Equal(ch2.CompressionMethods, comp) {
+		t.Fatalf("round-trip compression: %x != %x", ch2.CompressionMethods, comp)
+	}
+	if len(ch2.Extensions) != len(ch.Extensions) {
+		t.Fatalf("round-trip extensions: %d != %d", len(ch2.Extensions), len(ch.Extensions))
+	}
+	for i := range ch.Extensions {
+		if ch2.Extensions[i].Type != ch.Extensions[i].Type || !bytes.Equal(ch2.Extensions[i].Data, ch.Extensions[i].Data) {
+			t.Fatalf("round-trip extension %d: %v != %v", i, ch2.Extensions[i], ch.Extensions[i])
+		}
+	}
+}
+
+func FuzzParseRecord(f *testing.F) {
+	rec := mustMarshal(f, seedHello())
+	f.Add(rec)
+	f.Add(rec[:5])
+	f.Add(rec[:len(rec)-3])
+	f.Add([]byte{})
+	f.Add([]byte{23, 3, 3, 0, 0})             // not a handshake
+	f.Add([]byte{22, 3, 3, 0, 1, 2})          // handshake, not a ClientHello
+	f.Add([]byte{22, 3, 3, 0xFF, 0xFF, 1})    // record claims more than present
+	f.Add(append(bytes.Clone(rec), 0xAA, 0xBB)) // trailing garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := ParseRecord(data)
+		if err != nil {
+			if ch != nil {
+				t.Fatalf("non-nil hello alongside error %v", err)
+			}
+			return
+		}
+		checkParsed(ch)
+		checkRoundTrip(t, ch)
+	})
+}
+
+func FuzzParseHandshake(f *testing.F) {
+	rec := mustMarshal(f, seedHello())
+	hs := rec[5:] // strip the record header
+	f.Add(hs)
+	f.Add(hs[:3])
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{2, 0, 0, 0}) // ServerHello type
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := ParseHandshake(data)
+		if err == nil {
+			checkParsed(ch)
+			checkRoundTrip(t, ch)
+		}
+		// Differential check: the same handshake framed in a record
+		// must parse to the same outcome.
+		if len(data) > 0xFFFF {
+			return
+		}
+		framed := make([]byte, 0, 5+len(data))
+		framed = append(framed, 22, 3, 3, byte(len(data)>>8), byte(len(data)))
+		framed = append(framed, data...)
+		ch2, err2 := ParseRecord(framed)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("record framing changed outcome: %v vs %v", err, err2)
+		}
+		if err == nil && !bytes.Equal(mustRemarshal(t, ch), mustRemarshal(t, ch2)) {
+			t.Fatalf("record framing changed parsed hello")
+		}
+	})
+}
+
+// mustRemarshal canonicalizes a parsed hello for comparison; an empty
+// suite list (unmarshalable) compares by SNI and extension count.
+func mustRemarshal(t *testing.T, ch *ClientHello) []byte {
+	if len(ch.CipherSuites) == 0 {
+		return []byte(ch.SNI())
+	}
+	rec, err := ch.Marshal()
+	if err != nil {
+		t.Fatalf("canonical re-marshal: %v", err)
+		return nil
+	}
+	return rec
+}
+
+// FuzzMarshalParse drives the round trip from the structured side:
+// arbitrary field values that Marshal accepts must parse back to the
+// same hello.
+func FuzzMarshalParse(f *testing.F) {
+	f.Add(uint16(0x0303), []byte{1, 2}, []byte{0x13, 0x01, 0xC0, 0x2F}, []byte{0}, uint16(0), []byte("\x00\x04\x00\x00\x01a"))
+	f.Add(uint16(0x0304), []byte{}, []byte{0x13, 0x03}, []byte{}, uint16(43), []byte{2, 3, 4})
+	f.Add(uint16(0x0300), []byte{9}, []byte{0, 10}, []byte{1, 0}, uint16(0xFF01), []byte{0})
+	f.Fuzz(func(t *testing.T, version uint16, sessionID, suites, comp []byte, extType uint16, extData []byte) {
+		ch := &ClientHello{
+			LegacyVersion:      Version(version),
+			SessionID:          sessionID,
+			CompressionMethods: comp,
+			Extensions:         []Extension{{Type: ExtensionType(extType), Data: extData}},
+		}
+		for i := 0; i+1 < len(suites); i += 2 {
+			ch.CipherSuites = append(ch.CipherSuites, uint16(suites[i])<<8|uint16(suites[i+1]))
+		}
+		rec, err := ch.Marshal()
+		if err != nil {
+			return // Marshal rejected the shape; nothing to verify
+		}
+		ch2, err := ParseRecord(rec)
+		if err != nil {
+			t.Fatalf("marshaled hello does not parse: %v", err)
+		}
+		checkParsed(ch2)
+		checkRoundTrip(t, ch2)
+		if ch2.LegacyVersion != ch.LegacyVersion {
+			t.Fatalf("version: %v != %v", ch2.LegacyVersion, ch.LegacyVersion)
+		}
+		if len(ch2.CipherSuites) != len(ch.CipherSuites) {
+			t.Fatalf("suites: %v != %v", ch2.CipherSuites, ch.CipherSuites)
+		}
+	})
+}

@@ -302,6 +302,9 @@ func (ch *ClientHello) marshalBody() ([]byte, error) {
 	if len(comp) == 0 {
 		comp = []byte{0}
 	}
+	if len(comp) > 255 {
+		return nil, fmt.Errorf("tlswire: compression list too long (%d)", len(comp))
+	}
 	b := make([]byte, 0, 256)
 	b = appendUint16(b, uint16(ch.LegacyVersion))
 	b = append(b, ch.Random[:]...)
