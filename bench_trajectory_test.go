@@ -3,8 +3,10 @@ package repro_bench
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -14,6 +16,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/libcorpus"
+	"repro/internal/scenario"
+	"repro/internal/tlswire"
 )
 
 // benchPoint is one micro-benchmark measurement.
@@ -225,4 +229,67 @@ func TestBenchTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s: %d micro points, %d end-to-end points", out, len(rep.Micro), len(rep.EndToEnd))
+
+	// BENCH_PR5.json extends the trajectory with the verification
+	// harness itself: the cost of one scenario cell (two pipeline runs
+	// plus every invariant check) and of the crypto/tls wire oracle.
+	// Same schema, written alongside the PR2 file so CI archives both.
+	rep5 := rep
+	rep5.SeedBaselineRef = "PR2 trajectory (BENCH_PR2.json) in the same artifact; scenario " +
+		"points are new in PR5 and have no earlier baseline"
+	oracleRec := mustOracleRecord(t, ds)
+	rep5.Micro = append(append([]benchPoint(nil), rep.Micro...),
+		microPoint("tlswire.CompareWithCryptoTLS", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if diffs := tlswire.CompareWithCryptoTLS(oracleRec); len(diffs) > 0 {
+					b.Fatalf("oracle disagreement: %v", diffs)
+				}
+			}
+		}),
+	)
+	rep5.EndToEnd = append(append([]e2ePoint(nil), rep.EndToEnd...),
+		scenarioWall("scenario.RunCase/scale=0.05/fault=0.2", 0.05, runs),
+	)
+	data5, err := json.MarshalIndent(rep5, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data5 = append(data5, '\n')
+	out5 := filepath.Join(filepath.Dir(out), "BENCH_PR5.json")
+	if err := os.WriteFile(out5, data5, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d micro points, %d end-to-end points", out5, len(rep5.Micro), len(rep5.EndToEnd))
+}
+
+// mustOracleRecord picks the first dataset ClientHello that the
+// crypto/tls oracle accepts, so the micro benchmark measures the
+// agreeing path rather than an early rejection.
+func mustOracleRecord(t *testing.T, ds *dataset.Dataset) []byte {
+	t.Helper()
+	for _, r := range ds.Records {
+		if _, ok := tlswire.CryptoTLSView(r.Raw); ok {
+			return r.Raw
+		}
+	}
+	t.Fatal("no dataset record accepted by crypto/tls")
+	return nil
+}
+
+// scenarioWall times one verification cell: base + variant pipeline
+// runs, the byte comparison, and every conservation check.
+func scenarioWall(name string, scale float64, runs int) e2ePoint {
+	c := scenario.Case{Seed: 3, Scale: scale, Workers: 1, AltWorkers: 4, FaultRate: 0.2, MinSNIUsers: 3}
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, vs, err := scenario.RunCase(context.Background(), c, scenario.Options{}, false); err != nil || len(vs) > 0 {
+			panic(fmt.Sprintf("scenario cell failed: %v / %v", err, vs))
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return e2ePoint{Name: name, Scale: scale, Workers: 1, WallMs: float64(best.Microseconds()) / 1000}
 }

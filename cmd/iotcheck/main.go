@@ -1,0 +1,206 @@
+// Command iotcheck sweeps the scenario-verification matrix: it runs the
+// full study pipeline over a configuration grid (seed × scale × workers
+// × fault rate × vantage set) and enforces the cross-cutting invariants
+// — metamorphic determinism, conservation laws, monotone growth,
+// paper-aggregate tolerance bands, crypto/tls wire differentials, and
+// the golden report snapshot:
+//
+//	go run ./cmd/iotcheck -short
+//
+// Exit status is 0 when every invariant holds, 1 when any is violated,
+// and 2 on configuration or infrastructure errors. -json writes the
+// machine-readable summary for CI artifacts; -update regenerates the
+// golden snapshot under -golden after an intended report change.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run the CI short matrix (48 configs + the paper-scale tolerance case); this is also the default grid")
+	seeds := flag.String("seeds", "", "comma-separated seed axis (default from the short matrix)")
+	scales := flag.String("scales", "", "comma-separated scale axis")
+	workerPairs := flag.String("workers", "", "comma-separated base:variant worker pairs, e.g. 1:4,4:1")
+	faults := flag.String("faults", "", "comma-separated transient fault-rate axis")
+	vantageSets := flag.String("vantages", "", "comma-separated vantage sets, each a +-joined list (all = every vantage), e.g. all,new-york")
+	minUsers := flag.Int("min-users", 3, "SNI popularity filter (paper: 3)")
+	tolerance := flag.Bool("tolerance", true, "append the paper-scale tolerance case")
+	goldenDir := flag.String("golden", "internal/scenario/testdata/golden", "golden snapshot directory ('' disables the snapshot check)")
+	update := flag.Bool("update", false, "regenerate golden snapshots instead of comparing")
+	jsonPath := flag.String("json", "", "write the JSON summary to this file")
+	rerunEvery := flag.Int("rerun-every", 0, "exact-rerun cadence (0: default 8; < 0: never)")
+	wireSample := flag.Int("wire-sample", 0, "ClientHello records per dataset through the crypto/tls oracle (0: default 40; < 0: none)")
+	timeout := flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
+	quiet := flag.Bool("q", false, "suppress per-case progress lines")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: iotcheck [-short] [flags]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the scenario-matrix verification harness over the study pipeline.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	_ = *short // -short documents intent in CI; the grid below is already the short matrix unless overridden
+
+	m := scenario.Short()
+	m.MinSNIUsers = *minUsers
+	m.ToleranceCase = *tolerance
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "iotcheck:", err)
+		os.Exit(2)
+	}
+	if *seeds != "" {
+		axis, err := parseInt64s(*seeds)
+		if err != nil {
+			fail(fmt.Errorf("-seeds: %w", err))
+		}
+		m.Seeds = axis
+	}
+	if *scales != "" {
+		axis, err := parseFloats(*scales)
+		if err != nil {
+			fail(fmt.Errorf("-scales: %w", err))
+		}
+		m.Scales = axis
+	}
+	if *workerPairs != "" {
+		axis, err := parseWorkerPairs(*workerPairs)
+		if err != nil {
+			fail(fmt.Errorf("-workers: %w", err))
+		}
+		m.WorkerPairs = axis
+	}
+	if *faults != "" {
+		axis, err := parseFloats(*faults)
+		if err != nil {
+			fail(fmt.Errorf("-faults: %w", err))
+		}
+		m.FaultRates = axis
+	}
+	if *vantageSets != "" {
+		axis, err := parseVantageSets(*vantageSets)
+		if err != nil {
+			fail(fmt.Errorf("-vantages: %w", err))
+		}
+		m.VantageSets = axis
+	}
+
+	opts := scenario.Options{
+		RerunEvery: *rerunEvery,
+		WireSample: *wireSample,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *goldenDir != "" {
+		opts.Golden = &scenario.GoldenStore{Dir: *goldenDir, Update: *update}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sum, err := scenario.RunMatrix(ctx, m, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	sum.WriteText(os.Stdout)
+	if !sum.OK() {
+		os.Exit(1)
+	}
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseWorkerPairs(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, f := range strings.Split(s, ",") {
+		base, variant, ok := strings.Cut(strings.TrimSpace(f), ":")
+		if !ok {
+			return nil, fmt.Errorf("pair %q is not base:variant", f)
+		}
+		b, err := strconv.Atoi(base)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(variant)
+		if err != nil {
+			return nil, err
+		}
+		if b == v {
+			return nil, fmt.Errorf("pair %q: base and variant must differ", f)
+		}
+		out = append(out, [2]int{b, v})
+	}
+	return out, nil
+}
+
+func parseVantageSets(s string) ([][]simnet.Vantage, error) {
+	known := map[string]simnet.Vantage{}
+	for _, v := range simnet.Vantages() {
+		known[string(v)] = v
+	}
+	var out [][]simnet.Vantage
+	for _, set := range strings.Split(s, ",") {
+		set = strings.TrimSpace(set)
+		if set == "all" {
+			out = append(out, nil)
+			continue
+		}
+		var vs []simnet.Vantage
+		for _, name := range strings.Split(set, "+") {
+			v, ok := known[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("unknown vantage %q (known: %v)", name, simnet.Vantages())
+			}
+			vs = append(vs, v)
+		}
+		out = append(out, vs)
+	}
+	return out, nil
+}

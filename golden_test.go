@@ -1,0 +1,63 @@
+package repro_bench
+
+// Golden-report regression tests: the full text report and the CSV
+// rendering of every table at seed 1, scale 1 are pinned byte-for-byte
+// under testdata/golden/. Any intentional change to a table builder or
+// renderer shows up here as a readable line diff; regenerate the
+// snapshots with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenReport .
+//
+// and review the snapshot diff like any other code change. The CSV
+// snapshot uses the same framing cmd/iotls -format csv emits (a
+// "# <title>" comment line before each table, blank line after), so it
+// also pins the CLI's output contract.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func goldenStudy(t *testing.T) *core.Study {
+	t.Helper()
+	s, err := core.Run(context.Background(), core.Config{Seed: 1, Scale: 1.0, MinSNIUsers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func goldenCheck(t *testing.T, name string, got []byte) {
+	t.Helper()
+	g := &scenario.GoldenStore{
+		Dir:    filepath.Join("testdata", "golden"),
+		Update: os.Getenv("UPDATE_GOLDEN") != "",
+	}
+	if err := g.Check(name, got); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenReportText(t *testing.T) {
+	var buf bytes.Buffer
+	goldenStudy(t).WriteReport(&buf)
+	goldenCheck(t, "report_seed1_scale1.txt", buf.Bytes())
+}
+
+func TestGoldenReportCSV(t *testing.T) {
+	s := goldenStudy(t)
+	var buf bytes.Buffer
+	for _, tb := range append(s.ClientTables(), s.ServerTables()...) {
+		fmt.Fprintf(&buf, "# %s\n", tb.Title)
+		tb.WriteCSV(&buf)
+		fmt.Fprintln(&buf)
+	}
+	goldenCheck(t, "report_seed1_scale1.csv", buf.Bytes())
+}

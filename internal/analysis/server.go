@@ -42,6 +42,11 @@ type CertRecord struct {
 type Server struct {
 	World *simnet.World
 	DS    *dataset.Dataset
+	// Vantages is the probing locations the collection run used, in
+	// order; the first entry is the primary vantage whose chains become
+	// Records (the paper probed from New York, Frankfurt, and Singapore
+	// with New York primary).
+	Vantages []simnet.Vantage
 	// Records are the successful primary-vantage probes.
 	Records []*CertRecord
 	// ByVantage stores leaf DER per vantage for the geo comparison.
@@ -66,18 +71,23 @@ func NewServer(w *simnet.World, ds *dataset.Dataset, snis []string, realTLS bool
 // engine options, for fault-injected or live-backend collection runs.
 func NewServerProbed(w *simnet.World, ds *dataset.Dataset, snis []string, p probe.Prober, opts probe.Options) *Server {
 	results, stats := probe.New(p, opts).Run(context.Background(), snis, simnet.Vantages())
-	return NewServerFromProbes(w, ds, snis, results, stats)
+	return NewServerFromProbes(w, ds, snis, simnet.Vantages(), results, stats)
 }
 
 // NewServerFromProbes assembles the Section 5 certificate dataset from an
 // already-completed probe run: chain validation, CT lookups, and the
 // visitation index. Splitting collection from validation lets the
 // stage-based pipeline of internal/core trace and cancel the two halves
-// independently.
-func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, results []probe.Result, stats probe.Stats) *Server {
+// independently. vantages is the location set the run probed, primary
+// first (nil or empty: the paper's three with New York primary).
+func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, vantages []simnet.Vantage, results []probe.Result, stats probe.Stats) *Server {
+	if len(vantages) == 0 {
+		vantages = simnet.Vantages()
+	}
 	s := &Server{
 		World:      w,
 		DS:         ds,
+		Vantages:   vantages,
 		ByVantage:  map[simnet.Vantage]map[string][]byte{},
 		ProbedSNIs: snis,
 	}
@@ -98,7 +108,7 @@ func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, re
 
 	s.ProbeStats = stats
 	chains := map[simnet.Vantage]map[string]pki.Chain{}
-	for _, v := range simnet.Vantages() {
+	for _, v := range vantages {
 		chains[v] = map[string]pki.Chain{}
 		s.ByVantage[v] = map[string][]byte{}
 	}
@@ -114,14 +124,14 @@ func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, re
 		}
 	}
 	for sni, n := range failed {
-		if n == len(simnet.Vantages()) {
+		if n == len(vantages) {
 			s.UnreachableSNIs = append(s.UnreachableSNIs, sni)
 		}
 	}
 	sort.Strings(s.UnreachableSNIs)
 
-	// Primary vantage records (New York, as in the paper).
-	primary := chains[simnet.VantageNewYork]
+	// Primary vantage records (the first vantage; New York in the paper).
+	primary := chains[vantages[0]]
 	ordered := make([]string, 0, len(primary))
 	for sni := range primary {
 		ordered = append(ordered, sni)
@@ -687,25 +697,36 @@ type Table16 struct {
 	ExclusivePerVantage map[simnet.Vantage]int
 }
 
-// Table16 computes the geographic consistency comparison.
+// vantages returns the run's vantage set (primary first), defaulting to
+// the paper's three for Servers assembled before the set was recorded.
+func (s *Server) vantages() []simnet.Vantage {
+	if len(s.Vantages) > 0 {
+		return s.Vantages
+	}
+	return simnet.Vantages()
+}
+
+// Table16 computes the geographic consistency comparison across the
+// run's vantage set.
 func (s *Server) Table16() Table16 {
 	out := Table16{
 		Extracted:           map[simnet.Vantage]int{},
 		ExclusivePerVantage: map[simnet.Vantage]int{},
 	}
+	vantages := s.vantages()
 	for v, m := range s.ByVantage {
 		out.Extracted[v] = len(m)
 	}
-	// SNIs probed everywhere.
-	for sni, nyLeaf := range s.ByVantage[simnet.VantageNewYork] {
+	// SNIs probed everywhere, anchored at the primary vantage.
+	for sni, primaryLeaf := range s.ByVantage[vantages[0]] {
 		same := true
-		for _, v := range simnet.Vantages()[1:] {
+		for _, v := range vantages[1:] {
 			leaf, ok := s.ByVantage[v][sni]
 			if !ok {
 				same = false
 				break
 			}
-			if !bytes.Equal(leaf, nyLeaf) {
+			if !bytes.Equal(leaf, primaryLeaf) {
 				same = false
 			}
 		}
@@ -713,10 +734,10 @@ func (s *Server) Table16() Table16 {
 			out.SharedAcrossAll++
 		}
 	}
-	for _, v := range simnet.Vantages() {
+	for _, v := range vantages {
 		for sni, leaf := range s.ByVantage[v] {
 			exclusive := false
-			for _, other := range simnet.Vantages() {
+			for _, other := range vantages {
 				if other == v {
 					continue
 				}

@@ -1,0 +1,148 @@
+package ciphersuite
+
+import "testing"
+
+// TestAppendixClassification pins the classification of every suite the
+// paper's appendix names, one table row per suite: the Section 4.2
+// taxonomy bucket and, for vulnerable suites, the component family the
+// paper attributes the verdict to. The roster spans all three levels,
+// every vulnerable family the registry can express, GREASE codepoints,
+// and the unknown-suite fallback, so a taxonomy regression in any
+// branch of Suite.Level / Suite.VulnClass moves at least one row.
+func TestAppendixClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		level SecurityLevel
+		vuln  VulnClass
+	}{
+		// Optimal: forward-secret key exchange with an AEAD cipher, and
+		// all TLS 1.3 suites.
+		{"TLS_AES_128_GCM_SHA256", Optimal, VulnNone},
+		{"TLS_AES_256_GCM_SHA384", Optimal, VulnNone},
+		{"TLS_CHACHA20_POLY1305_SHA256", Optimal, VulnNone},
+		{"TLS_AES_128_CCM_SHA256", Optimal, VulnNone},
+		{"TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", Optimal, VulnNone},
+		{"TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", Optimal, VulnNone},
+		{"TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", Optimal, VulnNone},
+		{"TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", Optimal, VulnNone},
+		{"TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", Optimal, VulnNone},
+		{"TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256", Optimal, VulnNone},
+		{"TLS_ECDHE_ECDSA_WITH_AES_128_CCM", Optimal, VulnNone},
+		{"TLS_DHE_RSA_WITH_AES_128_GCM_SHA256", Optimal, VulnNone},
+		{"TLS_DHE_RSA_WITH_AES_256_GCM_SHA384", Optimal, VulnNone},
+		{"TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256", Optimal, VulnNone},
+
+		// Suboptimal: PFS without AEAD (CBC modes) or AEAD without PFS
+		// (static-RSA / static-DH key transport) — non-ideal, no known
+		// attack.
+		{"TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384", Suboptimal, VulnNone},
+		{"TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_DHE_RSA_WITH_AES_128_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_DHE_DSS_WITH_AES_128_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_AES_128_GCM_SHA256", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_AES_256_GCM_SHA384", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_AES_128_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_AES_256_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_AES_128_CBC_SHA256", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_CAMELLIA_128_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_RSA_WITH_SEED_CBC_SHA", Suboptimal, VulnNone},
+		{"TLS_DH_RSA_WITH_AES_128_GCM_SHA256", Suboptimal, VulnNone},
+
+		// Vulnerable, by attributed component family. 3DES is the
+		// paper's most common finding, then RC4 and single DES.
+		{"TLS_RSA_WITH_3DES_EDE_CBC_SHA", Vulnerable, Vuln3DES},
+		{"TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", Vulnerable, Vuln3DES},
+		{"TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA", Vulnerable, Vuln3DES},
+		{"TLS_KRB5_WITH_3DES_EDE_CBC_SHA", Vulnerable, Vuln3DES},
+		{"TLS_RSA_WITH_DES_CBC_SHA", Vulnerable, VulnDES},
+		{"TLS_DHE_RSA_WITH_DES_CBC_SHA", Vulnerable, VulnDES},
+		{"TLS_KRB5_WITH_DES_CBC_MD5", Vulnerable, VulnDES},
+		{"TLS_RSA_WITH_RC4_128_SHA", Vulnerable, VulnRC4},
+		{"TLS_RSA_WITH_RC4_128_MD5", Vulnerable, VulnRC4},
+		{"TLS_ECDHE_RSA_WITH_RC4_128_SHA", Vulnerable, VulnRC4},
+		{"TLS_ECDHE_ECDSA_WITH_RC4_128_SHA", Vulnerable, VulnRC4},
+		{"TLS_KRB5_WITH_RC4_128_SHA", Vulnerable, VulnRC4},
+		{"TLS_RSA_WITH_NULL_SHA", Vulnerable, VulnNULL},
+		{"TLS_RSA_WITH_NULL_MD5", Vulnerable, VulnNULL},
+		{"TLS_RSA_WITH_NULL_SHA256", Vulnerable, VulnNULL},
+		{"TLS_ECDHE_ECDSA_WITH_NULL_SHA", Vulnerable, VulnNULL},
+		{"TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", Vulnerable, VulnExport},
+		{"TLS_RSA_EXPORT_WITH_RC4_40_MD5", Vulnerable, VulnExport},
+		// RC2 only ever shipped export-grade; the kex defect dominates
+		// the cipher defect in the paper's attribution.
+		{"TLS_RSA_EXPORT_WITH_RC2_CBC_40_MD5", Vulnerable, VulnExport},
+		{"TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA", Vulnerable, VulnExport},
+		{"TLS_DH_anon_WITH_AES_128_CBC_SHA", Vulnerable, VulnAnonKex},
+		{"TLS_DH_anon_WITH_AES_128_GCM_SHA256", Vulnerable, VulnAnonKex},
+		{"TLS_ECDH_anon_WITH_AES_128_CBC_SHA", Vulnerable, VulnAnonKex},
+		// Anonymous kex dominates the RC4 cipher defect.
+		{"TLS_DH_anon_WITH_RC4_128_MD5", Vulnerable, VulnAnonKex},
+		{"TLS_KRB5_EXPORT_WITH_RC4_40_SHA", Vulnerable, VulnKRB5Export},
+		{"TLS_KRB5_EXPORT_WITH_RC2_CBC_40_MD5", Vulnerable, VulnKRB5Export},
+		{"TLS_NULL_WITH_NULL_NULL", Vulnerable, VulnNULL},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ok := LookupName(tc.name)
+			if !ok {
+				t.Fatalf("suite %s is not in the registry", tc.name)
+			}
+			if got := s.Level(); got != tc.level {
+				t.Errorf("Level() = %v, appendix says %v", got, tc.level)
+			}
+			if got := s.VulnClass(); got != tc.vuln {
+				t.Errorf("VulnClass() = %v, appendix says %v", got, tc.vuln)
+			}
+			// Codepoint lookup must agree with name lookup.
+			byID, ok := Lookup(s.ID)
+			if !ok || byID.Name != tc.name {
+				t.Errorf("Lookup(0x%04X) = %q, ok=%v", s.ID, byID.Name, ok)
+			}
+		})
+	}
+}
+
+// TestAppendixFallbacks pins the behaviours the appendix relies on for
+// codepoints outside the registry: GREASE values and unknown suites.
+func TestAppendixFallbacks(t *testing.T) {
+	for _, id := range []uint16{0x0A0A, 0x1A1A, 0x8A8A, 0xFAFA} {
+		if !IsGREASE(id) {
+			t.Errorf("IsGREASE(0x%04X) = false", id)
+		}
+		s, ok := Lookup(id)
+		if ok {
+			t.Errorf("GREASE 0x%04X resolved to registered suite %s", id, s.Name)
+		}
+		if want := "GREASE_0x"; len(s.Name) < len(want) || s.Name[:len(want)] != want {
+			t.Errorf("GREASE placeholder name = %q", s.Name)
+		}
+	}
+	// Unknown but non-GREASE codepoint: placeholder with UNKNOWN
+	// components, never classified vulnerable.
+	s, ok := Lookup(0x4A4B)
+	if ok {
+		t.Fatalf("0x4A4B unexpectedly registered as %s", s.Name)
+	}
+	if s.Name != "UNKNOWN_0x4A4B" || s.Kex != "UNKNOWN" {
+		t.Errorf("unknown placeholder = %+v", s)
+	}
+	if s.VulnClass() != VulnNone {
+		t.Errorf("unknown suite classified %v", s.VulnClass())
+	}
+
+	// List classification skips GREASE, SCSV, and unknown codepoints: a
+	// list of only those has no classifiable member and is Suboptimal by
+	// definition; adding one real suite makes that suite decide.
+	noise := []uint16{0x0A0A, SCSVRenegotiation, SCSVFallback, 0x4A4B}
+	if got := ListLevel(noise); got != Suboptimal {
+		t.Errorf("ListLevel(noise only) = %v, want Suboptimal", got)
+	}
+	opt, _ := LookupName("TLS_AES_128_GCM_SHA256")
+	if got := ListLevel(append([]uint16{opt.ID}, noise...)); got != Optimal {
+		t.Errorf("ListLevel(optimal + noise) = %v, want Optimal", got)
+	}
+	bad, _ := LookupName("TLS_RSA_WITH_RC4_128_SHA")
+	if got := ListLevel(append([]uint16{opt.ID, bad.ID}, noise...)); got != Vulnerable {
+		t.Errorf("ListLevel(optimal + RC4 + noise) = %v, want Vulnerable", got)
+	}
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// on the world before probing. Faults act on the simulated fast path,
 	// so they conflict with RealTLS (Validate rejects the combination).
 	Faults *simnet.Faults
+	// Vantages selects the probing locations, primary vantage first.
+	// nil or empty means the paper's three (New York primary). Entries
+	// must be distinct members of simnet.Vantages(); Validate rejects
+	// anything else with ErrBadVantages.
+	Vantages []simnet.Vantage
 	// Tracer records one hierarchical span per pipeline stage plus a
 	// report span per WriteReport call. nil disables tracing at zero
 	// cost and never changes the study's output.
@@ -77,6 +82,8 @@ var (
 	// ErrFaultsWithRealTLS: fault injection acts on the simulated fast
 	// path and cannot coexist with genuine crypto/tls handshakes.
 	ErrFaultsWithRealTLS = errors.New("Faults and RealTLS are mutually exclusive")
+	// ErrBadVantages: Vantages contains an unknown or duplicate entry.
+	ErrBadVantages = errors.New("Vantages must be distinct members of simnet.Vantages()")
 )
 
 // Validate rejects nonsense configurations with typed errors instead of
@@ -95,7 +102,29 @@ func (c Config) Validate() error {
 	if c.Faults != nil && c.RealTLS {
 		return fmt.Errorf("core: %w", ErrFaultsWithRealTLS)
 	}
+	known := map[simnet.Vantage]bool{}
+	for _, v := range simnet.Vantages() {
+		known[v] = true
+	}
+	seen := map[simnet.Vantage]bool{}
+	for _, v := range c.Vantages {
+		if !known[v] {
+			return fmt.Errorf("core: Vantages contains unknown %q: %w", v, ErrBadVantages)
+		}
+		if seen[v] {
+			return fmt.Errorf("core: Vantages contains duplicate %q: %w", v, ErrBadVantages)
+		}
+		seen[v] = true
+	}
 	return nil
+}
+
+// vantages resolves the effective vantage set (primary first).
+func (c Config) vantages() []simnet.Vantage {
+	if len(c.Vantages) > 0 {
+		return c.Vantages
+	}
+	return simnet.Vantages()
 }
 
 // workers resolves the effective worker count.

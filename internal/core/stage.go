@@ -130,7 +130,7 @@ func runProbeStage(ctx context.Context, st *Study, rec *StageRecorder) error {
 		opts.Metrics = cfg.Metrics
 	}
 	eng := probe.New(probe.WorldProber{World: st.World, RealTLS: cfg.RealTLS}, opts)
-	st.probeResults, st.probeStats = eng.Run(ctx, st.SNIs, simnet.Vantages())
+	st.probeResults, st.probeStats = eng.Run(ctx, st.SNIs, cfg.vantages())
 	rec.Count("jobs", int64(st.probeStats.Jobs))
 	rec.Count("attempts", int64(st.probeStats.Attempts))
 	rec.Count("retries", int64(st.probeStats.Retries))
@@ -141,7 +141,7 @@ func runProbeStage(ctx context.Context, st *Study, rec *StageRecorder) error {
 }
 
 func runValidateStage(_ context.Context, st *Study, rec *StageRecorder) error {
-	st.Server = analysis.NewServerFromProbes(st.World, st.Dataset, st.SNIs, st.probeResults, st.probeStats)
+	st.Server = analysis.NewServerFromProbes(st.World, st.Dataset, st.SNIs, st.Config.vantages(), st.probeResults, st.probeStats)
 	st.probeResults = nil // the engine output is folded into Server
 	rec.Count("records", int64(len(st.Server.Records)))
 	rec.Count("unreachable", int64(len(st.Server.UnreachableSNIs)))

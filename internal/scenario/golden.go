@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GoldenStore holds report snapshots on disk. Check compares against
+// the stored bytes, or rewrites them when Update is set — the scenario
+// harness and cmd/iotcheck both regenerate with -update, the root
+// golden tests with UPDATE_GOLDEN=1.
+type GoldenStore struct {
+	// Dir is the snapshot directory (created on first update).
+	Dir string
+	// Update rewrites snapshots instead of comparing.
+	Update bool
+}
+
+// goldenName derives the tolerance case's snapshot filename.
+func goldenName(c Case) string {
+	return fmt.Sprintf("report_seed%d_scale%g.txt", c.Seed, c.Scale)
+}
+
+// Check compares got against the named snapshot. A missing snapshot or
+// a mismatch is an error whose message says how to regenerate; in
+// Update mode the snapshot is (re)written and Check always succeeds.
+func (g *GoldenStore) Check(name string, got []byte) error {
+	path := filepath.Join(g.Dir, name)
+	if g.Update {
+		if err := os.MkdirAll(g.Dir, 0o755); err != nil {
+			return fmt.Errorf("scenario: golden dir: %w", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			return fmt.Errorf("scenario: write golden: %w", err)
+		}
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("scenario: no golden snapshot %s — run with -update to create it", path)
+	}
+	if err != nil {
+		return fmt.Errorf("scenario: read golden: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("scenario: report deviates from golden %s (regenerate with -update if intended): %s",
+			path, LineDiff(want, got, 8))
+	}
+	return nil
+}
+
+// LineDiff renders a readable summary of where two renderings diverge:
+// the first maxLines differing lines, each as want/got pairs, plus a
+// count of the remainder. Good enough to localize a table drift without
+// shipping a diff implementation.
+func LineDiff(want, got []byte, maxLines int) string {
+	w := strings.Split(string(want), "\n")
+	g := strings.Split(string(got), "\n")
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	var b strings.Builder
+	shown, total := 0, 0
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		} else {
+			wl = "<absent>"
+		}
+		if i < len(g) {
+			gl = g[i]
+		} else {
+			gl = "<absent>"
+		}
+		if wl == gl {
+			continue
+		}
+		total++
+		if shown < maxLines {
+			fmt.Fprintf(&b, "\n  line %d:\n    want: %s\n    got:  %s", i+1, wl, gl)
+			shown++
+		}
+	}
+	if total > shown {
+		fmt.Fprintf(&b, "\n  … and %d more differing line(s)", total-shown)
+	}
+	if total == 0 {
+		if len(want) != len(got) {
+			fmt.Fprintf(&b, "\n  byte lengths differ: want %d, got %d", len(want), len(got))
+		} else {
+			b.WriteString("\n  (no line-level difference; bytes differ)")
+		}
+	}
+	return fmt.Sprintf("%d differing line(s)%s", total, b.String())
+}

@@ -1,0 +1,28 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the machine-readable sweep result for CI artifacts.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText emits the human-readable verdict.
+func (s *Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "scenario matrix: %d configs, %d pipeline runs, %d wire records cross-checked\n",
+		s.Configs, s.Runs, s.WireRecords)
+	if s.OK() {
+		fmt.Fprintf(w, "all invariants held\n")
+		return
+	}
+	fmt.Fprintf(w, "%d invariant violation(s):\n", len(s.Violations))
+	for _, v := range s.Violations {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+}

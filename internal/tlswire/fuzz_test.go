@@ -114,9 +114,9 @@ func FuzzParseRecord(f *testing.F) {
 	f.Add(rec[:5])
 	f.Add(rec[:len(rec)-3])
 	f.Add([]byte{})
-	f.Add([]byte{23, 3, 3, 0, 0})             // not a handshake
-	f.Add([]byte{22, 3, 3, 0, 1, 2})          // handshake, not a ClientHello
-	f.Add([]byte{22, 3, 3, 0xFF, 0xFF, 1})    // record claims more than present
+	f.Add([]byte{23, 3, 3, 0, 0})               // not a handshake
+	f.Add([]byte{22, 3, 3, 0, 1, 2})            // handshake, not a ClientHello
+	f.Add([]byte{22, 3, 3, 0xFF, 0xFF, 1})      // record claims more than present
 	f.Add(append(bytes.Clone(rec), 0xAA, 0xBB)) // trailing garbage
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ch, err := ParseRecord(data)
@@ -174,6 +174,29 @@ func mustRemarshal(t *testing.T, ch *ClientHello) []byte {
 		return nil
 	}
 	return rec
+}
+
+// FuzzClientHelloVsCryptoTLS is the differential target: every input is
+// offered to both this package's parser and crypto/tls's (via the
+// server-side ClientHelloInfo callback). Whenever the stricter stdlib
+// accepts a record, tlswire must parse it too and the two views must
+// agree on SNI, ciphersuites, ALPN, and supported versions. The seed
+// corpus under testdata/fuzz/FuzzClientHelloVsCryptoTLS/ mirrors the
+// FuzzParseRecord corpus plus a crypto/tls-generated hello.
+func FuzzClientHelloVsCryptoTLS(f *testing.F) {
+	rec := mustMarshal(f, seedHello())
+	f.Add(rec)
+	f.Add(rec[:5])
+	f.Add([]byte{})
+	f.Add([]byte{22, 3, 1, 0, 4, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // crypto/tls's record layer caps well below this
+		}
+		if diffs := CompareWithCryptoTLS(data); len(diffs) > 0 {
+			t.Fatalf("oracle disagreement on %x: %v", data, diffs)
+		}
+	})
 }
 
 // FuzzMarshalParse drives the round trip from the structured side:

@@ -1,0 +1,266 @@
+// Differential oracle against crypto/tls. The standard library carries
+// an independent, battle-tested implementation of the ClientHello wire
+// format; round-tripping hellos through it cross-checks this package's
+// encoder and parser in both directions:
+//
+//   - CaptureCryptoTLSHello records the ClientHello bytes a crypto/tls
+//     client emits for a given tls.Config, which must then parse with
+//     ParseRecord to matching fields (our parser vs their encoder);
+//   - CryptoTLSView feeds an arbitrary record to a crypto/tls server and
+//     captures its ClientHelloInfo, which CompareWithCryptoTLS reconciles
+//     against our parse (our encoder/parser vs their parser).
+//
+// crypto/tls is deliberately stricter than a measurement parser — it
+// rejects hellos this package tolerates — so the oracle only demands
+// agreement when both sides accept, plus the one-sided rule that nothing
+// crypto/tls accepts may fail to parse here.
+package tlswire
+
+import (
+	"bytes"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// errHelloCaptured aborts a crypto/tls server handshake once the
+// ClientHelloInfo is in hand; nothing past the hello matters here.
+var errHelloCaptured = errors.New("tlswire: hello captured")
+
+// oracleConn is the synchronous transport behind both oracle directions:
+// reads replay a fixed buffer (then fail), writes are captured (client
+// direction) or discarded (server direction). There is no peer and no
+// blocking, so a crypto/tls handshake over it always terminates — the
+// property that makes the differential fuzz target viable.
+type oracleConn struct {
+	in  *bytes.Reader
+	out *bytes.Buffer // nil: discard writes
+}
+
+func (c *oracleConn) Read(p []byte) (int, error) {
+	if c.in == nil {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return c.in.Read(p)
+}
+
+func (c *oracleConn) Write(p []byte) (int, error) {
+	if c.out != nil {
+		return c.out.Write(p)
+	}
+	return len(p), nil
+}
+
+func (c *oracleConn) Close() error                     { return nil }
+func (c *oracleConn) LocalAddr() net.Addr              { return oracleAddr{} }
+func (c *oracleConn) RemoteAddr() net.Addr             { return oracleAddr{} }
+func (c *oracleConn) SetDeadline(time.Time) error      { return nil }
+func (c *oracleConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *oracleConn) SetWriteDeadline(time.Time) error { return nil }
+
+type oracleAddr struct{}
+
+func (oracleAddr) Network() string { return "tlswire-oracle" }
+func (oracleAddr) String() string  { return "tlswire-oracle" }
+
+// CaptureCryptoTLSHello returns the raw ClientHello record a crypto/tls
+// client would send for cfg. The handshake never proceeds past the first
+// flight; the config is cloned and InsecureSkipVerify is forced on so
+// certificate material is never needed.
+func CaptureCryptoTLSHello(cfg *tls.Config) ([]byte, error) {
+	if cfg == nil {
+		cfg = &tls.Config{}
+	}
+	cfg = cfg.Clone()
+	cfg.InsecureSkipVerify = true
+	conn := &oracleConn{out: &bytes.Buffer{}}
+	// The handshake fails by construction (reads are refused); the hello
+	// bytes are already on the wire by then.
+	_ = tls.Client(conn, cfg).Handshake()
+	rec := conn.out.Bytes()
+	if len(rec) == 0 {
+		return nil, errors.New("tlswire: crypto/tls client wrote no hello")
+	}
+	// The first flight is a single handshake record; trim any retries or
+	// alerts that may follow it.
+	if len(rec) >= 5 {
+		if n := 5 + int(rec[3])<<8 + int(rec[4]); n <= len(rec) {
+			rec = rec[:n]
+		}
+	}
+	return rec, nil
+}
+
+// CryptoTLSHelloView is crypto/tls's independent parse of a ClientHello,
+// captured from its server-side ClientHelloInfo callback.
+type CryptoTLSHelloView struct {
+	ServerName        string
+	CipherSuites      []uint16
+	SupportedVersions []uint16
+	SupportedProtos   []string
+}
+
+// CryptoTLSView feeds record to a crypto/tls server and reports whether
+// the standard library accepted it as a ClientHello, along with its view
+// of the hello when it did. A rejection (ok == false) is not an error:
+// crypto/tls enforces stricter rules than a measurement parser.
+func CryptoTLSView(record []byte) (view CryptoTLSHelloView, ok bool) {
+	srvCfg := &tls.Config{
+		GetConfigForClient: func(info *tls.ClientHelloInfo) (*tls.Config, error) {
+			view = CryptoTLSHelloView{
+				ServerName:        info.ServerName,
+				CipherSuites:      append([]uint16(nil), info.CipherSuites...),
+				SupportedVersions: append([]uint16(nil), info.SupportedVersions...),
+				SupportedProtos:   append([]string(nil), info.SupportedProtos...),
+			}
+			ok = true
+			return nil, errHelloCaptured
+		},
+	}
+	// The replay conn serves exactly the record then EOFs, and swallows
+	// the server's alerts; the handshake therefore always returns on this
+	// goroutine, with the callback either fired or not.
+	_ = tls.Server(&oracleConn{in: bytes.NewReader(record)}, srvCfg).Handshake()
+	return view, ok
+}
+
+// CompareWithCryptoTLS cross-checks one ClientHello record against
+// crypto/tls and returns the list of disagreements (nil when the oracles
+// agree). The invariants:
+//
+//  1. anything crypto/tls accepts must parse here;
+//  2. SNI, the ciphersuite list, and the ALPN protocol list must match
+//     exactly;
+//  3. when the hello carries supported_versions, both sides must agree on
+//     the set of known, non-GREASE versions proposed.
+func CompareWithCryptoTLS(record []byte) []string {
+	view, ok := CryptoTLSView(record)
+	if !ok {
+		return nil // crypto/tls is stricter; nothing to compare
+	}
+	ours, perr := ParseRecord(record)
+	if perr != nil {
+		return []string{fmt.Sprintf("crypto/tls accepted a record tlswire rejects: %v", perr)}
+	}
+	var diffs []string
+	if sni := ours.SNI(); sni != view.ServerName {
+		diffs = append(diffs, fmt.Sprintf("SNI: tlswire %q vs crypto/tls %q", sni, view.ServerName))
+	}
+	if !equalUint16s(ours.CipherSuites, view.CipherSuites) {
+		diffs = append(diffs, fmt.Sprintf("ciphersuites: tlswire %04x vs crypto/tls %04x",
+			ours.CipherSuites, view.CipherSuites))
+	}
+	if alpn := alpnProtocols(ours); !equalStrings(alpn, view.SupportedProtos) {
+		diffs = append(diffs, fmt.Sprintf("ALPN: tlswire %q vs crypto/tls %q", alpn, view.SupportedProtos))
+	}
+	if ours.HasExtension(ExtSupportedVersions) {
+		a := knownVersionSet(supportedVersionList(ours))
+		b := knownVersionSet(view.SupportedVersions)
+		if !equalUint16s(a, b) {
+			diffs = append(diffs, fmt.Sprintf("supported versions: tlswire %04x vs crypto/tls %04x", a, b))
+		}
+	}
+	return diffs
+}
+
+// alpnProtocols parses the ALPN extension into its protocol list, or nil
+// when absent or malformed (crypto/tls rejects malformed ALPN outright).
+func alpnProtocols(ch *ClientHello) []string {
+	for _, e := range ch.Extensions {
+		if e.Type != ExtALPN {
+			continue
+		}
+		d := e.Data
+		if len(d) < 2 {
+			return nil
+		}
+		listLen := int(d[0])<<8 | int(d[1])
+		d = d[2:]
+		if listLen != len(d) {
+			return nil
+		}
+		var protos []string
+		for len(d) > 0 {
+			n := int(d[0])
+			d = d[1:]
+			if n > len(d) {
+				return nil
+			}
+			protos = append(protos, string(d[:n]))
+			d = d[n:]
+		}
+		return protos
+	}
+	return nil
+}
+
+// supportedVersionList parses the supported_versions extension payload.
+func supportedVersionList(ch *ClientHello) []uint16 {
+	for _, e := range ch.Extensions {
+		if e.Type != ExtSupportedVersions {
+			continue
+		}
+		d := e.Data
+		if len(d) < 1 {
+			return nil
+		}
+		n := int(d[0])
+		d = d[1:]
+		if n > len(d) {
+			n = len(d)
+		}
+		var out []uint16
+		for i := 0; i+1 < n; i += 2 {
+			out = append(out, uint16(d[i])<<8|uint16(d[i+1]))
+		}
+		return out
+	}
+	return nil
+}
+
+// knownVersionSet filters to known, non-GREASE versions, deduplicated and
+// sorted descending — the canonical form both oracles are reduced to.
+func knownVersionSet(vs []uint16) []uint16 {
+	seen := map[uint16]bool{}
+	var out []uint16
+	for _, v := range vs {
+		if IsGREASEExtension(v) || !Version(v).Known() || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func equalUint16s(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -289,7 +289,9 @@ func (ch *ClientHello) Marshal() ([]byte, error) {
 }
 
 func (ch *ClientHello) marshalBody() ([]byte, error) {
-	if len(ch.SessionID) > 32 {
+	// One length byte: 255 is the encodable maximum. Parse tolerates the
+	// same range, so Marshal∘Parse stays an identity on parsed hellos.
+	if len(ch.SessionID) > 255 {
 		return nil, fmt.Errorf("tlswire: session id too long (%d)", len(ch.SessionID))
 	}
 	if len(ch.CipherSuites) == 0 {
@@ -376,9 +378,11 @@ func parseBody(b []byte) (*ClientHello, error) {
 	b = b[34:]
 	sidLen := int(b[0])
 	b = b[1:]
-	if sidLen > 32 {
-		return nil, ErrMalformed
-	}
+	// RFC 5246 caps legacy_session_id at 32 bytes, but crypto/tls's server
+	// parser tolerates anything the length byte can express and real
+	// middleboxes have been seen padding it — a measurement parser must
+	// not be stricter than the stacks it observes (found by the
+	// crypto/tls differential oracle).
 	if sidLen > len(b) {
 		return nil, ErrTruncated
 	}

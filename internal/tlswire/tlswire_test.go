@@ -181,9 +181,18 @@ func TestMarshalValidation(t *testing.T) {
 		t.Fatal("empty suite list should fail")
 	}
 	ch.CipherSuites = []uint16{0xC02F}
+	// Session ids above the RFC's 32 bytes are tolerated (crypto/tls
+	// accepts them, so the measurement parser must too) but one length
+	// byte caps the encodable range at 255.
 	ch.SessionID = make([]byte, 33)
+	if rec, err := ch.Marshal(); err != nil {
+		t.Fatalf("33-byte session id should marshal: %v", err)
+	} else if ch2, err := ParseRecord(rec); err != nil || len(ch2.SessionID) != 33 {
+		t.Fatalf("33-byte session id round-trip: %v", err)
+	}
+	ch.SessionID = make([]byte, 256)
 	if _, err := ch.Marshal(); err == nil {
-		t.Fatal("oversized session id should fail")
+		t.Fatal("unencodable session id should fail")
 	}
 }
 
