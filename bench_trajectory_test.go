@@ -17,6 +17,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/libcorpus"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/tlswire"
 )
 
@@ -261,6 +262,85 @@ func TestBenchTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s: %d micro points, %d end-to-end points", out5, len(rep5.Micro), len(rep5.EndToEnd))
+
+	// BENCH_PR6.json extends the trajectory with the resident service:
+	// the delta-ingest micro costs (parse, merge, snapshot clone) and the
+	// drained end-to-end ingest throughput of the daemon core.
+	rep6 := rep
+	rep6.SeedBaselineRef = "PR2/PR5 trajectories in the same artifact; service points are " +
+		"new in PR6 and have no earlier baseline"
+	deltaRecs := ds.Records[:100]
+	sharedDelta, err := analysis.NewDelta(deltaRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep6.Micro = append(append([]benchPoint(nil), rep.Micro...),
+		microPoint("analysis.NewDelta/100rec", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.NewDelta(deltaRecs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		microPoint("analysis.MergeDelta/100rec", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := analysis.NewClientEmpty()
+				c.MergeDelta(sharedDelta)
+			}
+		}),
+		microPoint("analysis.Client.Clone/paper-scale", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Client.Clone()
+			}
+		}),
+	)
+	rep6.EndToEnd = append(append([]e2ePoint(nil), rep.EndToEnd...),
+		serviceWall(fmt.Sprintf("service.ingest/batches=200x25/workers=%d", maxW), ds, maxW, runs),
+	)
+	data6, err := json.MarshalIndent(rep6, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data6 = append(data6, '\n')
+	out6 := filepath.Join(filepath.Dir(out), "BENCH_PR6.json")
+	if err := os.WriteFile(out6, data6, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d micro points, %d end-to-end points", out6, len(rep6.Micro), len(rep6.EndToEnd))
+}
+
+// serviceWall times the daemon core end to end: 200 batches of 25
+// records submitted from four sources, queue flushed, final snapshot
+// published. Wide limits so nothing sheds — this measures ingest
+// throughput, not admission control.
+func serviceWall(name string, ds *dataset.Dataset, workers, runs int) e2ePoint {
+	const batches, batchSize, sources = 200, 25, 4
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		svc := service.New(service.Options{
+			Seed: 20231024, Workers: workers,
+			QueueDepth: batches + 1, SourceBudget: batches + 1,
+			ShedWatermark: 1.0, // never shed: this measures throughput, not admission
+		})
+		start := time.Now()
+		for j := 0; j < batches; j++ {
+			lo := (j * batchSize) % (len(ds.Records) - batchSize)
+			out := svc.Submit(fmt.Sprintf("bench-%d", j%sources), ds.Records[lo:lo+batchSize])
+			if !out.Accepted() {
+				panic(fmt.Sprintf("bench submit %d: %v", j, out))
+			}
+		}
+		if err := svc.Drain(context.Background()); err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return e2ePoint{Name: name, Workers: workers, WallMs: float64(best.Microseconds()) / 1000}
 }
 
 // mustOracleRecord picks the first dataset ClientHello that the

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -87,7 +88,11 @@ func main() {
 			candidates = append(candidates, sni)
 		}
 	}
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancel the verification fan-out instead of
+	// hard-killing the process: completed proofs still print, the
+	// partial summary survives, and the exit code says "interrupted".
+	ctx, stop := cliflags.SignalContext(context.Background())
+	defer stop()
 	if common.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, common.Timeout)
@@ -137,11 +142,23 @@ func main() {
 	}
 	close(jobs)
 	wg.Wait()
+	verified, aborted := 0, 0
 	for i, out := range outs {
 		if out.err != nil {
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				aborted++
+				continue
+			}
 			fatal(out.err)
 		}
+		verified++
 		fmt.Printf("%-40s leaf=%d path=%d OK\n", candidates[i], out.idx, out.path)
+	}
+	if aborted > 0 {
+		fmt.Fprintf(os.Stderr,
+			"ctquery: cancelled (%v): verified %d/%d inclusion proofs, %d aborted; skipping consistency and private-CA checks\n",
+			context.Cause(ctx), verified, len(candidates), aborted)
+		os.Exit(130)
 	}
 
 	// Consistency proof between half and full tree.

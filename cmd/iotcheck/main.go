@@ -18,12 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
@@ -37,6 +36,7 @@ func main() {
 	vantageSets := flag.String("vantages", "", "comma-separated vantage sets, each a +-joined list (all = every vantage), e.g. all,new-york")
 	minUsers := flag.Int("min-users", 3, "SNI popularity filter (paper: 3)")
 	tolerance := flag.Bool("tolerance", true, "append the paper-scale tolerance case")
+	serviceCells := flag.Bool("service", true, "append the service-mode cells (conservation, deterministic shedding, batch equivalence)")
 	goldenDir := flag.String("golden", "internal/scenario/testdata/golden", "golden snapshot directory ('' disables the snapshot check)")
 	update := flag.Bool("update", false, "regenerate golden snapshots instead of comparing")
 	jsonPath := flag.String("json", "", "write the JSON summary to this file")
@@ -55,6 +55,7 @@ func main() {
 	m := scenario.Short()
 	m.MinSNIUsers = *minUsers
 	m.ToleranceCase = *tolerance
+	m.ServiceCells = *serviceCells
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "iotcheck:", err)
 		os.Exit(2)
@@ -108,7 +109,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext(ctx)
 	defer stop()
 
 	sum, err := scenario.RunMatrix(ctx, m, opts)

@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"repro/internal/cliflags"
@@ -58,7 +57,7 @@ func main() {
 	atExit = flush
 	defer flush()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliflags.SignalContext(context.Background())
 	defer stop()
 
 	cfg := core.Config{

@@ -1,0 +1,234 @@
+// Command iotlsd runs the resident IoT TLS analysis service: it accepts
+// ClientHello record batches over HTTP+JSON, maintains incrementally
+// merged analysis state published as immutable epoch snapshots, sheds
+// load deterministically under pressure (429 + Retry-After), and drains
+// gracefully on SIGTERM — stop accepting, flush the queue, publish the
+// final snapshot, optionally write the full batch-equivalent report,
+// exit 0.
+//
+// Endpoints: POST /v1/batch, GET /healthz /readyz /statz /quarantinez
+// /report, and /metrics when -metrics or -pprof is set.
+//
+// -selfdrive turns the daemon into its own soak rig: a seeded open-loop
+// load generator POSTs batches to the daemon's listener, then triggers
+// the same drain path SIGTERM does. Chaos knobs (-drive-poison,
+// -chaos-panic, -chaos-slow) exercise quarantine, panic isolation, and
+// queue growth.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+func main() {
+	common := cliflags.Common{Seed: 20231024, Scale: 1.0}
+	common.Register(flag.CommandLine)
+	var obsFlags cliflags.Obs
+	obsFlags.Register(flag.CommandLine)
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address (port 0 picks a free port)")
+		minUser     = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users in the final report")
+		queueDepth  = flag.Int("queue", 64, "ingest queue depth in batches")
+		watermark   = flag.Float64("watermark", 0.75, "queue fraction where seeded shedding begins (1.0 = shed only when full)")
+		srcBudget   = flag.Int("source-budget", 8, "max in-queue batches per source")
+		brThreshold = flag.Int("breaker-threshold", 3, "consecutive quarantined batches opening a source's breaker")
+		brCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "source breaker cooldown")
+		stall       = flag.Duration("stall-timeout", 30*time.Second, "watchdog: fail readiness after this long without ingest progress")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline")
+		readTO      = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout (slow-client protection)")
+		writeTO     = flag.Duration("write-timeout", 15*time.Second, "HTTP write timeout (slow-client protection)")
+		chaosPanic  = flag.Float64("chaos-panic", 0, "inject a seeded worker panic on this fraction of batches")
+		chaosSlow   = flag.Duration("chaos-slow", 0, "sleep each batch this long before merging (slow-consumer chaos)")
+
+		selfdrive  = flag.Bool("selfdrive", false, "run the seeded open-loop load generator against this daemon, then drain")
+		driveN     = flag.Int("drive-batches", 200, "selfdrive: total batches to submit")
+		driveSize  = flag.Int("drive-batch-size", 25, "selfdrive: records per batch")
+		driveIvl   = flag.Duration("drive-interval", 10*time.Millisecond, "selfdrive: open-loop submission cadence")
+		driveSrcs  = flag.Int("drive-sources", 4, "selfdrive: distinct submitting sources")
+		drivePoisn = flag.Float64("drive-poison", 0, "selfdrive: fraction of batches poisoned with unparseable bytes")
+		driveScale = flag.Float64("drive-scale", 0.05, "selfdrive: dataset scale records are drawn from")
+
+		drainLinger  = flag.Duration("drain-linger", 0, "hold in the draining state this long before flushing (lets probes observe /readyz flip)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "deadline for flushing the queue on shutdown")
+		finalReport  = flag.String("final-report", "", `write the drained batch-equivalent study report here ("-" = stdout, "" = skip)`)
+		loadReport   = flag.String("load-report", "", "write the selfdrive load report JSON here")
+	)
+	flag.Parse()
+
+	_, metrics, flush, err := obsFlags.Setup("iotlsd")
+	if err != nil {
+		fatal(err)
+	}
+	defer flush()
+
+	svc := service.New(service.Options{
+		Seed:             common.Seed,
+		Workers:          common.Workers,
+		QueueDepth:       *queueDepth,
+		ShedWatermark:    *watermark,
+		SourceBudget:     *srcBudget,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+		StallTimeout:     *stall,
+		ChaosPanicFrac:   *chaosPanic,
+		ChaosSlow:        *chaosSlow,
+		Metrics:          metrics,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           service.Handler(svc, service.HTTPOptions{RequestTimeout: *reqTimeout, Metrics: metrics}),
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: *readTO,
+		WriteTimeout:      *writeTO,
+	}
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "iotlsd: listening on %s\n", base)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := cliflags.SignalContext(context.Background())
+	defer stop()
+
+	var rep service.LoadReport
+	if *selfdrive {
+		driveDone := make(chan struct{})
+		go func() {
+			defer close(driveDone)
+			rep, err = service.RunLoad(ctx, httpSubmit(base), service.LoadOptions{
+				Seed:       common.Seed,
+				Scale:      *driveScale,
+				BatchSize:  *driveSize,
+				Batches:    *driveN,
+				Sources:    *driveSrcs,
+				Interval:   *driveIvl,
+				PoisonFrac: *drivePoisn,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iotlsd: selfdrive:", err)
+			}
+		}()
+		select {
+		case <-driveDone:
+			fmt.Fprintln(os.Stderr, "iotlsd: selfdrive complete, draining")
+		case <-ctx.Done():
+			<-driveDone // loadgen honors the same ctx
+			fmt.Fprintln(os.Stderr, "iotlsd: signal received, draining")
+		}
+	} else {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "iotlsd: signal received, draining")
+		case err := <-serveErr:
+			fatal(err)
+		}
+	}
+
+	// Graceful drain: flip readiness first so load balancers stop
+	// routing, linger for probes to observe, then flush the queue and
+	// publish the final snapshot.
+	svc.BeginDrain()
+	if *drainLinger > 0 {
+		time.Sleep(*drainLinger)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.AwaitDrain(drainCtx); err != nil {
+		fatal(err)
+	}
+	stats := svc.Stats()
+	fmt.Fprintf(os.Stderr, "iotlsd: drained: %d/%d batches accepted, %d shed, %d quarantined, conserved=%v\n",
+		stats.AcceptedBatches, stats.SubmittedBatches, stats.ShedBatches,
+		stats.QuarantinedBatches, stats.Conserved())
+
+	if *loadReport != "" {
+		rep.Service = &stats
+		if err := writeJSON(*loadReport, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *finalReport != "" {
+		out := os.Stdout
+		if *finalReport != "-" {
+			f, err := os.Create(*finalReport)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		cfg := core.Config{
+			Seed: common.Seed, Scale: common.Scale, MinSNIUsers: *minUser,
+			Workers: common.Workers, Metrics: metrics,
+		}
+		if err := svc.FinalReport(context.Background(), out, cfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	srv.Shutdown(shutCtx)
+}
+
+// httpSubmit adapts the daemon's own /v1/batch endpoint to the load
+// generator's SubmitFunc — selfdrive traffic exercises the full HTTP
+// path, not a shortcut into Submit.
+func httpSubmit(base string) service.SubmitFunc {
+	client := &http.Client{Timeout: 30 * time.Second}
+	return func(source string, records []dataset.Record) (service.Outcome, error) {
+		body, err := service.EncodeBatch(source, records)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var parsed struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&parsed); err != nil {
+			return 0, fmt.Errorf("decode response (HTTP %d): %w", resp.StatusCode, err)
+		}
+		outcome, ok := service.OutcomeFromString(parsed.Status)
+		if !ok {
+			return 0, fmt.Errorf("unknown outcome %q (HTTP %d)", parsed.Status, resp.StatusCode)
+		}
+		return outcome, nil
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iotlsd:", err)
+	os.Exit(1)
+}

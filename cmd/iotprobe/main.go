@@ -22,7 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"time"
 
@@ -104,7 +103,7 @@ func main() {
 		Metrics:        metrics,
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliflags.SignalContext(context.Background())
 	defer stop()
 	sort.Strings(snis)
 	probeSpan := tracer.Root().Child("probe")

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/tlswire"
+)
+
+// This file is the incremental half of the client analysis: the batch
+// path shards a full dataset and merges once, while a resident service
+// parses record batches into Deltas as they arrive and folds each into
+// a long-lived Client. Both paths go through the same clientShard
+// ingest and merge code, so a Client grown delta-by-delta is identical
+// to one built by NewClient over the union of the records — the
+// equivalence the service's drain invariant relies on.
+
+// Delta is the parsed, aggregated form of one record batch, ready to
+// merge into a Client. A Delta is single-use: merging moves its
+// internal maps into the Client.
+type Delta struct {
+	shard clientShard
+	// deviceVendor / deviceType carry the identity metadata the batch
+	// path reads from dataset.Device; the delta path reads it from the
+	// records themselves.
+	deviceVendor map[string]string
+	deviceType   map[string]string
+}
+
+// Records reports how many records the delta aggregates.
+func (d *Delta) Records() int64 { return d.shard.records }
+
+// NewClientEmpty builds a Client with no observations, the zero state a
+// resident service grows by merging deltas. DS stays nil — every
+// client-side table derives from the merged observations alone.
+func NewClientEmpty() *Client {
+	return &Client{
+		Prints:        map[string]*FingerprintInfo{},
+		DevicePrints:  map[string]map[string]bool{},
+		DeviceVendor:  map[string]string{},
+		DeviceType:    map[string]string{},
+		VersionCounts: map[tlswire.Version]int{},
+		SNIDevices:    map[string]map[string]bool{},
+	}
+}
+
+// NewDelta parses one record batch into a mergeable Delta. A record
+// whose wire bytes fail to parse poisons the whole batch: the error
+// names the offending index and the caller quarantines the batch
+// rather than merging a partial aggregate.
+func NewDelta(records []dataset.Record) (*Delta, error) {
+	d := &Delta{
+		deviceVendor: map[string]string{},
+		deviceType:   map[string]string{},
+	}
+	d.shard.ingest(records, 0)
+	if d.shard.err != nil {
+		return nil, fmt.Errorf("analysis: record %d: %w", d.shard.errIdx, d.shard.err)
+	}
+	for _, r := range records {
+		d.deviceVendor[r.DeviceID] = r.Vendor
+		d.deviceType[r.DeviceID] = r.Type
+	}
+	return d, nil
+}
+
+// MergeDelta folds a delta into the client. The merge is commutative
+// and associative (set unions and count additions), so any arrival
+// order of the same deltas yields the same Client. The delta must not
+// be reused afterwards. orderedKeys is rebuilt eagerly so table
+// methods stay read-only.
+func (c *Client) MergeDelta(d *Delta) {
+	c.merge(&d.shard)
+	for id, v := range d.deviceVendor {
+		c.DeviceVendor[id] = v
+	}
+	for id, t := range d.deviceType {
+		c.DeviceType[id] = t
+	}
+	c.orderedKeys = c.orderedKeys[:0]
+	for k := range c.Prints {
+		c.orderedKeys = append(c.orderedKeys, k)
+	}
+	sort.Strings(c.orderedKeys)
+}
+
+// Clone deep-copies the client's aggregate state so the copy can be
+// published as an immutable snapshot while the original keeps merging
+// deltas. Fingerprint tuples are shared — merging only ever grows the
+// observation maps and counters, never rewrites a parsed Print.
+func (c *Client) Clone() *Client {
+	out := &Client{
+		DS:            c.DS,
+		Prints:        make(map[string]*FingerprintInfo, len(c.Prints)),
+		DevicePrints:  make(map[string]map[string]bool, len(c.DevicePrints)),
+		DeviceVendor:  make(map[string]string, len(c.DeviceVendor)),
+		DeviceType:    make(map[string]string, len(c.DeviceType)),
+		VersionCounts: make(map[tlswire.Version]int, len(c.VersionCounts)),
+		SNIDevices:    make(map[string]map[string]bool, len(c.SNIDevices)),
+		orderedKeys:   append([]string(nil), c.orderedKeys...),
+	}
+	for key, info := range c.Prints {
+		out.Prints[key] = &FingerprintInfo{
+			Print:   info.Print,
+			Key:     info.Key,
+			Devices: cloneSet(info.Devices),
+			Vendors: cloneSet(info.Vendors),
+			Types:   cloneSet(info.Types),
+			SNIs:    cloneSet(info.SNIs),
+			Records: info.Records,
+		}
+	}
+	for dev, keys := range c.DevicePrints {
+		out.DevicePrints[dev] = cloneSet(keys)
+	}
+	for id, v := range c.DeviceVendor {
+		out.DeviceVendor[id] = v
+	}
+	for id, t := range c.DeviceType {
+		out.DeviceType[id] = t
+	}
+	for v, n := range c.VersionCounts {
+		out.VersionCounts[v] = n
+	}
+	for sni, devs := range c.SNIDevices {
+		out.SNIDevices[sni] = cloneSet(devs)
+	}
+	return out
+}
+
+func cloneSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	return out
+}

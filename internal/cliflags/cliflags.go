@@ -10,14 +10,27 @@
 package cliflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// SignalContext derives the command's root context, cancelled on the
+// first SIGINT (Ctrl-C) or SIGTERM (process managers, CI, kubelet). All
+// commands use it so graceful cancellation means the same thing
+// everywhere: stop starting work, drain what's in flight, print the
+// partial summary, exit through the normal path. A second signal
+// hard-kills via Go's default handling once stop() has run.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
 
 // Common is the flag set every command shares. Fill in the command's
 // defaults before calling Register.

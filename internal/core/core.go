@@ -40,6 +40,13 @@ type Config struct {
 	// MinSNIUsers filters SNIs observed from fewer users (paper: 3, i.e.
 	// "removed SNIs observed from two or fewer users").
 	MinSNIUsers int
+	// Dataset, when non-nil, replaces generation: the dataset stage uses
+	// it as-is and Seed/Scale stop influencing the population (they still
+	// seed the world build and the probe engine). The ingest service uses
+	// this to run the batch pipeline over the records it accepted, and
+	// the scenario harness to replay the same records for equivalence
+	// checks.
+	Dataset *dataset.Dataset
 	// RealTLS probes with genuine crypto/tls handshakes instead of the
 	// fast path.
 	RealTLS bool

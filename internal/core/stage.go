@@ -80,7 +80,11 @@ func Stages() []Stage {
 
 func runDatasetStage(_ context.Context, st *Study, rec *StageRecorder) error {
 	cfg := st.Config
-	st.Dataset = dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
+	if cfg.Dataset != nil {
+		st.Dataset = cfg.Dataset
+	} else {
+		st.Dataset = dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
+	}
 	rec.Count("devices", int64(len(st.Dataset.Devices)))
 	rec.Count("records", int64(len(st.Dataset.Records)))
 	return nil

@@ -30,3 +30,13 @@ func suppressed() time.Time {
 func suppressedTrailing() time.Time {
 	return time.Now() //lint:allow noclock fixture demonstrates a trailing annotation
 }
+
+// The service-daemon pattern: operator-facing wall-clock telemetry
+// (request latency histograms) is a legitimate read, carried by a
+// reasoned annotation on each of the paired Now/Since calls.
+func requestLatency(observe func(float64)) {
+	start := time.Now() //lint:allow noclock HTTP request latency is operator telemetry, never analysis input
+	defer func() {
+		observe(time.Since(start).Seconds()) //lint:allow noclock paired with the wall-clock start above
+	}()
+}

@@ -62,13 +62,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range r.sortedFamilies() {
 		kind := "counter"
-		if f.isHist {
+		switch {
+		case f.isHist:
 			kind = "histogram"
+		case f.isGauge:
+			kind = "gauge"
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kind)
 		f.snapshot(func(key string, series any) {
 			switch s := series.(type) {
 			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, key, s.Value())
+			case *Gauge:
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, key, s.Value())
 			case *Histogram:
 				cum := int64(0)
@@ -95,18 +100,22 @@ type jsonHistogram struct {
 	Buckets map[string]int64 `json:"buckets"`
 }
 
-// WriteJSON renders the registry as a JSON object: counters as
-// name{labels} -> value, histograms as name{labels} -> {count,sum,buckets}.
+// WriteJSON renders the registry as a JSON object: counters and gauges
+// as name{labels} -> value, histograms as name{labels} ->
+// {count,sum,buckets}.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	out := struct {
 		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
 		Histograms map[string]jsonHistogram `json:"histograms"`
-	}{map[string]int64{}, map[string]jsonHistogram{}}
+	}{map[string]int64{}, map[string]int64{}, map[string]jsonHistogram{}}
 	for _, f := range r.sortedFamilies() {
 		f.snapshot(func(key string, series any) {
 			switch s := series.(type) {
 			case *Counter:
 				out.Counters[f.name+key] = s.Value()
+			case *Gauge:
+				out.Gauges[f.name+key] = s.Value()
 			case *Histogram:
 				jh := jsonHistogram{Count: s.Count(), Sum: s.Sum(), Buckets: map[string]int64{}}
 				counts := s.BucketCounts()

@@ -32,12 +32,13 @@ type Registry struct {
 
 // family groups every labeled series of one metric name.
 type family struct {
-	name   string
-	isHist bool
-	bounds []float64
+	name    string
+	isHist  bool
+	isGauge bool
+	bounds  []float64
 
 	mu     sync.Mutex
-	series map[string]any // labelKey -> *Counter | *Histogram
+	series map[string]any // labelKey -> *Counter | *Gauge | *Histogram
 	keys   []string
 }
 
@@ -54,13 +55,13 @@ func (r *Registry) fullName(name string) string {
 	return r.namespace + "_" + name
 }
 
-func (r *Registry) family(name string, isHist bool, bounds []float64) *family {
+func (r *Registry) family(name string, isHist, isGauge bool, bounds []float64) *family {
 	full := r.fullName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[full]
 	if f == nil {
-		f = &family{name: full, isHist: isHist, bounds: bounds, series: map[string]any{}}
+		f = &family{name: full, isHist: isHist, isGauge: isGauge, bounds: bounds, series: map[string]any{}}
 		r.families[full] = f
 		r.names = append(r.names, full)
 	}
@@ -92,7 +93,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	f := r.family(name, false, nil)
+	f := r.family(name, false, false, nil)
 	key := labelKey(labels)
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -105,6 +106,25 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	return c
 }
 
+// Gauge returns the gauge series for (name, labels), creating it on
+// first use. A nil registry returns a nil gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, false, true, nil)
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.series[key].(*Gauge); ok {
+		return g
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	f.keys = append(f.keys, key)
+	return g
+}
+
 // Histogram returns the histogram series for (name, labels), creating it
 // with the given upper-bound buckets on first use (bounds must be sorted
 // ascending; the +Inf bucket is implicit). A nil registry returns nil.
@@ -112,7 +132,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if r == nil {
 		return nil
 	}
-	f := r.family(name, true, bounds)
+	f := r.family(name, true, false, bounds)
 	key := labelKey(labels)
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -140,6 +160,36 @@ func (c *Counter) Add(n int64) {
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
+
+// Gauge is a settable int64 level (queue depth, epoch number, snapshot
+// age). Unlike a Counter it may go down. The nil gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
 // Value reads the counter (0 on nil).
 func (c *Counter) Value() int64 {

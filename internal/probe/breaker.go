@@ -31,10 +31,12 @@ func (s BreakerState) String() string {
 	}
 }
 
-// breaker is a per-host circuit breaker. Only transient failures move it:
-// terminal hosts fail once and never reach the failure path, and an
-// aborted run says nothing about the host.
-type breaker struct {
+// Breaker is a per-peer circuit breaker. The probe engine arms one per
+// host (only transient failures move it: terminal hosts fail once and
+// never reach the failure path, and an aborted run says nothing about
+// the host); the ingest service arms one per submitting source to shut
+// out peers whose batches keep poisoning the pipeline.
+type Breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
@@ -44,15 +46,17 @@ type breaker struct {
 	openedAt    time.Time
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown}
+// NewBreaker builds a closed breaker that opens after threshold
+// consecutive failures and half-opens once cooldown elapses.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
 }
 
-// allow reports whether a probe may proceed at time now. In the open
+// Allow reports whether an operation may proceed at time now. In the open
 // state, the first call after the cooldown transitions to half-open and
 // claims the single trial slot; concurrent callers keep fast-failing
 // until that trial settles.
-func (b *breaker) allow(now time.Time) bool {
+func (b *Breaker) Allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -69,17 +73,17 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
-// success closes the breaker and clears the failure streak.
-func (b *breaker) success() {
+// Success closes the breaker and clears the failure streak.
+func (b *Breaker) Success() {
 	b.mu.Lock()
 	b.state = BreakerClosed
 	b.consecutive = 0
 	b.mu.Unlock()
 }
 
-// failure records a transient failure at time now and reports whether the
+// Failure records a failure at time now and reports whether the
 // breaker opened on this call.
-func (b *breaker) failure(now time.Time) (opened bool) {
+func (b *Breaker) Failure(now time.Time) (opened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -100,8 +104,8 @@ func (b *breaker) failure(now time.Time) (opened bool) {
 	return false
 }
 
-// currentState exposes the state for tests and summaries.
-func (b *breaker) currentState() BreakerState {
+// State exposes the state for tests and summaries.
+func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state

@@ -7,74 +7,74 @@ import (
 
 func TestBreakerStateMachine(t *testing.T) {
 	start := time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC)
-	b := newBreaker(3, 10*time.Second)
+	b := NewBreaker(3, 10*time.Second)
 
-	if got := b.currentState(); got != BreakerClosed {
+	if got := b.State(); got != BreakerClosed {
 		t.Fatalf("initial state %v, want closed", got)
 	}
 	// Two failures stay closed; the third opens.
 	for i := 0; i < 2; i++ {
-		if b.failure(start) {
+		if b.Failure(start) {
 			t.Fatalf("failure %d opened breaker early", i+1)
 		}
-		if !b.allow(start) {
+		if !b.Allow(start) {
 			t.Fatalf("closed breaker rejected probe after %d failures", i+1)
 		}
 	}
-	if !b.failure(start) {
+	if !b.Failure(start) {
 		t.Fatal("threshold failure did not open breaker")
 	}
-	if got := b.currentState(); got != BreakerOpen {
+	if got := b.State(); got != BreakerOpen {
 		t.Fatalf("state %v after threshold, want open", got)
 	}
 
 	// Open: fast-fail until the cooldown elapses.
-	if b.allow(start.Add(5 * time.Second)) {
+	if b.Allow(start.Add(5 * time.Second)) {
 		t.Fatal("open breaker allowed probe before cooldown")
 	}
 	// After the cooldown: exactly one half-open trial.
 	trialTime := start.Add(10 * time.Second)
-	if !b.allow(trialTime) {
+	if !b.Allow(trialTime) {
 		t.Fatal("breaker did not half-open after cooldown")
 	}
-	if got := b.currentState(); got != BreakerHalfOpen {
+	if got := b.State(); got != BreakerHalfOpen {
 		t.Fatalf("state %v after cooldown, want half-open", got)
 	}
-	if b.allow(trialTime) {
+	if b.Allow(trialTime) {
 		t.Fatal("half-open breaker allowed a second concurrent trial")
 	}
 
 	// Failed trial: straight back to open, new cooldown window.
-	if !b.failure(trialTime) {
+	if !b.Failure(trialTime) {
 		t.Fatal("half-open failure did not reopen breaker")
 	}
-	if b.allow(trialTime.Add(5 * time.Second)) {
+	if b.Allow(trialTime.Add(5 * time.Second)) {
 		t.Fatal("reopened breaker allowed probe before new cooldown")
 	}
 
 	// Successful trial closes and clears the streak.
-	if !b.allow(trialTime.Add(10 * time.Second)) {
+	if !b.Allow(trialTime.Add(10 * time.Second)) {
 		t.Fatal("breaker did not half-open after second cooldown")
 	}
-	b.success()
-	if got := b.currentState(); got != BreakerClosed {
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
 		t.Fatalf("state %v after successful trial, want closed", got)
 	}
 	// The streak restarted: two failures must not reopen.
-	if b.failure(trialTime) || b.failure(trialTime) {
+	if b.Failure(trialTime) || b.Failure(trialTime) {
 		t.Fatal("streak not cleared by success")
 	}
 }
 
 func TestBreakerSuccessResetsStreak(t *testing.T) {
 	now := time.Date(2022, 4, 15, 0, 0, 0, 0, time.UTC)
-	b := newBreaker(2, time.Second)
-	b.failure(now)
-	b.success()
-	if b.failure(now) {
+	b := NewBreaker(2, time.Second)
+	b.Failure(now)
+	b.Success()
+	if b.Failure(now) {
 		t.Fatal("breaker opened after success + single failure")
 	}
-	if !b.failure(now) {
+	if !b.Failure(now) {
 		t.Fatal("breaker did not open at threshold after reset")
 	}
 }

@@ -18,6 +18,11 @@ type Clock interface {
 	Sleep(ctx context.Context, d time.Duration) error
 }
 
+// RealClock returns the production wall clock, for callers outside the
+// engine (the ingest service's watchdog and snapshot-age tracking) that
+// default to real time but want tests to inject a FakeClock.
+func RealClock() Clock { return realClock{} }
+
 // realClock is the production clock.
 type realClock struct{}
 

@@ -190,7 +190,7 @@ type Engine struct {
 	inst   instruments
 
 	mu       sync.Mutex
-	breakers map[string]*breaker
+	breakers map[string]*Breaker
 	budgets  map[string]int
 	stats    Stats
 }
@@ -201,7 +201,7 @@ func New(p Prober, opts Options) *Engine {
 		prober:   p,
 		opts:     opts.withDefaults(),
 		inst:     newInstruments(opts.Metrics),
-		breakers: map[string]*breaker{},
+		breakers: map[string]*Breaker{},
 		budgets:  map[string]int{},
 	}
 }
@@ -268,7 +268,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 
 		var chain pki.Chain
 		var err error
-		if !br.allow(e.opts.Clock.Now()) {
+		if !br.Allow(e.opts.Clock.Now()) {
 			err = fmt.Errorf("%w: %s", ErrCircuitOpen, sni)
 			e.bump(func(s *Stats) { s.BreakerFastFails++ })
 			e.inst.fastFails.Inc()
@@ -293,7 +293,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 
 		switch class {
 		case ClassNone:
-			br.success()
+			br.Success()
 			res.Chain, res.Class = chain, ClassNone
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) {
@@ -326,7 +326,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		// whether a retry is allowed.
 		fastFail := errors.Is(err, ErrCircuitOpen)
 		if !fastFail {
-			if br.failure(e.opts.Clock.Now()) {
+			if br.Failure(e.opts.Clock.Now()) {
 				e.bump(func(s *Stats) { s.BreakerOpens++ })
 				e.inst.opens.Inc()
 			}
@@ -371,16 +371,16 @@ func (e *Engine) backoff(sni string, vantage simnet.Vantage, attempt int) time.D
 			ceil = c
 		}
 	}
-	frac := hashFrac(e.opts.Seed, "backoff", sni, string(vantage), attempt)
+	frac := HashFrac(e.opts.Seed, "backoff", sni, string(vantage), attempt)
 	return time.Duration(frac * float64(ceil))
 }
 
-func (e *Engine) breakerFor(sni string) *breaker {
+func (e *Engine) breakerFor(sni string) *Breaker {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b := e.breakers[sni]
 	if b == nil {
-		b = newBreaker(e.opts.BreakerThreshold, e.opts.BreakerCooldown)
+		b = NewBreaker(e.opts.BreakerThreshold, e.opts.BreakerCooldown)
 		e.breakers[sni] = b
 	}
 	return b
@@ -412,7 +412,7 @@ func (e *Engine) BreakerStateOf(sni string) BreakerState {
 	if b == nil {
 		return BreakerClosed
 	}
-	return b.currentState()
+	return b.State()
 }
 
 // StatsSnapshot returns a copy of the cumulative stats.

@@ -105,15 +105,17 @@ func Classify(err error) Class {
 	return ClassTerminal
 }
 
-// hashFrac derives a deterministic fraction in [0,1) from the seed and the
-// attempt coordinates; it is the engine's only randomness source, so retry
-// traces are reproducible across runs and worker interleavings. The FNV
-// sum is finalized with an avalanche mix: FNV-1a alone barely moves the
-// high bits when only the trailing byte (the attempt number) changes, and
+// HashFrac derives a deterministic fraction in [0,1) from the seed and
+// the event coordinates (kind, two free-form strings, a sequence
+// number); it is the engine's only randomness source, so retry traces
+// are reproducible across runs and worker interleavings. The ingest
+// service reuses it for seeded load-shedding decisions. The FNV sum is
+// finalized with an avalanche mix: FNV-1a alone barely moves the high
+// bits when only the trailing byte (the sequence number) changes, and
 // the high bits are what the fraction is made of.
-func hashFrac(seed int64, kind, sni, vantage string, attempt int) float64 {
+func HashFrac(seed int64, kind, a, b string, n int) float64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%s|%d", seed, kind, sni, vantage, attempt)
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d", seed, kind, a, b, n)
 	return float64(mix64(h.Sum64())>>11) / float64(uint64(1)<<53)
 }
 

@@ -50,11 +50,12 @@ type CaseResult struct {
 
 // Summary aggregates a matrix sweep.
 type Summary struct {
-	Configs     int          `json:"configs"`
-	Runs        int          `json:"runs"`
-	WireRecords int          `json:"wire_records_checked"`
-	Cases       []CaseResult `json:"cases"`
-	Violations  []Violation  `json:"violations"`
+	Configs      int             `json:"configs"`
+	Runs         int             `json:"runs"`
+	WireRecords  int             `json:"wire_records_checked"`
+	Cases        []CaseResult    `json:"cases"`
+	ServiceCells []ServiceResult `json:"service_cells,omitempty"`
+	Violations   []Violation     `json:"violations"`
 }
 
 // OK reports whether every invariant held.
@@ -365,6 +366,30 @@ func RunMatrix(ctx context.Context, m Matrix, opts Options) (*Summary, error) {
 			}
 			fmt.Fprintf(opts.Progress, "[%3d/%d] %-44s devices=%-5d jobs=%-5d %s\n",
 				i+1, len(cases), c.Name(), res.Devices, res.Jobs, status)
+		}
+	}
+
+	// Service-mode cells: conservation, deterministic shedding, and
+	// drained-report equivalence with the batch pipeline.
+	if m.ServiceCells {
+		for _, sc := range ServiceCases() {
+			if err := ctx.Err(); err != nil {
+				return sum, err
+			}
+			res, vs, err := RunServiceCase(ctx, sc)
+			if err != nil {
+				return sum, err
+			}
+			sum.ServiceCells = append(sum.ServiceCells, res)
+			sum.Violations = append(sum.Violations, vs...)
+			if opts.Progress != nil {
+				status := "ok"
+				if len(vs) > 0 {
+					status = fmt.Sprintf("%d violation(s)", len(vs))
+				}
+				fmt.Fprintf(opts.Progress, "[svc] %-44s accepted=%d/%d shed=%d quarantined=%d %s\n",
+					sc.Name(), res.Accepted, res.Submitted, res.Shed, res.Quarantined, status)
+			}
 		}
 	}
 

@@ -131,6 +131,10 @@ type Matrix struct {
 	// ToleranceCase appends the paper-scale run (default seed, Scale 1)
 	// with tolerance-band and golden-snapshot checks.
 	ToleranceCase bool
+	// ServiceCells appends the service-mode cells: the resident daemon's
+	// ingest path checked for conservation, deterministic shedding, and
+	// drained-report equivalence with the batch pipeline.
+	ServiceCells bool
 }
 
 // Short is the CI matrix: 2 seeds × 3 scales × 2 worker pairs ×
@@ -145,6 +149,7 @@ func Short() Matrix {
 		VantageSets:   [][]simnet.Vantage{nil, {simnet.VantageNewYork}},
 		MinSNIUsers:   3,
 		ToleranceCase: true,
+		ServiceCells:  true,
 	}
 }
 

@@ -208,3 +208,34 @@ func TestShortMatrixFull(t *testing.T) {
 		t.Errorf("Configs = %d, want >= 49", sum.Configs)
 	}
 }
+
+// TestServiceCells: every service-mode cell passes its laws —
+// conservation, deterministic shedding, and drained-report equivalence
+// with the batch pipeline.
+func TestServiceCells(t *testing.T) {
+	cells := ServiceCases()
+	if len(cells) < 3 {
+		t.Fatalf("service matrix has %d cells, want >= 3", len(cells))
+	}
+	var sawShed, sawQuarantine bool
+	for _, c := range cells {
+		res, vs, err := RunServiceCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+		if res.Accepted+res.Shed+res.Quarantined != res.Submitted {
+			t.Errorf("%s: result row not conserved: %+v", c.Name(), res)
+		}
+		sawShed = sawShed || res.Shed > 0
+		sawQuarantine = sawQuarantine || res.Quarantined > 0
+	}
+	if !sawShed {
+		t.Error("no cell exercised shedding")
+	}
+	if !sawQuarantine {
+		t.Error("no cell exercised quarantine")
+	}
+}

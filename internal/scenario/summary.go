@@ -17,6 +17,9 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 func (s *Summary) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "scenario matrix: %d configs, %d pipeline runs, %d wire records cross-checked\n",
 		s.Configs, s.Runs, s.WireRecords)
+	if n := len(s.ServiceCells); n > 0 {
+		fmt.Fprintf(w, "service cells: %d (conservation, deterministic shedding, batch equivalence)\n", n)
+	}
 	if s.OK() {
 		fmt.Fprintf(w, "all invariants held\n")
 		return

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func postBatch(t *testing.T, url, source string, recs []dataset.Record) *http.Response {
+	t.Helper()
+	body, err := EncodeBatch(source, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestHTTPLifecycle walks the full surface: accept, observe, shed with
+// Retry-After, drain, readiness flip.
+func TestHTTPLifecycle(t *testing.T) {
+	recs := testRecords(t)
+	s := New(Options{Seed: 21, Workers: 2, QueueDepth: 4, ShedWatermark: 1.0, SourceBudget: 2})
+	srv := httptest.NewServer(Handler(s, HTTPOptions{}))
+	defer srv.Close()
+
+	if code, body := getBody(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := getBody(t, srv.URL+"/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+
+	resp := postBatch(t, srv.URL, "alpha", recs[:20])
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("accept POST = %d", resp.StatusCode)
+	}
+	waitFor(t, "merge", func() bool { return s.Stats().AcceptedBatches == 1 })
+
+	if code, body := getBody(t, srv.URL+"/report"); code != 200 || !strings.Contains(body, "Service Snapshot — epoch 1") {
+		t.Fatalf("/report = %d %.80q", code, body)
+	}
+	if code, body := getBody(t, srv.URL+"/statz"); code != 200 || !strings.Contains(body, `"accepted_batches": 1`) {
+		t.Fatalf("/statz = %d %q", code, body)
+	}
+
+	// Exhaust one source's budget: the third in-flight batch sheds 429.
+	s.PauseWorkers()
+	postBatch(t, srv.URL, "beta", recs[:5])
+	postBatch(t, srv.URL, "beta", recs[5:10])
+	resp = postBatch(t, srv.URL, "beta", recs[10:15])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget POST = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var shed struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	if shed.Status != OutcomeShedSource.String() {
+		t.Fatalf("shed status %q, want %q", shed.Status, OutcomeShedSource)
+	}
+	s.ResumeWorkers()
+
+	// Malformed submissions are 400, not sheds.
+	for _, body := range []string{"{", `{"source":"","records":[{}]}`, `{"source":"x","records":[]}`} {
+		resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad body %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	drain(t, s)
+	if code, body := getBody(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz = %d %q", code, body)
+	}
+	if code, body := getBody(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /healthz = %d %q", code, body)
+	}
+	resp = postBatch(t, srv.URL, "late", recs[:5])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-drain POST = %d, want 429", resp.StatusCode)
+	}
+	if !s.Stats().Conserved() {
+		t.Fatalf("conservation violated: %+v", s.Stats())
+	}
+}
+
+// TestHTTPQuarantineLog: a poisoned batch shows up on /quarantinez.
+func TestHTTPQuarantineLog(t *testing.T) {
+	recs := testRecords(t)
+	s := New(Options{Seed: 23, Workers: 1, QueueDepth: 8})
+	srv := httptest.NewServer(Handler(s, HTTPOptions{}))
+	defer srv.Close()
+
+	resp := postBatch(t, srv.URL, "sick", []dataset.Record{poisoned(recs[0])})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("poison POST = %d (admission cannot see poison)", resp.StatusCode)
+	}
+	waitFor(t, "quarantine", func() bool { return s.Stats().QuarantinedBatches == 1 })
+	code, body := getBody(t, srv.URL+"/quarantinez")
+	if code != 200 || !strings.Contains(body, `"sick"`) {
+		t.Fatalf("/quarantinez = %d %q", code, body)
+	}
+	drain(t, s)
+}
+
+// TestLoadgenAgainstService: the seeded open-loop generator drives the
+// in-process submit path; the report's outcome totals must reconcile
+// with the service's own conservation counters. The queue is kept wide
+// open so no batch sheds — every poisoned batch must then show up as a
+// quarantine, exactly. (Deterministic overload shedding is covered by
+// TestOverloadShedDeterministicAndConserved.)
+func TestLoadgenAgainstService(t *testing.T) {
+	s := New(Options{Seed: 31, Workers: 2, QueueDepth: 256, SourceBudget: 256, BreakerThreshold: 1000})
+	rep, err := RunLoad(t.Context(), func(source string, recs []dataset.Record) (Outcome, error) {
+		return s.Submit(source, recs), nil
+	}, LoadOptions{Seed: 31, Batches: 60, BatchSize: 20, PoisonFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+	st := s.Stats()
+	if !st.Conserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if int64(rep.SubmittedBatches) != st.SubmittedBatches {
+		t.Fatalf("loadgen submitted %d, service saw %d", rep.SubmittedBatches, st.SubmittedBatches)
+	}
+	if rep.Outcomes["accepted"] != st.AcceptedBatches+st.QuarantinedBatches {
+		t.Fatalf("admitted mismatch: loadgen %d, service %d+%d",
+			rep.Outcomes["accepted"], st.AcceptedBatches, st.QuarantinedBatches)
+	}
+	if rep.PoisonedBatches == 0 {
+		t.Fatal("poison knob inert: seeded run poisoned nothing")
+	}
+	if st.QuarantinedBatches != int64(rep.PoisonedBatches) {
+		t.Fatalf("quarantined %d batches, poisoned %d — with no shedding these must match",
+			st.QuarantinedBatches, rep.PoisonedBatches)
+	}
+	if st.ShedBatches != 0 {
+		t.Fatalf("unloaded run shed %d batches", st.ShedBatches)
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/probe"
+)
+
+// LoadOptions parameterizes the seeded open-loop traffic generator. It
+// is open-loop by construction: batches are offered on a fixed cadence
+// regardless of outcomes, so an overloaded daemon faces sustained
+// arrival pressure instead of a politely backing-off client.
+type LoadOptions struct {
+	// Seed drives record selection and poisoning; the same seed replays
+	// the same traffic.
+	Seed int64
+	// Scale sizes the synthetic population the records are drawn from.
+	Scale float64
+	// BatchSize is records per batch (default 25).
+	BatchSize int
+	// Batches is the total number of submissions (default 200).
+	Batches int
+	// Sources is how many distinct source identities submit (default 4);
+	// batches round-robin across them.
+	Sources int
+	// Interval is the open-loop submission cadence (default none: offer
+	// as fast as the submit function returns).
+	Interval time.Duration
+	// PoisonFrac corrupts that fraction of batches (seeded) so their
+	// wire bytes fail to parse — the quarantine-path chaos knob.
+	PoisonFrac float64
+	// Clock paces the loop; nil means the wall clock.
+	Clock probe.Clock
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 25
+	}
+	if o.Batches <= 0 {
+		o.Batches = 200
+	}
+	if o.Sources <= 0 {
+		o.Sources = 4
+	}
+	if o.Clock == nil {
+		o.Clock = probe.RealClock()
+	}
+	return o
+}
+
+// SubmitFunc offers one batch and reports the admission outcome — the
+// in-process form is Service.Submit, the soak form POSTs /v1/batch.
+type SubmitFunc func(source string, records []dataset.Record) (Outcome, error)
+
+// LoadReport summarizes one generator run for EXPERIMENTS.md and the CI
+// soak artifact.
+type LoadReport struct {
+	SubmittedBatches int              `json:"submitted_batches"`
+	SubmittedRecords int              `json:"submitted_records"`
+	PoisonedBatches  int              `json:"poisoned_batches"`
+	Outcomes         map[string]int64 `json:"outcomes"`
+	Errors           int              `json:"errors"`
+	// SubmitP50/P99 are client-side submit call latencies in seconds.
+	SubmitP50 float64 `json:"submit_p50_seconds"`
+	SubmitP99 float64 `json:"submit_p99_seconds"`
+	// ShedRate is shed submissions / total submissions.
+	ShedRate float64 `json:"shed_rate"`
+	// DurationSeconds is the generator's wall time by its clock.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Service is the daemon's own view at the end of the run, when the
+	// caller attached it (conservation counters, ingest latency).
+	Service *Stats `json:"service,omitempty"`
+}
+
+// RunLoad drives submissions against submit until Batches are offered
+// or ctx is cancelled. Record selection, batch slicing, and poisoning
+// are all seeded; only outcome counts depend on the daemon's state.
+func RunLoad(ctx context.Context, submit SubmitFunc, o LoadOptions) (LoadReport, error) {
+	o = o.withDefaults()
+	ds := dataset.Generate(dataset.Config{Seed: o.Seed, Scale: o.Scale})
+	if len(ds.Records) == 0 {
+		return LoadReport{}, fmt.Errorf("service: loadgen: empty dataset at scale %v", o.Scale)
+	}
+	rep := LoadReport{Outcomes: map[string]int64{}}
+	start := o.Clock.Now()
+	var lats []float64
+	for i := 0; i < o.Batches; i++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		source := fmt.Sprintf("source-%02d", i%o.Sources)
+		// Slice a seeded window of the record stream, wrapping around.
+		lo := int(probe.HashFrac(o.Seed, "loadgen-window", source, "", i) * float64(len(ds.Records)))
+		batch := make([]dataset.Record, o.BatchSize)
+		for j := range batch {
+			batch[j] = ds.Records[(lo+j)%len(ds.Records)]
+		}
+		if o.PoisonFrac > 0 && probe.HashFrac(o.Seed, "loadgen-poison", source, "", i) < o.PoisonFrac {
+			r := batch[0]
+			r.Raw = []byte{0xff} // unparseable: poisons the whole batch
+			batch[0] = r
+			rep.PoisonedBatches++
+		}
+		t0 := o.Clock.Now()
+		outcome, err := submit(source, batch)
+		lats = append(lats, o.Clock.Now().Sub(t0).Seconds())
+		rep.SubmittedBatches++
+		rep.SubmittedRecords += len(batch)
+		if err != nil {
+			rep.Errors++
+			rep.Outcomes["error"]++
+		} else {
+			rep.Outcomes[outcome.String()]++
+			if !outcome.Accepted() {
+				rep.Outcomes["shed-total"]++
+			}
+		}
+		if o.Interval > 0 && i < o.Batches-1 {
+			if err := o.Clock.Sleep(ctx, o.Interval); err != nil {
+				break
+			}
+		}
+	}
+	rep.DurationSeconds = o.Clock.Now().Sub(start).Seconds()
+	if rep.SubmittedBatches > 0 {
+		rep.ShedRate = float64(rep.Outcomes["shed-total"]+rep.Outcomes["error"]) / float64(rep.SubmittedBatches)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		q := func(f float64) float64 { return lats[int(f*float64(len(lats)-1))] }
+		rep.SubmitP50, rep.SubmitP99 = q(0.50), q(0.99)
+	}
+	return rep, nil
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// Snapshot is one immutable epoch of the merged analysis state. Workers
+// publish a fresh snapshot (a deep clone of the live client) after
+// every merge through an atomic pointer, so any number of readers — the
+// /report endpoint, metrics scrapers, the drain path — see a fully
+// consistent epoch without taking a lock or blocking ingestion.
+type Snapshot struct {
+	// Epoch counts published snapshots; it only moves forward.
+	Epoch int64
+	// Batches and Records are the accepted totals folded in so far.
+	Batches int64
+	Records int64
+	// At is the publication time (the injected clock's view).
+	At time.Time
+	// Client is the cloned client-side analysis state at this epoch.
+	Client *analysis.Client
+}
+
+// Snapshot returns the current epoch. Never nil: epoch 0 with an empty
+// client precedes the first merge.
+func (s *Service) Snapshot() *Snapshot {
+	return s.snap.Load()
+}
+
+// WriteReport renders the snapshot's client-side analysis (the Section
+// 4 + Appendix B tables) with a service header. Server-side tables need
+// the probe world and exist only in the drained FinalReport.
+func (sn *Snapshot) WriteReport(w io.Writer, matcher *fingerprint.Matcher, workers int) {
+	fmt.Fprintf(w, "IoT TLS Service Snapshot — epoch %d, %d batches, %d records, %d fingerprints\n\n",
+		sn.Epoch, sn.Batches, sn.Records, sn.Client.NumFingerprints())
+	st := core.Study{Config: core.Config{Workers: workers}, Client: sn.Client, Matcher: matcher}
+	for _, t := range st.ClientTables() {
+		t.WriteText(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteSnapshotReport renders the current epoch with the service's
+// shared library matcher.
+func (s *Service) WriteSnapshotReport(w io.Writer) {
+	s.Snapshot().WriteReport(w, s.matcher, s.opts.Workers)
+}

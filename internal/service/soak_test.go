@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSnapshotReadersDuringIngest is the race soak: sustained
+// concurrent submissions from several sources while reader goroutines
+// continuously load snapshots, render reports, and poll readiness and
+// stats. Under -race this proves the epoch-snapshot publication is
+// data-race free; afterwards the drained state must be conserved and
+// the final snapshot must account for every accepted record.
+func TestConcurrentSnapshotReadersDuringIngest(t *testing.T) {
+	recs := testRecords(t)
+	s := New(Options{Seed: 13, Workers: 4, QueueDepth: 256, SourceBudget: 256})
+
+	const writers = 4
+	const batchesPerWriter = 30
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: hammer the lock-free read surface.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if snap.Client.NumFingerprints() < 0 {
+					t.Error("impossible fingerprint count")
+					return
+				}
+				_ = snap.Client.Table2()
+				s.Ready()
+				s.Stats()
+				if n%50 == 0 {
+					s.WriteSnapshotReport(io.Discard)
+				}
+			}
+		}(i)
+	}
+
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < batchesPerWriter; i++ {
+				lo := ((w*batchesPerWriter + i) * 7) % (len(recs) - 10)
+				s.Submit(fmt.Sprintf("writer-%d", w), recs[lo:lo+10])
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	drain(t, s)
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if !st.Conserved() {
+		t.Fatalf("conservation violated after soak: %+v", st)
+	}
+	if st.SubmittedBatches != writers*batchesPerWriter {
+		t.Fatalf("submitted %d, want %d", st.SubmittedBatches, writers*batchesPerWriter)
+	}
+	snap := s.Snapshot()
+	if snap.Records != st.AcceptedRecords {
+		t.Fatalf("final snapshot has %d records, stats accepted %d", snap.Records, st.AcceptedRecords)
+	}
+	if snap.Epoch != st.AcceptedBatches {
+		t.Fatalf("final epoch %d, accepted batches %d", snap.Epoch, st.AcceptedBatches)
+	}
+}
+
+// TestDrainMidLoadWithinDeadline: a drain initiated while submitters
+// are still firing (the SIGTERM scenario) finishes inside its deadline,
+// sheds the late arrivals as draining, and conserves every batch.
+func TestDrainMidLoadWithinDeadline(t *testing.T) {
+	recs := testRecords(t)
+	s := New(Options{
+		Seed: 17, Workers: 2, QueueDepth: 64, SourceBudget: 64,
+		ChaosSlow: time.Millisecond, // keep the queue non-trivially full at drain time
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := ((w*1000 + i) * 3) % (len(recs) - 5)
+				s.Submit(fmt.Sprintf("load-%d", w), recs[lo:lo+5])
+			}
+		}(w)
+	}
+
+	waitFor(t, "sustained load", func() bool { return s.Stats().SubmittedBatches > 20 })
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.AwaitDrain(ctx); err != nil {
+		t.Fatalf("drain missed its deadline: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if !st.Conserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("drained queue still holds %d batches", st.QueueDepth)
+	}
+	if ok, reason := s.Ready(); ok || reason != "draining" {
+		t.Fatalf("drained service readiness: ok=%v reason=%q", ok, reason)
+	}
+}
