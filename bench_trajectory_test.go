@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -269,7 +271,7 @@ func TestBenchTrajectory(t *testing.T) {
 	rep6 := rep
 	rep6.SeedBaselineRef = "PR2/PR5 trajectories in the same artifact; service points are " +
 		"new in PR6 and have no earlier baseline"
-	deltaRecs := ds.Records[:100]
+	deltaRecs := ds.Records.Rows()[:100]
 	sharedDelta, err := analysis.NewDelta(deltaRecs)
 	if err != nil {
 		t.Fatal(err)
@@ -310,6 +312,150 @@ func TestBenchTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s: %d micro points, %d end-to-end points", out6, len(rep6.Micro), len(rep6.EndToEnd))
+
+	// BENCH_PR7.json extends the trajectory with the scale sweep behind
+	// the interned columnar layout: wall time, allocations, and peak RSS
+	// for generation + ingestion + the full pipeline at scales 1, 10, and
+	// 100 (scale 1000 behind BENCH_SCALE_1000=1), plus the allocation
+	// reduction of the generate and ingest hot loops against the PR2
+	// baselines recorded in BENCH_PR2.json.
+	rep7 := benchReport7{benchReport: rep}
+	rep7.SeedBaselineRef = "PR2 trajectory (BENCH_PR2.json) in the same artifact: " +
+		"dataset.Generate ~340,886 allocs/op and NewClientWorkers/1 ~37,608 allocs/op at scale 1"
+	scales := []float64{1, 10, 100}
+	if os.Getenv("BENCH_SCALE_1000") == "1" {
+		scales = append(scales, 1000)
+	}
+	for _, sc := range scales {
+		p := sweepPoint(sc, maxW)
+		rep7.ScaleSweep = append(rep7.ScaleSweep, p)
+		t.Logf("scale %g: %d records, generate %.0fms/%d allocs, ingest %.0fms/%d allocs, core.Run %.0fms, peak RSS %dKB",
+			p.Scale, p.Records, p.GenerateWallMs, p.GenerateAllocs, p.IngestWallMs, p.IngestAllocs, p.RunWallMs, p.PeakRSSKB)
+	}
+	if base, err := readBaseline("BENCH_PR2.json"); err == nil {
+		rep7.GenerateAllocReductionVsPR2 = allocRatio(base, rep.Micro, "dataset.Generate")
+		rep7.IngestAllocReductionVsPR2 = allocRatio(base, rep.Micro, "analysis.NewClientWorkers/1")
+	} else {
+		t.Logf("no PR2 baseline available (%v); reduction ratios omitted", err)
+	}
+	data7, err := json.MarshalIndent(rep7, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data7 = append(data7, '\n')
+	out7 := filepath.Join(filepath.Dir(out), "BENCH_PR7.json")
+	if err := os.WriteFile(out7, data7, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d scale-sweep points, generate alloc reduction %.1fx, ingest %.1fx",
+		out7, len(rep7.ScaleSweep), rep7.GenerateAllocReductionVsPR2, rep7.IngestAllocReductionVsPR2)
+}
+
+// scalePoint is one scale-sweep measurement: single-shot wall and alloc
+// counts for the two hot loops plus the whole pipeline, and the process
+// peak RSS after the run (VmHWM — monotone across the sweep, so points
+// are taken in ascending scale order).
+type scalePoint struct {
+	Scale          float64 `json:"scale"`
+	Records        int     `json:"records"`
+	Workers        int     `json:"workers"`
+	GenerateWallMs float64 `json:"generate_wall_ms"`
+	GenerateAllocs uint64  `json:"generate_allocs"`
+	IngestWallMs   float64 `json:"ingest_wall_ms"`
+	IngestAllocs   uint64  `json:"ingest_allocs"`
+	RunWallMs      float64 `json:"core_run_wall_ms"`
+	PeakRSSKB      int64   `json:"peak_rss_kb"`
+}
+
+// benchReport7 is the BENCH_PR7.json schema: the PR2 trajectory plus the
+// scale sweep and the hot-loop allocation-reduction ratios.
+type benchReport7 struct {
+	benchReport
+	ScaleSweep                  []scalePoint `json:"scale_sweep"`
+	GenerateAllocReductionVsPR2 float64      `json:"generate_alloc_reduction_vs_pr2"`
+	IngestAllocReductionVsPR2   float64      `json:"ingest_alloc_reduction_vs_pr2"`
+}
+
+// sweepPoint measures one scale: generation and ingestion timed and
+// alloc-counted individually (single shot — scale 100 is too big for
+// testing.Benchmark iteration), then the full pipeline once.
+func sweepPoint(scale float64, workers int) scalePoint {
+	runtime.GC()
+	var m0, m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	ds := dataset.Generate(dataset.Config{Seed: 20231024, Scale: scale})
+	genWall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	start = time.Now()
+	if _, err := analysis.NewClientWorkers(ds, workers); err != nil {
+		panic(err)
+	}
+	ingestWall := time.Since(start)
+	runtime.ReadMemStats(&m2)
+	start = time.Now()
+	if _, err := core.Run(context.Background(), core.Config{Seed: 20231024, Scale: scale, MinSNIUsers: 3, Workers: workers}); err != nil {
+		panic(err)
+	}
+	runWall := time.Since(start)
+	return scalePoint{
+		Scale:          scale,
+		Records:        ds.Records.Len(),
+		Workers:        workers,
+		GenerateWallMs: float64(genWall.Microseconds()) / 1000,
+		GenerateAllocs: m1.Mallocs - m0.Mallocs,
+		IngestWallMs:   float64(ingestWall.Microseconds()) / 1000,
+		IngestAllocs:   m2.Mallocs - m1.Mallocs,
+		RunWallMs:      float64(runWall.Microseconds()) / 1000,
+		PeakRSSKB:      peakRSSKB(),
+	}
+}
+
+// peakRSSKB reads the process high-water-mark resident set from
+// /proc/self/status (0 where unavailable, e.g. non-Linux).
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				n, _ := strconv.ParseInt(fields[0], 10, 64)
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// readBaseline loads a committed trajectory file for ratio computation.
+func readBaseline(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// allocRatio returns baseline-allocs / current-allocs for the named
+// micro point (0 when either side is missing or zero).
+func allocRatio(base benchReport, now []benchPoint, name string) float64 {
+	find := func(pts []benchPoint) int64 {
+		for _, p := range pts {
+			if p.Name == name {
+				return p.AllocsPerOp
+			}
+		}
+		return 0
+	}
+	b, n := find(base.Micro), find(now)
+	if b == 0 || n == 0 {
+		return 0
+	}
+	return float64(b) / float64(n)
 }
 
 // serviceWall times the daemon core end to end: 200 batches of 25
@@ -318,6 +464,7 @@ func TestBenchTrajectory(t *testing.T) {
 // throughput, not admission control.
 func serviceWall(name string, ds *dataset.Dataset, workers, runs int) e2ePoint {
 	const batches, batchSize, sources = 200, 25, 4
+	rows := ds.Records.Rows()
 	best := time.Duration(0)
 	for i := 0; i < runs; i++ {
 		svc := service.New(service.Options{
@@ -327,8 +474,8 @@ func serviceWall(name string, ds *dataset.Dataset, workers, runs int) e2ePoint {
 		})
 		start := time.Now()
 		for j := 0; j < batches; j++ {
-			lo := (j * batchSize) % (len(ds.Records) - batchSize)
-			out := svc.Submit(fmt.Sprintf("bench-%d", j%sources), ds.Records[lo:lo+batchSize])
+			lo := (j * batchSize) % (len(rows) - batchSize)
+			out := svc.Submit(fmt.Sprintf("bench-%d", j%sources), rows[lo:lo+batchSize])
 			if !out.Accepted() {
 				panic(fmt.Sprintf("bench submit %d: %v", j, out))
 			}
@@ -348,9 +495,10 @@ func serviceWall(name string, ds *dataset.Dataset, workers, runs int) e2ePoint {
 // agreeing path rather than an early rejection.
 func mustOracleRecord(t *testing.T, ds *dataset.Dataset) []byte {
 	t.Helper()
-	for _, r := range ds.Records {
-		if _, ok := tlswire.CryptoTLSView(r.Raw); ok {
-			return r.Raw
+	for i := 0; i < ds.Records.Len(); i++ {
+		raw := ds.Records.Raw(i)
+		if _, ok := tlswire.CryptoTLSView(raw); ok {
+			return raw
 		}
 	}
 	t.Fatal("no dataset record accepted by crypto/tls")

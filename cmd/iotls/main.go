@@ -117,7 +117,7 @@ func main() {
 		case "summary":
 			fmt.Printf("devices=%d users=%d models=%d records=%d fingerprints=%d snis=%d probed=%d\n",
 				len(study.Dataset.Devices), study.Dataset.Users(), study.Dataset.Models(),
-				len(study.Dataset.Records), study.Client.NumFingerprints(),
+				study.Dataset.Records.Len(), study.Client.NumFingerprints(),
 				len(study.Dataset.SNIs()), len(study.SNIs))
 		}
 	case "cases":

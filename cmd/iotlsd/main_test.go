@@ -118,13 +118,13 @@ func TestDaemonSIGTERMDrainsAndExitsZero(t *testing.T) {
 	}
 
 	ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.02})
-	if len(ds.Records) < 50 {
-		t.Fatalf("dataset too small: %d", len(ds.Records))
+	if ds.Records.Len() < 50 {
+		t.Fatalf("dataset too small: %d", ds.Records.Len())
 	}
 	accepted := 0
 	for i := 0; i < 10; i++ {
-		lo := (i * 5) % (len(ds.Records) - 5)
-		body, err := service.EncodeBatch("exec-test", ds.Records[lo:lo+5])
+		lo := (i * 5) % (ds.Records.Len() - 5)
+		body, err := service.EncodeBatch("exec-test", ds.Records.Rows()[lo:lo+5])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -50,7 +50,7 @@ func main() {
 	}
 	var fleet []fpView
 	for _, info := range client.Prints {
-		if info.Vendors[*vendor] {
+		if info.Vendors.Has(*vendor) {
 			fleet = append(fleet, fpView{info, info.Print.Level()})
 		}
 	}
@@ -60,7 +60,7 @@ func main() {
 	for _, f := range fleet {
 		byLevel[f.level]++
 		n := 0
-		for dev := range f.info.Devices {
+		for _, dev := range f.info.Devices {
 			if client.DeviceVendor[dev] == *vendor {
 				n++
 			}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/tlswire"
 )
@@ -27,13 +28,13 @@ type FingerprintInfo struct {
 	// Key is Print.Key().
 	Key string
 	// Devices that exhibited the fingerprint.
-	Devices map[string]bool
+	Devices StringSet
 	// Vendors of those devices.
-	Vendors map[string]bool
+	Vendors StringSet
 	// Types of those devices.
-	Types map[string]bool
+	Types StringSet
 	// SNIs visited with this fingerprint.
-	SNIs map[string]bool
+	SNIs StringSet
 	// Records is the number of ClientHellos carrying it.
 	Records int
 }
@@ -45,16 +46,35 @@ type Client struct {
 	// Prints indexes fingerprints by key.
 	Prints map[string]*FingerprintInfo
 	// DevicePrints maps device -> set of fingerprint keys.
-	DevicePrints map[string]map[string]bool
+	DevicePrints map[string]StringSet
 	// DeviceVendor and DeviceType index device metadata.
 	DeviceVendor map[string]string
 	DeviceType   map[string]string
 	// VersionCounts tallies proposals per TLS version (Table 12).
 	VersionCounts map[tlswire.Version]int
 	// SNIDevices maps each SNI to the devices that visited it.
-	SNIDevices map[string]map[string]bool
+	SNIDevices map[string]StringSet
 	// orderedKeys caches sorted fingerprint keys.
 	orderedKeys []string
+}
+
+func newEmptyClient() *Client {
+	return &Client{
+		Prints:        map[string]*FingerprintInfo{},
+		DevicePrints:  map[string]StringSet{},
+		DeviceVendor:  map[string]string{},
+		DeviceType:    map[string]string{},
+		VersionCounts: map[tlswire.Version]int{},
+		SNIDevices:    map[string]StringSet{},
+	}
+}
+
+func (c *Client) rebuildOrderedKeys() {
+	c.orderedKeys = c.orderedKeys[:0]
+	for k := range c.Prints {
+		c.orderedKeys = append(c.orderedKeys, k)
+	}
+	sort.Strings(c.orderedKeys)
 }
 
 // NewClient parses the dataset's raw ClientHello records and builds the
@@ -63,42 +83,134 @@ func NewClient(ds *dataset.Dataset) (*Client, error) {
 	return NewClientWorkers(ds, 0)
 }
 
-// printCacheKey memoizes parsing per (stack, SNI-presence) pair. Every
-// record of one stack carries the same ciphersuite and extension lists —
-// only the 32-byte random and the SNI value differ — except that the
-// server_name extension appears iff the record has an SNI or the stack
-// always sends one. So two cache slots per stack cover every record, and
-// parsing runs once per distinct stack instead of once per record.
-func printCacheKey(r dataset.Record) string {
-	if r.SNI != "" {
-		return r.StackID + "|s"
-	}
-	return r.StackID + "|"
+// parseKey memoizes parsing per (stack, SNI-presence) pair, in symbol
+// space. Every record of one stack carries the same ciphersuite and
+// extension lists — only the 32-byte random and the SNI value differ —
+// except that the server_name extension appears iff the record has an
+// SNI or the stack always sends one. So two cache slots per stack
+// cover every record, and parsing runs once per distinct stack instead
+// of once per record. The comparable struct replaces the old
+// stackID+"|s" string key, which concatenated per record.
+type parseKey struct {
+	stack  intern.Symbol
+	hasSNI bool
 }
 
-// parsedPrint is one memoized parse result.
-type parsedPrint struct {
-	print fingerprint.Fingerprint
+// parsedRef is one memoized parse result: the run-dense print index
+// plus the version the hot loop tallies, so shards never touch the
+// shared print slice inside the record loop.
+type parsedRef struct {
+	idx     uint32
+	version tlswire.Version
+}
+
+// printMeta is the materialized identity of one distinct fingerprint.
+type printMeta struct {
 	key   string
+	print fingerprint.Fingerprint
 }
 
-// clientShard is one worker's partial aggregation state. Every field
-// merges commutatively (set unions and count additions), so the final
-// Client is identical for any shard count and any merge order.
+// ingestCtx is the run-scoped shared parse state: a two-level memo (L1
+// per shard, lock-free; this L2 under a mutex) guaranteeing the same
+// raw bytes are parsed exactly once per run no matter how many shards
+// see the stack, plus the dense registry of distinct fingerprints
+// deduplicated by their arena-interned form.
+type ingestCtx struct {
+	tab     *intern.Table
+	arena   *intern.Arena
+	mu      sync.Mutex
+	parsed  map[parseKey]parsedRef
+	byPrint map[fingerprint.Interned]uint32
+	prints  []printMeta
+	// parses counts actual wire parses (the ingest_parses_total
+	// counter): at most one per distinct parseKey per run.
+	parses int64
+}
+
+func newIngestCtx(tab *intern.Table) *ingestCtx {
+	return &ingestCtx{
+		tab:     tab,
+		arena:   intern.NewArena(),
+		parsed:  map[parseKey]parsedRef{},
+		byPrint: map[fingerprint.Interned]uint32{},
+	}
+}
+
+// lookupOrParse resolves pk, parsing raw only if no shard has resolved
+// the key yet. Parse errors are returned, never cached.
+func (cx *ingestCtx) lookupOrParse(pk parseKey, raw []byte) (parsedRef, error) {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	if ref, ok := cx.parsed[pk]; ok {
+		return ref, nil
+	}
+	ch, err := tlswire.ParseRecord(raw)
+	if err != nil {
+		return parsedRef{}, err
+	}
+	cx.parses++
+	f := fingerprint.FromClientHelloOwned(ch)
+	in := f.Intern(cx.arena)
+	idx, ok := cx.byPrint[in]
+	if !ok {
+		idx = uint32(len(cx.prints))
+		cx.prints = append(cx.prints, printMeta{key: f.Key(), print: f})
+		cx.byPrint[in] = idx
+	}
+	ref := parsedRef{idx: idx, version: f.Version}
+	cx.parsed[pk] = ref
+	return ref, nil
+}
+
+// edge is one (print, identity-symbol) observation.
+type edge struct {
+	p   uint32
+	sym intern.Symbol
+}
+
+// sniEdge is one (SNI, device) observation.
+type sniEdge struct {
+	sni, dev intern.Symbol
+}
+
+// clientShard is one worker's partial aggregation state, kept entirely
+// in symbol space: flat edge sets keyed by packed comparable structs
+// instead of nested map-of-map string sets. Every field merges
+// commutatively (set unions and count additions), so the final Client
+// is identical for any shard count and any merge order; finalize
+// converts the merged symbol-space state to the exported string form
+// exactly once.
 type clientShard struct {
-	prints        map[string]*FingerprintInfo
-	devicePrints  map[string]map[string]bool
-	sniDevices    map[string]map[string]bool
+	ctx           *ingestCtx
+	memo          map[parseKey]parsedRef
+	printRecords  map[uint32]int
+	printDevices  map[edge]struct{}
+	printVendors  map[edge]struct{}
+	printTypes    map[edge]struct{}
+	printSNIs     map[edge]struct{}
+	sniDevices    map[sniEdge]struct{}
 	versionCounts map[tlswire.Version]int
 	errIdx        int
 	err           error
-	// memoHits / memoMisses tally the parse-memo effectiveness; records
-	// is the shard's input size. Plain ints: each shard owns its own
-	// counters and the merge publishes totals once, so the hot loop pays
-	// no atomics even when instrumentation is on.
+	// memoHits / memoMisses tally the L1 parse-memo effectiveness;
+	// records is the shard's input size. Plain ints: each shard owns
+	// its own counters and the merge publishes totals once, so the hot
+	// loop pays no atomics even when instrumentation is on.
 	memoHits   int64
 	memoMisses int64
 	records    int64
+}
+
+func (s *clientShard) init(cx *ingestCtx) {
+	s.ctx = cx
+	s.memo = map[parseKey]parsedRef{}
+	s.printRecords = map[uint32]int{}
+	s.printDevices = map[edge]struct{}{}
+	s.printVendors = map[edge]struct{}{}
+	s.printTypes = map[edge]struct{}{}
+	s.printSNIs = map[edge]struct{}{}
+	s.sniDevices = map[sniEdge]struct{}{}
+	s.versionCounts = map[tlswire.Version]int{}
 }
 
 // NewClientWorkers is NewClient with an explicit worker count (<= 0:
@@ -114,66 +226,61 @@ func NewClientWorkers(ds *dataset.Dataset, workers int) (*Client, error) {
 // ratio of the first to the last). nil m costs nothing.
 func NewClientObserved(ds *dataset.Dataset, workers int, m *obs.Registry) (*Client, error) {
 	sw := obs.NewStopwatch()
+	n := ds.Records.Len()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ds.Records) {
-		workers = len(ds.Records)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	c := &Client{
-		DS:            ds,
-		Prints:        map[string]*FingerprintInfo{},
-		DevicePrints:  map[string]map[string]bool{},
-		DeviceVendor:  map[string]string{},
-		DeviceType:    map[string]string{},
-		VersionCounts: map[tlswire.Version]int{},
-		SNIDevices:    map[string]map[string]bool{},
-	}
+	c := newEmptyClient()
+	c.DS = ds
 	for _, d := range ds.Devices {
 		c.DeviceVendor[d.ID] = d.Vendor
 		c.DeviceType[d.ID] = d.Type
 	}
 
+	cx := newIngestCtx(ds.Records.Table())
 	shards := make([]clientShard, workers)
 	var wg sync.WaitGroup
-	per := (len(ds.Records) + workers - 1) / workers
+	per := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * per
 		hi := lo + per
-		if hi > len(ds.Records) {
-			hi = len(ds.Records)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			continue
 		}
+		shards[w].init(cx)
 		wg.Add(1)
 		go func(shard *clientShard, lo, hi int) {
 			defer wg.Done()
-			shard.ingest(ds.Records[lo:hi], lo)
+			shard.ingest(ds.Records.Slice(lo, hi), lo)
 		}(&shards[w], lo, hi)
 	}
 	wg.Wait()
 
 	// Deterministic merge: the shard with the lowest-index parse error
 	// wins (matching the sequential loop's first-error semantics), and
-	// aggregate state merges by union/addition.
+	// aggregate state merges by union/addition in symbol space before
+	// one finalize pass converts it to string form.
 	for i := range shards {
 		if shards[i].err != nil {
 			return nil, fmt.Errorf("analysis: record %d: %w", shards[i].errIdx, shards[i].err)
 		}
 	}
+	var agg clientShard
+	agg.init(cx)
 	for i := range shards {
-		c.merge(&shards[i])
+		agg.mergeFrom(&shards[i])
 	}
-
-	c.orderedKeys = make([]string, 0, len(c.Prints))
-	for k := range c.Prints {
-		c.orderedKeys = append(c.orderedKeys, k)
-	}
-	sort.Strings(c.orderedKeys)
+	agg.finalize(c)
+	c.rebuildOrderedKeys()
 
 	if m != nil {
 		var hits, misses, records int64
@@ -185,111 +292,171 @@ func NewClientObserved(ds *dataset.Dataset, workers int, m *obs.Registry) (*Clie
 		m.Counter("ingest_records_total").Add(records)
 		m.Counter("ingest_memo_hits_total").Add(hits)
 		m.Counter("ingest_memo_misses_total").Add(misses)
+		m.Counter("ingest_parses_total").Add(cx.parses)
 		m.Counter("ingest_fingerprints_total").Add(int64(len(c.Prints)))
 		m.Histogram("ingest_seconds", obs.DurationBuckets).Observe(sw.Seconds())
 	}
 	return c, nil
 }
 
-// ingest aggregates one contiguous record shard. base is the index of
-// records[0] in the full dataset, for error reporting.
-func (s *clientShard) ingest(records []dataset.Record, base int) {
-	s.prints = map[string]*FingerprintInfo{}
-	s.devicePrints = map[string]map[string]bool{}
-	s.sniDevices = map[string]map[string]bool{}
-	s.versionCounts = map[tlswire.Version]int{}
-	parsed := map[string]parsedPrint{}
-	s.records = int64(len(records))
-	for i, r := range records {
-		ck := printCacheKey(r)
-		p, ok := parsed[ck]
+// ingest aggregates one contiguous record view. base is the index of
+// the view's first record in the full dataset, for error reporting.
+// The loop reads columns directly — symbols and raw spans — and its
+// only per-record writes are integer-keyed map inserts, so the hot
+// path allocates nothing beyond amortized map growth.
+func (s *clientShard) ingest(recs dataset.Records, base int) {
+	n := recs.Len()
+	s.records = int64(n)
+	for i := 0; i < n; i++ {
+		sniSym := recs.SNISym(i)
+		pk := parseKey{stack: recs.StackSym(i), hasSNI: sniSym != 0}
+		ref, ok := s.memo[pk]
 		if ok {
 			s.memoHits++
 		} else {
 			s.memoMisses++
-		}
-		if !ok {
-			ch, err := r.Hello()
+			var err error
+			ref, err = s.ctx.lookupOrParse(pk, recs.Raw(i))
 			if err != nil {
 				s.err = err
 				s.errIdx = base + i
 				return
 			}
-			f := fingerprint.FromClientHello(ch)
-			p = parsedPrint{print: f, key: f.Key()}
-			parsed[ck] = p
+			s.memo[pk] = ref
 		}
-		info := s.prints[p.key]
-		if info == nil {
-			info = &FingerprintInfo{
-				Print:   p.print,
-				Key:     p.key,
-				Devices: map[string]bool{},
-				Vendors: map[string]bool{},
-				Types:   map[string]bool{},
-				SNIs:    map[string]bool{},
-			}
-			s.prints[p.key] = info
+		devSym := recs.DeviceSym(i)
+		s.printRecords[ref.idx]++
+		s.printDevices[edge{ref.idx, devSym}] = struct{}{}
+		s.printVendors[edge{ref.idx, recs.VendorSym(i)}] = struct{}{}
+		s.printTypes[edge{ref.idx, recs.TypeSym(i)}] = struct{}{}
+		if sniSym != 0 {
+			s.printSNIs[edge{ref.idx, sniSym}] = struct{}{}
+			s.sniDevices[sniEdge{sniSym, devSym}] = struct{}{}
 		}
-		info.Devices[r.DeviceID] = true
-		info.Vendors[r.Vendor] = true
-		info.Types[r.Type] = true
-		if r.SNI != "" {
-			info.SNIs[r.SNI] = true
-			if s.sniDevices[r.SNI] == nil {
-				s.sniDevices[r.SNI] = map[string]bool{}
-			}
-			s.sniDevices[r.SNI][r.DeviceID] = true
-		}
-		info.Records++
-		if s.devicePrints[r.DeviceID] == nil {
-			s.devicePrints[r.DeviceID] = map[string]bool{}
-		}
-		s.devicePrints[r.DeviceID][p.key] = true
-		s.versionCounts[p.print.Version]++
+		s.versionCounts[ref.version]++
 	}
 }
 
-// merge folds one shard into the client. All operations are commutative
-// and associative, so any merge order yields the same final state.
-func (c *Client) merge(s *clientShard) {
-	for key, part := range s.prints {
-		info := c.Prints[key]
+// mergeFrom folds another shard's symbol-space aggregate into s. Both
+// shards must share one ingestCtx (print indices and symbols resolve
+// against the same registries). All operations are commutative and
+// associative, so any merge order yields the same final state.
+func (s *clientShard) mergeFrom(o *clientShard) {
+	for idx, n := range o.printRecords {
+		s.printRecords[idx] += n
+	}
+	for e := range o.printDevices {
+		s.printDevices[e] = struct{}{}
+	}
+	for e := range o.printVendors {
+		s.printVendors[e] = struct{}{}
+	}
+	for e := range o.printTypes {
+		s.printTypes[e] = struct{}{}
+	}
+	for e := range o.printSNIs {
+		s.printSNIs[e] = struct{}{}
+	}
+	for e := range o.sniDevices {
+		s.sniDevices[e] = struct{}{}
+	}
+	for v, n := range o.versionCounts {
+		s.versionCounts[v] += n
+	}
+}
+
+// finalize converts the merged symbol-space aggregate into the
+// exported string-keyed Client state: edges become sorted StringSets,
+// symbols resolve through the intern table (no new string is
+// allocated — the sets share the interned instances).
+func (s *clientShard) finalize(c *Client) {
+	cx := s.ctx
+	infos := make([]FingerprintInfo, len(cx.prints))
+	infoByIdx := make([]*FingerprintInfo, len(cx.prints))
+	for idx, n := range s.printRecords {
+		pm := cx.prints[idx]
+		info := &infos[idx]
+		info.Print = pm.print
+		info.Key = pm.key
+		info.Records = n
+		infoByIdx[idx] = info
+		c.Prints[pm.key] = info
+	}
+	// Each edge set becomes a sub-slice carved out of one shared backing
+	// array per category: count first, then hand every print a
+	// capacity-clamped view sized exactly, so filling allocates nothing
+	// per set. Every edge's print has at least one record, so
+	// infoByIdx[e.p] is always non-nil here.
+	fillSets := func(edges map[edge]struct{}, slot func(*FingerprintInfo) *StringSet) {
+		counts := make([]int, len(infoByIdx))
+		for e := range edges {
+			counts[e.p]++
+		}
+		backing := make([]string, len(edges))
+		off := 0
+		for idx, n := range counts {
+			if n == 0 {
+				continue
+			}
+			*slot(infoByIdx[idx]) = backing[off : off : off+n]
+			off += n
+		}
+		for e := range edges {
+			sl := slot(infoByIdx[e.p])
+			*sl = append(*sl, cx.tab.Str(e.sym))
+		}
+	}
+	fillSets(s.printDevices, func(i *FingerprintInfo) *StringSet { return &i.Devices })
+	fillSets(s.printVendors, func(i *FingerprintInfo) *StringSet { return &i.Vendors })
+	fillSets(s.printTypes, func(i *FingerprintInfo) *StringSet { return &i.Types })
+	fillSets(s.printSNIs, func(i *FingerprintInfo) *StringSet { return &i.SNIs })
+
+	// DevicePrints and SNIDevices get the same treatment, keyed by
+	// symbol until the final map assignment.
+	devCounts := make(map[intern.Symbol]int)
+	for e := range s.printDevices {
+		devCounts[e.sym]++
+	}
+	devBacking := make([]string, len(s.printDevices))
+	off := 0
+	for sym, n := range devCounts {
+		c.DevicePrints[cx.tab.Str(sym)] = devBacking[off : off : off+n]
+		off += n
+	}
+	for e := range s.printDevices {
+		dev := cx.tab.Str(e.sym)
+		c.DevicePrints[dev] = append(c.DevicePrints[dev], infoByIdx[e.p].Key)
+	}
+
+	sniCounts := make(map[intern.Symbol]int)
+	for e := range s.sniDevices {
+		sniCounts[e.sni]++
+	}
+	sniBacking := make([]string, len(s.sniDevices))
+	off = 0
+	for sym, n := range sniCounts {
+		c.SNIDevices[cx.tab.Str(sym)] = sniBacking[off : off : off+n]
+		off += n
+	}
+	for e := range s.sniDevices {
+		sni := cx.tab.Str(e.sni)
+		c.SNIDevices[sni] = append(c.SNIDevices[sni], cx.tab.Str(e.dev))
+	}
+
+	for _, info := range infoByIdx {
 		if info == nil {
-			c.Prints[key] = part
 			continue
 		}
-		for d := range part.Devices {
-			info.Devices[d] = true
-		}
-		for v := range part.Vendors {
-			info.Vendors[v] = true
-		}
-		for t := range part.Types {
-			info.Types[t] = true
-		}
-		for sni := range part.SNIs {
-			info.SNIs[sni] = true
-		}
-		info.Records += part.Records
+		sort.Strings(info.Devices)
+		sort.Strings(info.Vendors)
+		sort.Strings(info.Types)
+		sort.Strings(info.SNIs)
 	}
-	for dev, keys := range s.devicePrints {
-		if c.DevicePrints[dev] == nil {
-			c.DevicePrints[dev] = keys
-			continue
-		}
-		for k := range keys {
-			c.DevicePrints[dev][k] = true
-		}
+	for _, keys := range c.DevicePrints {
+		sort.Strings(keys)
 	}
-	for sni, devs := range s.sniDevices {
-		if c.SNIDevices[sni] == nil {
-			c.SNIDevices[sni] = devs
-			continue
-		}
-		for d := range devs {
-			c.SNIDevices[sni][d] = true
-		}
+	for _, devs := range c.SNIDevices {
+		sort.Strings(devs)
 	}
 	for v, n := range s.versionCounts {
 		c.VersionCounts[v] += n
@@ -305,7 +472,7 @@ func (c *Client) NumFingerprints() int { return len(c.Prints) }
 func (c *Client) VendorGraph() *graph.Bipartite {
 	g := graph.New()
 	for _, key := range c.orderedKeys {
-		for vendor := range c.Prints[key].Vendors {
+		for _, vendor := range c.Prints[key].Vendors {
 			g.AddEdge(vendor, key)
 		}
 	}
@@ -318,10 +485,10 @@ func (c *Client) TypeGraphForVendor(vendor string) *graph.Bipartite {
 	g := graph.New()
 	for _, key := range c.orderedKeys {
 		info := c.Prints[key]
-		if !info.Vendors[vendor] {
+		if !info.Vendors.Has(vendor) {
 			continue
 		}
-		for dev := range info.Devices {
+		for _, dev := range info.Devices {
 			if c.DeviceVendor[dev] == vendor {
 				g.AddEdge(c.DeviceType[dev], key)
 			}
@@ -338,7 +505,7 @@ func (c *Client) DeviceGraphForVendor(vendor string) *graph.Bipartite {
 		if c.DeviceVendor[dev] != vendor {
 			continue
 		}
-		for key := range prints {
+		for _, key := range prints {
 			g.AddEdge(dev, key)
 		}
 	}
@@ -353,7 +520,7 @@ func (c *Client) DeviceGraphForVendorType(vendor, typ string) *graph.Bipartite {
 		if c.DeviceVendor[dev] != vendor || c.DeviceType[dev] != typ {
 			continue
 		}
-		for key := range prints {
+		for _, key := range prints {
 			g.AddEdge(dev, key)
 		}
 	}
@@ -434,7 +601,7 @@ type Table3Row struct {
 func (c *Client) Table3(topN int) []Table3Row {
 	perVendor := map[string]map[string]bool{} // vendor -> fp keys
 	for _, key := range c.orderedKeys {
-		for vendor := range c.Prints[key].Vendors {
+		for _, vendor := range c.Prints[key].Vendors {
 			if perVendor[vendor] == nil {
 				perVendor[vendor] = map[string]bool{}
 			}
@@ -448,7 +615,7 @@ func (c *Client) Table3(topN int) []Table3Row {
 		for key := range keys {
 			// Count devices of THIS vendor using the fingerprint.
 			n := 0
-			for dev := range c.Prints[key].Devices {
+			for _, dev := range c.Prints[key].Devices {
 				if c.DeviceVendor[dev] == vendor {
 					n++
 				}
@@ -500,7 +667,7 @@ func (c *Client) Table5(minDevices int) []Table5Row {
 	// SNI -> set of fingerprint keys seen toward it.
 	sniPrints := map[string]map[string]bool{}
 	for _, key := range c.orderedKeys {
-		for sni := range c.Prints[key].SNIs {
+		for _, sni := range c.Prints[key].SNIs {
 			if sniPrints[sni] == nil {
 				sniPrints[sni] = map[string]bool{}
 			}
@@ -531,7 +698,7 @@ func (c *Client) Table5(minDevices int) []Table5Row {
 		a.fqdns++
 		// Count the devices that actually visited this server (all of
 		// them used the tied fingerprint by construction).
-		for d := range c.SNIDevices[sni] {
+		for _, d := range c.SNIDevices[sni] {
 			a.devices[d] = true
 			a.vendors[c.DeviceVendor[d]] = true
 		}
@@ -591,7 +758,7 @@ func (c *Client) ServerTiedSNIFraction(matcher *fingerprint.Matcher) float64 {
 				continue
 			}
 		}
-		for sni := range c.Prints[key].SNIs {
+		for _, sni := range c.Prints[key].SNIs {
 			if sniPrints[sni] == nil {
 				sniPrints[sni] = map[string]bool{}
 			}
@@ -663,10 +830,10 @@ func (c *Client) Vulnerabilities() VulnStats {
 		}
 		if awful {
 			st.AwfulFingerprints++
-			for d := range info.Devices {
+			for _, d := range info.Devices {
 				awfulDevices[d] = true
 			}
-			for v := range info.Vendors {
+			for _, v := range info.Vendors {
 				awfulVendors[v] = true
 			}
 		}

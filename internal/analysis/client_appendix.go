@@ -85,7 +85,7 @@ func (c *Client) deviceSuiteTuples() map[string][]uint16 {
 			suiteKey += string(rune('A'+(cs>>12))) + string(rune('a'+(cs>>8&0xF))) +
 				string(rune('a'+(cs>>4&0xF))) + string(rune('a'+(cs&0xF)))
 		}
-		for dev := range info.Devices {
+		for _, dev := range info.Devices {
 			out[dev+"|"+suiteKey] = info.Print.CipherSuites
 		}
 	}
@@ -208,7 +208,7 @@ func (c *Client) SSL3Census() (devices int, vendors map[string]int) {
 		if info.Print.Version != tlswire.VersionSSL30 {
 			continue
 		}
-		for d := range info.Devices {
+		for _, d := range info.Devices {
 			if !devSet[d] {
 				devSet[d] = true
 				vendors[c.DeviceVendor[d]]++
@@ -399,7 +399,7 @@ func (c *Client) Census() ExtensionCensus {
 		gSuite := info.Print.HasGREASESuites()
 		gExt := info.Print.HasGREASEExtensions()
 		scsv := info.Print.ProposesFallbackSCSV()
-		for dev := range info.Devices {
+		for _, dev := range info.Devices {
 			f := get(dev)
 			f.ocsp = f.ocsp || hasOCSP
 			f.gSuite = f.gSuite || gSuite

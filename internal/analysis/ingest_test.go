@@ -8,64 +8,106 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/libcorpus"
-	"repro/internal/tlswire"
+	"repro/internal/obs"
 )
 
+// setOf converts an unordered set to the sorted StringSet form the
+// client aggregate carries.
+func setOf(m map[string]bool) StringSet {
+	out := make(StringSet, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
 // newClientReference is the seed's sequential, cache-free ingestion loop:
-// every record is parsed individually. It is the oracle for both the
-// per-stack parse memoization and the sharded worker pool.
+// every record is parsed individually into plain map sets, converted to
+// the sorted-set form at the end. It is the oracle for the per-stack
+// parse memoization, the sharded worker pool, and the symbol-space
+// aggregation.
 func newClientReference(t *testing.T, ds *dataset.Dataset) *Client {
 	t.Helper()
-	c := &Client{
-		DS:            ds,
-		Prints:        map[string]*FingerprintInfo{},
-		DevicePrints:  map[string]map[string]bool{},
-		DeviceVendor:  map[string]string{},
-		DeviceType:    map[string]string{},
-		VersionCounts: map[tlswire.Version]int{},
-		SNIDevices:    map[string]map[string]bool{},
+	type rawInfo struct {
+		print   fingerprint.Fingerprint
+		devices map[string]bool
+		vendors map[string]bool
+		types   map[string]bool
+		snis    map[string]bool
+		records int
 	}
+	prints := map[string]*rawInfo{}
+	devicePrints := map[string]map[string]bool{}
+	sniDevices := map[string]map[string]bool{}
+	c := newEmptyClient()
+	c.DS = ds
 	for _, d := range ds.Devices {
 		c.DeviceVendor[d.ID] = d.Vendor
 		c.DeviceType[d.ID] = d.Type
 	}
-	for i, r := range ds.Records {
+	for i, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
 		f := fingerprint.FromClientHello(ch)
 		key := f.Key()
-		info := c.Prints[key]
+		info := prints[key]
 		if info == nil {
-			info = &FingerprintInfo{
-				Print:   f,
-				Key:     key,
-				Devices: map[string]bool{},
-				Vendors: map[string]bool{},
-				Types:   map[string]bool{},
-				SNIs:    map[string]bool{},
+			info = &rawInfo{
+				print:   f,
+				devices: map[string]bool{},
+				vendors: map[string]bool{},
+				types:   map[string]bool{},
+				snis:    map[string]bool{},
 			}
-			c.Prints[key] = info
+			prints[key] = info
 		}
-		info.Devices[r.DeviceID] = true
-		info.Vendors[r.Vendor] = true
-		info.Types[r.Type] = true
+		info.devices[r.DeviceID] = true
+		info.vendors[r.Vendor] = true
+		info.types[r.Type] = true
 		if r.SNI != "" {
-			info.SNIs[r.SNI] = true
-			if c.SNIDevices[r.SNI] == nil {
-				c.SNIDevices[r.SNI] = map[string]bool{}
+			info.snis[r.SNI] = true
+			if sniDevices[r.SNI] == nil {
+				sniDevices[r.SNI] = map[string]bool{}
 			}
-			c.SNIDevices[r.SNI][r.DeviceID] = true
+			sniDevices[r.SNI][r.DeviceID] = true
 		}
-		info.Records++
-		if c.DevicePrints[r.DeviceID] == nil {
-			c.DevicePrints[r.DeviceID] = map[string]bool{}
+		info.records++
+		if devicePrints[r.DeviceID] == nil {
+			devicePrints[r.DeviceID] = map[string]bool{}
 		}
-		c.DevicePrints[r.DeviceID][key] = true
+		devicePrints[r.DeviceID][key] = true
 		c.VersionCounts[f.Version]++
 	}
+	for key, info := range prints {
+		c.Prints[key] = &FingerprintInfo{
+			Print:   info.print,
+			Key:     key,
+			Devices: setOf(info.devices),
+			Vendors: setOf(info.vendors),
+			Types:   setOf(info.types),
+			SNIs:    setOf(info.snis),
+			Records: info.records,
+		}
+	}
+	for dev, keys := range devicePrints {
+		c.DevicePrints[dev] = setOf(keys)
+	}
+	for sni, devs := range sniDevices {
+		c.SNIDevices[sni] = setOf(devs)
+	}
 	return c
+}
+
+// refCacheKey is the (StackID, SNI-presence) pair the parse memo keys
+// on, in the seed's string form.
+func refCacheKey(r dataset.Record) string {
+	if r.SNI != "" {
+		return r.StackID + "|s"
+	}
+	return r.StackID + "|"
 }
 
 // TestStackParseCacheInvariant verifies the dataset invariant the parse
@@ -74,13 +116,13 @@ func newClientReference(t *testing.T, ds *dataset.Dataset) *Client {
 func TestStackParseCacheInvariant(t *testing.T) {
 	ds := dataset.Generate(dataset.Config{Seed: 7, Scale: 0.5})
 	seen := map[string]string{}
-	for i, r := range ds.Records {
+	for i, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
 		key := fingerprint.FromClientHello(ch).Key()
-		ck := printCacheKey(r)
+		ck := refCacheKey(r)
 		if prev, ok := seen[ck]; ok {
 			if prev != key {
 				t.Fatalf("record %d: cache key %q maps to two fingerprints:\n  %s\n  %s", i, ck, prev, key)
@@ -91,8 +133,9 @@ func TestStackParseCacheInvariant(t *testing.T) {
 	}
 }
 
-// TestNewClientWorkersEquivalence checks that sharded, memoized ingestion
-// reproduces the reference loop state exactly for several worker counts.
+// TestNewClientWorkersEquivalence checks that sharded, memoized,
+// symbol-space ingestion reproduces the reference loop state exactly
+// for several worker counts.
 func TestNewClientWorkersEquivalence(t *testing.T) {
 	ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.4})
 	want := newClientReference(t, ds)
@@ -124,6 +167,93 @@ func TestNewClientWorkersEquivalence(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.orderedKeys, want.orderedKeysForTest()) {
 			t.Fatalf("workers=%d: orderedKeys differ", workers)
+		}
+	}
+}
+
+// TestIngestParsesOncePerKey pins the parse-once guarantee: the shared
+// two-level memo parses each distinct (stack, SNI-presence) key exactly
+// once per run, regardless of worker count — the ingest_parses_total
+// counter equals the number of distinct keys, never the record count.
+func TestIngestParsesOncePerKey(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.4})
+	distinct := map[string]bool{}
+	for _, r := range ds.Records.Rows() {
+		distinct[refCacheKey(r)] = true
+	}
+	var parsesPerWorkers []int64
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		m := obs.NewRegistry("test")
+		if _, err := NewClientObserved(ds, workers, m); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		parses := m.Counter("ingest_parses_total").Value()
+		if parses != int64(len(distinct)) {
+			t.Fatalf("workers=%d: ingest_parses_total = %d, want %d (distinct parse keys)",
+				workers, parses, len(distinct))
+		}
+		if parses >= int64(ds.Records.Len()) {
+			t.Fatalf("workers=%d: parses (%d) not below record count (%d)",
+				workers, parses, ds.Records.Len())
+		}
+		parsesPerWorkers = append(parsesPerWorkers, parses)
+	}
+	for _, p := range parsesPerWorkers[1:] {
+		if p != parsesPerWorkers[0] {
+			t.Fatalf("parse count varies with workers: %v", parsesPerWorkers)
+		}
+	}
+}
+
+// TestColumnarRowRoundTrip checks the columnar store against its
+// row-shaped view on a seeded dataset: At(i) and Rows() agree with the
+// column accessors field by field, and Slice covers the same records.
+func TestColumnarRowRoundTrip(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Seed: 3, Scale: 0.3})
+	recs := ds.Records
+	tab := recs.Table()
+	rows := recs.Rows()
+	if len(rows) != recs.Len() {
+		t.Fatalf("Rows() len = %d, want %d", len(rows), recs.Len())
+	}
+	for i, r := range rows {
+		if got := recs.At(i); !reflect.DeepEqual(got, r) {
+			t.Fatalf("At(%d) != Rows()[%d]:\n got %+v\nwant %+v", i, i, got, r)
+		}
+		if got := tab.Str(recs.DeviceSym(i)); got != r.DeviceID {
+			t.Fatalf("record %d: DeviceSym -> %q, want %q", i, got, r.DeviceID)
+		}
+		if got := tab.Str(recs.StackSym(i)); got != r.StackID {
+			t.Fatalf("record %d: StackSym -> %q, want %q", i, got, r.StackID)
+		}
+		if got := tab.Str(recs.SNISym(i)); got != r.SNI {
+			t.Fatalf("record %d: SNISym -> %q, want %q", i, got, r.SNI)
+		}
+		if (recs.SNISym(i) == 0) != (r.SNI == "") {
+			t.Fatalf("record %d: SNISym zero-iff-empty violated", i)
+		}
+		if got := recs.TimeNS(i); got != r.Time.UnixNano() {
+			t.Fatalf("record %d: TimeNS = %d, want %d", i, got, r.Time.UnixNano())
+		}
+		if !reflect.DeepEqual(recs.Raw(i), r.Raw) {
+			t.Fatalf("record %d: Raw mismatch", i)
+		}
+	}
+	// A round-trip through rows and back into a fresh columnar store
+	// must reproduce every record.
+	back := dataset.RecordsFromRows(rows)
+	for i := range rows {
+		if !reflect.DeepEqual(back.At(i), rows[i]) {
+			t.Fatalf("row->columns->row mismatch at %d", i)
+		}
+	}
+	// Slicing is positional.
+	if recs.Len() >= 10 {
+		sub := recs.Slice(3, 10)
+		for i := 0; i < sub.Len(); i++ {
+			if !reflect.DeepEqual(sub.At(i), recs.At(3+i)) {
+				t.Fatalf("Slice(3,10).At(%d) != At(%d)", i, 3+i)
+			}
 		}
 	}
 }

@@ -91,19 +91,24 @@ func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, va
 		ByVantage:  map[simnet.Vantage]map[string][]byte{},
 		ProbedSNIs: snis,
 	}
-	// Visitation index from the ClientHello dataset.
+	// Visitation index from the ClientHello dataset, walked in column
+	// form: records without an SNI are skipped on a symbol compare
+	// without materializing a row.
 	visitDevices := map[string]map[string]bool{}
 	visitVendors := map[string]map[string]bool{}
-	for _, r := range ds.Records {
-		if r.SNI == "" {
+	tab := ds.Records.Table()
+	for i := 0; i < ds.Records.Len(); i++ {
+		sniSym := ds.Records.SNISym(i)
+		if sniSym == 0 {
 			continue
 		}
-		if visitDevices[r.SNI] == nil {
-			visitDevices[r.SNI] = map[string]bool{}
-			visitVendors[r.SNI] = map[string]bool{}
+		sni := tab.Str(sniSym)
+		if visitDevices[sni] == nil {
+			visitDevices[sni] = map[string]bool{}
+			visitVendors[sni] = map[string]bool{}
 		}
-		visitDevices[r.SNI][r.DeviceID] = true
-		visitVendors[r.SNI][r.Vendor] = true
+		visitDevices[sni][tab.Str(ds.Records.DeviceSym(i))] = true
+		visitVendors[sni][tab.Str(ds.Records.VendorSym(i))] = true
 	}
 
 	s.ProbeStats = stats

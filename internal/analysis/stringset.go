@@ -1,0 +1,69 @@
+package analysis
+
+import "sort"
+
+// StringSet is a sorted, deduplicated set of strings. It replaces the
+// map[string]bool sets the client aggregate used to carry: at paper
+// scale those maps cost ~7k map headers per snapshot and a deep copy
+// per Clone, while a sorted slice costs one allocation, shares safely
+// between snapshots (sets are immutable once published — merges
+// replace the slice, never mutate it), and iterates in deterministic
+// order without a sort at every consumer.
+type StringSet []string
+
+// Has reports whether v is in the set.
+func (s StringSet) Has(v string) bool {
+	i := sort.SearchStrings(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// containsAll reports whether every element of b (sorted) is in a
+// (sorted).
+func containsAll(a, b StringSet) bool {
+	i := 0
+	for _, v := range b {
+		for i < len(a) && a[i] < v {
+			i++
+		}
+		if i >= len(a) || a[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// unionSets returns the sorted union of two sets. It never mutates
+// either input: when b adds nothing it returns a unchanged (safe even
+// if a is shared with a published snapshot), otherwise it allocates a
+// fresh slice. Union of sorted sets is itself sorted, so delta-merged
+// state stays element-for-element identical to batch-built state.
+func unionSets(a, b StringSet) StringSet {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	if containsAll(a, b) {
+		return a
+	}
+	out := make(StringSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

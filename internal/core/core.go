@@ -305,7 +305,7 @@ func (s *Study) WriteReport(w io.Writer) {
 	sp := s.Config.Tracer.Root().Child("report")
 	defer sp.End()
 	fmt.Fprintf(w, "IoT TLS & Certificate Study — %d devices, %d users, %d models, %d records\n",
-		len(s.Dataset.Devices), s.Dataset.Users(), s.Dataset.Models(), len(s.Dataset.Records))
+		len(s.Dataset.Devices), s.Dataset.Users(), s.Dataset.Models(), s.Dataset.Records.Len())
 	fmt.Fprintf(w, "Fingerprints: %d unique; SNIs probed: %d (of %d observed)\n\n",
 		s.Client.NumFingerprints(), len(s.SNIs), len(s.Dataset.SNIs()))
 	jobs := append(s.clientTableJobs(), s.serverTableJobs()...)

@@ -107,8 +107,8 @@ func TestMetricsReconcileWithProbeStats(t *testing.T) {
 		t.Errorf("handshake histogram count = %v, want %d attempts", got, stats.Attempts)
 	}
 	// Stage item counters reconcile with the study too.
-	if got := obs.SumSeries(samples, "test_ingest_records_total"); got != float64(len(s.Dataset.Records)) {
-		t.Errorf("ingest_records_total = %v, dataset has %d", got, len(s.Dataset.Records))
+	if got := obs.SumSeries(samples, "test_ingest_records_total"); got != float64(s.Dataset.Records.Len()) {
+		t.Errorf("ingest_records_total = %v, dataset has %d", got, s.Dataset.Records.Len())
 	}
 }
 

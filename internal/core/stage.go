@@ -86,7 +86,7 @@ func runDatasetStage(_ context.Context, st *Study, rec *StageRecorder) error {
 		st.Dataset = dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
 	}
 	rec.Count("devices", int64(len(st.Dataset.Devices)))
-	rec.Count("records", int64(len(st.Dataset.Records)))
+	rec.Count("records", int64(st.Dataset.Records.Len()))
 	return nil
 }
 
@@ -103,7 +103,7 @@ func runIngestStage(_ context.Context, st *Study, rec *StageRecorder) error {
 		return err
 	}
 	st.Client = client
-	rec.Count("records", int64(len(st.Dataset.Records)))
+	rec.Count("records", int64(st.Dataset.Records.Len()))
 	rec.Count("fingerprints", int64(client.NumFingerprints()))
 	return nil
 }

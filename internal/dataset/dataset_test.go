@@ -31,7 +31,7 @@ func TestPopulationScale(t *testing.T) {
 	if n := ds.Models(); n < 150 || n > 400 {
 		t.Errorf("models %d, want ~286", n)
 	}
-	if n := len(ds.Records); n < 8000 || n > 20000 {
+	if n := ds.Records.Len(); n < 8000 || n > 20000 {
 		t.Errorf("records %d, want ~11k", n)
 	}
 	vendors := map[string]bool{}
@@ -46,22 +46,22 @@ func TestPopulationScale(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := Generate(Config{Seed: 7, Scale: 0.05})
 	b := Generate(Config{Seed: 7, Scale: 0.05})
-	if len(a.Records) != len(b.Records) {
-		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	if a.Records.Len() != b.Records.Len() {
+		t.Fatalf("record counts differ: %d vs %d", a.Records.Len(), b.Records.Len())
 	}
-	for i := range a.Records {
-		if a.Records[i].SNI != b.Records[i].SNI || a.Records[i].DeviceID != b.Records[i].DeviceID {
+	for i := 0; i < a.Records.Len(); i++ {
+		if a.Records.At(i).SNI != b.Records.At(i).SNI || a.Records.At(i).DeviceID != b.Records.At(i).DeviceID {
 			t.Fatalf("record %d differs", i)
 		}
-		if string(a.Records[i].Raw) != string(b.Records[i].Raw) {
+		if string(a.Records.At(i).Raw) != string(b.Records.At(i).Raw) {
 			t.Fatalf("raw bytes differ at %d", i)
 		}
 	}
 	c := Generate(Config{Seed: 8, Scale: 0.05})
-	if len(a.Records) == len(c.Records) {
+	if a.Records.Len() == c.Records.Len() {
 		same := true
-		for i := range a.Records {
-			if a.Records[i].SNI != c.Records[i].SNI {
+		for i := 0; i < a.Records.Len(); i++ {
+			if a.Records.At(i).SNI != c.Records.At(i).SNI {
 				same = false
 				break
 			}
@@ -74,7 +74,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestRecordsParseAndMatchFingerprints(t *testing.T) {
 	ds := Generate(Config{Seed: 3, Scale: 0.1})
-	for i, r := range ds.Records {
+	for i, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
@@ -91,7 +91,7 @@ func TestRecordsParseAndMatchFingerprints(t *testing.T) {
 func TestFingerprintDiversity(t *testing.T) {
 	ds := paperScale(t)
 	prints := map[string]bool{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -106,7 +106,7 @@ func TestFingerprintDiversity(t *testing.T) {
 
 func TestNoTLS13Proposals(t *testing.T) {
 	ds := Generate(Config{Seed: 5, Scale: 0.15})
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -121,7 +121,7 @@ func TestSSL3Stragglers(t *testing.T) {
 	ds := paperScale(t)
 	devices := map[string]bool{}
 	vendors := map[string]bool{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -144,7 +144,7 @@ func TestSSL3Stragglers(t *testing.T) {
 func TestGREASEPopulation(t *testing.T) {
 	ds := paperScale(t)
 	devices := map[string]bool{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -174,7 +174,7 @@ func TestSDKServerTied(t *testing.T) {
 		prints  map[string]bool
 	}
 	visits := map[string]*visit{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		sdk, ok := sdkSNIs[r.SNI]
 		if !ok {
 			continue
@@ -208,7 +208,7 @@ func TestSDKServerTied(t *testing.T) {
 func TestVulnerableShare(t *testing.T) {
 	ds := paperScale(t)
 	prints := map[string]fingerprint.Fingerprint{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -245,7 +245,7 @@ func TestExactLibraryMatches(t *testing.T) {
 	ds := paperScale(t)
 	matcher := libcorpus.NewMatcher()
 	prints := map[string]fingerprint.Fingerprint{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatal(err)
@@ -272,7 +272,7 @@ func TestExactLibraryMatches(t *testing.T) {
 func TestBelkinRC4First(t *testing.T) {
 	ds := paperScale(t)
 	seen := false
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		if r.Vendor != "Belkin" {
 			continue
 		}
@@ -297,7 +297,7 @@ func TestBelkinRC4First(t *testing.T) {
 func TestSynologyAwful(t *testing.T) {
 	ds := paperScale(t)
 	found := false
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		if r.Vendor != "Synology" {
 			continue
 		}

@@ -6,20 +6,19 @@ import "sort"
 // alone — the ingest service's path from an accepted record stream back
 // to a batch-equivalent dataset. Devices are rebuilt from the identity
 // fields every record carries (no Stacks: nothing downstream of
-// generation reads them), sorted by ID; records are copied and sorted by
-// (Time, DeviceID, StackID, SNI). The result depends only on the *set*
-// of records, never on arrival order, so two services that accepted the
-// same records — or a service and a batch run — produce byte-identical
-// reports.
+// generation reads them), sorted by ID; records are sorted by
+// (Time, DeviceID, StackID, SNI) and re-packed into a fresh columnar
+// store. The result depends only on the *set* of records, never on
+// arrival order, so two services that accepted the same records — or a
+// service and a batch run — produce byte-identical reports.
 func FromRecords(records []Record) *Dataset {
 	ds := &Dataset{
 		SDKStacks:   map[string]*Stack{},
 		VendorFQDNs: map[string][]string{},
 	}
-	devByID := map[string]*Device{}
-	ds.Records = append([]Record(nil), records...)
-	sort.Slice(ds.Records, func(i, j int) bool {
-		a, b := ds.Records[i], ds.Records[j]
+	rows := append([]Record(nil), records...)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
 		if !a.Time.Equal(b.Time) {
 			return a.Time.Before(b.Time)
 		}
@@ -31,7 +30,9 @@ func FromRecords(records []Record) *Dataset {
 		}
 		return a.SNI < b.SNI
 	})
-	for _, r := range ds.Records {
+	ds.Records = RecordsFromRows(rows)
+	devByID := map[string]*Device{}
+	for _, r := range rows {
 		if devByID[r.DeviceID] != nil {
 			continue
 		}

@@ -9,10 +9,11 @@ import (
 	"repro/internal/tlswire"
 )
 
-// TestBuildHelloCachedMatchesDirect checks that the template cache produces
-// byte-identical records to direct marshaling, including rng stream
-// consumption (one 32-byte read per record).
-func TestBuildHelloCachedMatchesDirect(t *testing.T) {
+// TestStampHelloMatchesDirect checks that template stamping into the
+// columnar raw buffer produces byte-identical records to direct
+// marshaling, including rng stream consumption (one 32-byte read per
+// record), and that later rounds hit the template cache.
+func TestStampHelloMatchesDirect(t *testing.T) {
 	prints := []fingerprint.Fingerprint{
 		{Version: tlswire.VersionTLS12, CipherSuites: []uint16{0xC030, 0x009D}, Extensions: []uint16{0, 10, 11}},
 		{Version: tlswire.VersionTLS13, CipherSuites: []uint16{0x1301, 0x1302}, Extensions: []uint16{0, 43, 51}},
@@ -22,18 +23,21 @@ func TestBuildHelloCachedMatchesDirect(t *testing.T) {
 	snis := []string{"", "cloud.example.com", "a.b.example.net"}
 	rngA := rand.New(rand.NewSource(99))
 	rngB := rand.New(rand.NewSource(99))
-	cache := map[string][]byte{}
+	cols := newColumns()
+	cache := map[tmplKey][]byte{}
 	for round := 0; round < 3; round++ { // later rounds hit the cache
 		for i, p := range prints {
 			stackID := "stack-" + string(rune('a'+i))
 			for _, sni := range snis {
 				want := buildHello(p, sni, rngA)
-				got, hit := buildHelloCached(cache, stackID, p, sni, rngB)
+				key := tmplKey{stack: cols.tab.Intern(stackID), sni: cols.tab.Intern(sni)}
+				off, n, hit := stampHello(cache, key, p, sni, cols, rngB)
+				got := cols.rawBuf[off : off+n]
 				if wantHit := round > 0; hit != wantHit {
 					t.Fatalf("round %d print %d sni %q: cache hit = %v, want %v", round, i, sni, hit, wantHit)
 				}
 				if !bytes.Equal(got, want) {
-					t.Fatalf("round %d print %d sni %q: cached record differs\n got %x\nwant %x", round, i, sni, got, want)
+					t.Fatalf("round %d print %d sni %q: stamped record differs\n got %x\nwant %x", round, i, sni, got, want)
 				}
 			}
 		}
@@ -45,15 +49,15 @@ func TestBuildHelloCachedMatchesDirect(t *testing.T) {
 func TestGenerateRecordsUseTemplateCache(t *testing.T) {
 	a := Generate(Config{Seed: 5, Scale: 0.3})
 	b := Generate(Config{Seed: 5, Scale: 0.3})
-	if len(a.Records) != len(b.Records) {
-		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	if a.Records.Len() != b.Records.Len() {
+		t.Fatalf("record counts differ: %d vs %d", a.Records.Len(), b.Records.Len())
 	}
-	for i := range a.Records {
-		if !bytes.Equal(a.Records[i].Raw, b.Records[i].Raw) {
+	for i := 0; i < a.Records.Len(); i++ {
+		if !bytes.Equal(a.Records.Raw(i), b.Records.Raw(i)) {
 			t.Fatalf("record %d raw bytes differ between identical runs", i)
 		}
 	}
-	for i, r := range a.Records {
+	for i, r := range a.Records.Rows() {
 		ch, err := r.Hello()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)

@@ -94,7 +94,7 @@ func WriteHellos(w io.Writer, ds *dataset.Dataset, anon *Anonymizer) (int, error
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	n := 0
-	for i, rec := range ds.Records {
+	for i, rec := range ds.Records.Rows() {
 		ch, err := rec.Hello()
 		if err != nil {
 			return n, fmt.Errorf("export: record %d: %w", i, err)

@@ -38,8 +38,8 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != len(ds.Records) {
-		t.Fatalf("wrote %d rows, want %d", n, len(ds.Records))
+	if n != ds.Records.Len() {
+		t.Fatalf("wrote %d rows, want %d", n, ds.Records.Len())
 	}
 	rows, err := ReadHellos(&buf)
 	if err != nil {
@@ -86,7 +86,7 @@ func TestExportedStatsMatchOriginal(t *testing.T) {
 		t.Errorf("users %d vs %d", st.Users, ds.Users())
 	}
 	devices := map[string]bool{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		devices[r.DeviceID] = true
 	}
 	if st.Devices != len(devices) {

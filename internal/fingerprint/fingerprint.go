@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ciphersuite"
 	"repro/internal/tlswire"
@@ -38,6 +39,18 @@ func FromClientHello(ch *tlswire.ClientHello) Fingerprint {
 	}
 }
 
+// FromClientHelloOwned is FromClientHello for callers that own ch and
+// will not mutate it afterwards: the fingerprint aliases
+// ch.CipherSuites instead of copying it. The parse-once ingestion path
+// uses this on hellos it just parsed and immediately discards.
+func FromClientHelloOwned(ch *tlswire.ClientHello) Fingerprint {
+	return Fingerprint{
+		Version:      ch.EffectiveVersion(),
+		CipherSuites: ch.CipherSuites,
+		Extensions:   ch.ExtensionTypes(),
+	}
+}
+
 // Key returns the canonical string form used for equality and map keys:
 // "version|cs1-cs2-...|ext1-ext2-...". Two ClientHellos have the same Key
 // iff they share the study's 3-tuple fingerprint.
@@ -46,23 +59,38 @@ func FromClientHello(ch *tlswire.ClientHello) Fingerprint {
 // per corpus entry), so it appends hex digits directly instead of going
 // through fmt.
 func (f Fingerprint) Key() string {
-	b := make([]byte, 0, 6+5*(len(f.CipherSuites)+len(f.Extensions)))
-	b = appendHex16(b, uint16(f.Version))
-	b = append(b, '|')
+	// Exact length up front, built via strings.Builder so the key costs
+	// one allocation (the []byte+string(b) version cost two).
+	n := 6
+	if len(f.CipherSuites) > 0 {
+		n += 5*len(f.CipherSuites) - 1
+	}
+	if len(f.Extensions) > 0 {
+		n += 5*len(f.Extensions) - 1
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	var tmp [4]byte
+	writeHex16 := func(v uint16) {
+		appendHex16(tmp[:0], v)
+		sb.Write(tmp[:])
+	}
+	writeHex16(uint16(f.Version))
+	sb.WriteByte('|')
 	for i, cs := range f.CipherSuites {
 		if i > 0 {
-			b = append(b, '-')
+			sb.WriteByte('-')
 		}
-		b = appendHex16(b, cs)
+		writeHex16(cs)
 	}
-	b = append(b, '|')
+	sb.WriteByte('|')
 	for i, e := range f.Extensions {
 		if i > 0 {
-			b = append(b, '-')
+			sb.WriteByte('-')
 		}
-		b = appendHex16(b, e)
+		writeHex16(e)
 	}
-	return string(b)
+	return sb.String()
 }
 
 const hexDigits = "0123456789abcdef"

@@ -3,6 +3,8 @@ package fingerprint
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/intern"
 )
 
 // LibraryEntry is one known TLS library build in the matching corpus:
@@ -37,6 +39,14 @@ type Matcher struct {
 	// build time, so MatchExact is a single map hit instead of a version
 	// scan per call.
 	byKeyBest map[string]LibraryEntry
+	// arena/byInternedBest are the symbol-keyed fast path: MatchExact
+	// interns the query's suite and extension lists (alloc-free once
+	// warm) and hits a comparable-struct map instead of building the
+	// 2-alloc Key() string per call. Interned identity and Key()
+	// identity partition fingerprints identically — both encode the
+	// exact (version, suites, extensions) tuple.
+	arena          *intern.Arena
+	byInternedBest map[Interned]LibraryEntry
 
 	// Semantic index: the corpus collapses to few distinct ciphersuite
 	// lists (curl builds only vary extensions), so the B.2 matcher scans
@@ -63,18 +73,21 @@ type suiteGroup struct {
 // NewMatcher builds a matcher over the given corpus.
 func NewMatcher(entries []LibraryEntry) *Matcher {
 	m := &Matcher{
-		entries:      entries,
-		byKey:        make(map[string][]int, len(entries)),
-		byKeyBest:    make(map[string]LibraryEntry, len(entries)),
-		byOrderedKey: map[string]*suiteGroup{},
-		bySortedKey:  map[string][]*suiteGroup{},
-		semMemo:      map[string]SemanticsMatch{},
+		entries:        entries,
+		byKey:          make(map[string][]int, len(entries)),
+		byKeyBest:      make(map[string]LibraryEntry, len(entries)),
+		arena:          intern.NewArena(),
+		byInternedBest: make(map[Interned]LibraryEntry, len(entries)),
+		byOrderedKey:   map[string]*suiteGroup{},
+		bySortedKey:    map[string][]*suiteGroup{},
+		semMemo:        map[string]SemanticsMatch{},
 	}
 	for i, e := range entries {
 		k := e.Print.Key()
 		m.byKey[k] = append(m.byKey[k], i)
 		if best, ok := m.byKeyBest[k]; !ok || versionLess(best.Version, e.Version) {
 			m.byKeyBest[k] = e
+			m.byInternedBest[e.Print.Intern(m.arena)] = e
 		}
 
 		okey := suiteListKey(e.Print.CipherSuites)
@@ -134,9 +147,20 @@ func (m *Matcher) DistinctFingerprints() int { return len(m.byKey) }
 // i through j share fingerprint F we report version j"). The winning
 // version per key is resolved once at NewMatcher time.
 func (m *Matcher) MatchExact(f Fingerprint) (LibraryEntry, bool) {
-	best, ok := m.byKeyBest[f.Key()]
+	best, ok := m.byInternedBest[f.Intern(m.arena)]
 	return best, ok
 }
+
+// MatchExactInterned is MatchExact for a fingerprint already interned
+// on this matcher's Arena (see Arena): a single comparable-map hit.
+func (m *Matcher) MatchExactInterned(f Interned) (LibraryEntry, bool) {
+	best, ok := m.byInternedBest[f]
+	return best, ok
+}
+
+// Arena exposes the matcher's intern arena so callers can pre-intern
+// fingerprints once and query with MatchExactInterned in hot loops.
+func (m *Matcher) Arena() *intern.Arena { return m.arena }
 
 // SemanticsMatch is the result of the semantics-aware matcher: the best
 // category achieved across the corpus and the closest library under that

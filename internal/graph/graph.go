@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"repro/internal/fingerprint"
 )
 
 // Bipartite is a bipartite graph between "left" nodes (vendors, devices,
@@ -192,18 +190,26 @@ type SimilarPair struct {
 }
 
 // SimilarPairs returns all left-node pairs with Jaccard >= threshold,
-// sorted by similarity descending then lexicographically. Neighbor sets
-// are materialized as sorted slices once, so the O(V^2) pair loop runs a
-// merge-style Jaccard instead of rebuilding map probes per pair.
+// sorted by similarity descending then lexicographically. Right nodes
+// are mapped to dense uint32 ids once, so the O(V^2) pair loop runs a
+// merge-style Jaccard over integer slices — no string comparisons and
+// no per-pair allocation. Id assignment order is irrelevant: Jaccard
+// depends only on intersection and union cardinalities.
 func (g *Bipartite) SimilarPairs(threshold float64) []SimilarPair {
 	lefts := g.Lefts()
-	adj := make([][]string, len(lefts))
+	rightID := make(map[string]uint32, len(g.rightAdj))
+	adj := make([][]uint32, len(lefts))
 	for i, l := range lefts {
-		ns := make([]string, 0, len(g.leftAdj[l]))
+		ns := make([]uint32, 0, len(g.leftAdj[l]))
 		for r := range g.leftAdj[l] {
-			ns = append(ns, r)
+			id, ok := rightID[r]
+			if !ok {
+				id = uint32(len(rightID))
+				rightID[r] = id
+			}
+			ns = append(ns, id)
 		}
-		sort.Strings(ns)
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		adj[i] = ns
 	}
 	var out []SimilarPair
@@ -215,7 +221,7 @@ func (g *Bipartite) SimilarPairs(threshold float64) []SimilarPair {
 			if len(adj[j]) == 0 {
 				continue
 			}
-			s := fingerprint.JaccardSortedStrings(adj[i], adj[j])
+			s := jaccardSortedUint32(adj[i], adj[j])
 			if s >= threshold {
 				out = append(out, SimilarPair{A: lefts[i], B: lefts[j], Similarity: s})
 			}
@@ -231,6 +237,30 @@ func (g *Bipartite) SimilarPairs(threshold float64) []SimilarPair {
 		return out[i].B < out[j].B
 	})
 	return out
+}
+
+// jaccardSortedUint32 computes Jaccard similarity of two sorted id sets
+// by a single merge pass. Empty-vs-empty is 1, matching Jaccard.
+func jaccardSortedUint32(a, b []uint32) float64 {
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
 }
 
 // CDF returns the empirical CDF of the values: sorted x values and the

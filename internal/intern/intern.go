@@ -1,0 +1,175 @@
+// Package intern provides the shared, append-only identity stores
+// backing the columnar hot path: a string Table mapping each distinct
+// string to a stable uint32 Symbol, and a uint16-slice Arena mapping
+// each distinct ciphersuite/extension list to a deduped Handle over
+// one contiguous backing array.
+//
+// Both stores are append-only — symbols and handles, once issued,
+// never change meaning and never move — so readers may hold a Symbol,
+// a Handle, or a slice view returned by Arena.Get across later
+// inserts without synchronization. Writes take a mutex; reads take an
+// RLock fast path that almost always hits once the working set is
+// warm.
+//
+// Symbol 0 is always the empty string and Handle 0 is always the
+// empty list, so "has SNI" and "no extensions" checks stay branch-only.
+package intern
+
+import "sync"
+
+// Symbol identifies one distinct string in a Table. The zero Symbol is
+// always the empty string.
+type Symbol uint32
+
+// Table is an append-only string interner. The zero value is not
+// usable; construct with NewTable.
+type Table struct {
+	mu   sync.RWMutex
+	syms map[string]Symbol
+	strs []string
+}
+
+// NewTable returns a Table with Symbol 0 pre-bound to "".
+func NewTable() *Table {
+	return &Table{
+		syms: map[string]Symbol{"": 0},
+		strs: []string{""},
+	}
+}
+
+// Intern returns the stable Symbol for s, assigning the next Symbol on
+// first sight. Safe for concurrent use.
+func (t *Table) Intern(s string) Symbol {
+	t.mu.RLock()
+	sym, ok := t.syms[s]
+	t.mu.RUnlock()
+	if ok {
+		return sym
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sym, ok = t.syms[s]; ok {
+		return sym
+	}
+	sym = Symbol(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.syms[s] = sym
+	return sym
+}
+
+// Lookup returns the Symbol for s without inserting. ok is false if s
+// has never been interned.
+func (t *Table) Lookup(s string) (sym Symbol, ok bool) {
+	t.mu.RLock()
+	sym, ok = t.syms[s]
+	t.mu.RUnlock()
+	return sym, ok
+}
+
+// Str returns the string bound to sym. Panics if sym was never issued
+// by this table.
+func (t *Table) Str(sym Symbol) string {
+	t.mu.RLock()
+	s := t.strs[sym]
+	t.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of distinct symbols issued (including the
+// empty string).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.strs)
+	t.mu.RUnlock()
+	return n
+}
+
+// Handle identifies one distinct uint16 list in an Arena. The zero
+// Handle is always the empty list.
+type Handle uint32
+
+type span struct {
+	off uint32
+	n   uint32
+}
+
+// Arena is an append-only, content-deduplicating store of uint16
+// lists. Lists with identical contents (same values, same order) share
+// one Handle and one span of the backing array. The zero value is not
+// usable; construct with NewArena.
+type Arena struct {
+	mu    sync.RWMutex
+	idx   map[string]Handle
+	spans []span
+	data  []uint16
+}
+
+// NewArena returns an Arena with Handle 0 pre-bound to the empty list.
+func NewArena() *Arena {
+	return &Arena{
+		idx:   map[string]Handle{"": 0},
+		spans: []span{{0, 0}},
+	}
+}
+
+// arenaKey encodes vals big-endian into buf (growing it only when vals
+// is longer than the caller's stack buffer) and returns the byte key.
+func arenaKey(buf []byte, vals []uint16) []byte {
+	if cap(buf) < 2*len(vals) {
+		buf = make([]byte, 2*len(vals))
+	}
+	buf = buf[:2*len(vals)]
+	for i, v := range vals {
+		buf[2*i] = byte(v >> 8)
+		buf[2*i+1] = byte(v)
+	}
+	return buf
+}
+
+// Put returns the Handle for the exact list vals, storing a copy on
+// first sight. The fast path (list already present) allocates nothing:
+// the key is encoded into a stack buffer and the map lookup uses the
+// compiler's string(key) no-alloc form. Safe for concurrent use.
+func (a *Arena) Put(vals []uint16) Handle {
+	var arr [128]byte
+	key := arenaKey(arr[:0], vals)
+	a.mu.RLock()
+	h, ok := a.idx[string(key)]
+	a.mu.RUnlock()
+	if ok {
+		return h
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h, ok = a.idx[string(key)]; ok {
+		return h
+	}
+	h = Handle(len(a.spans))
+	off := uint32(len(a.data))
+	a.data = append(a.data, vals...)
+	a.spans = append(a.spans, span{off, uint32(len(vals))})
+	a.idx[string(key)] = h
+	return h
+}
+
+// Get returns the list bound to h as a read-only view into the backing
+// array. The view stays valid across later Puts (the array is
+// append-only: growth copies never mutate the old prefix, and live
+// views keep their old backing alive). Callers must not modify it.
+// Panics if h was never issued by this arena.
+func (a *Arena) Get(h Handle) []uint16 {
+	a.mu.RLock()
+	sp := a.spans[h]
+	v := a.data[sp.off : sp.off+sp.n : sp.off+sp.n]
+	a.mu.RUnlock()
+	return v
+}
+
+// Len returns the number of distinct lists stored (including the empty
+// list).
+func (a *Arena) Len() int {
+	a.mu.RLock()
+	n := len(a.spans)
+	a.mu.RUnlock()
+	return n
+}

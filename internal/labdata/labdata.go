@@ -64,7 +64,7 @@ func Capture(w *simnet.World, ds *dataset.Dataset, seed int64) *Dataset {
 
 	// Index SNIs visited per device from the crowdsourced records.
 	visits := map[string][]string{}
-	for _, r := range ds.Records {
+	for _, r := range ds.Records.Rows() {
 		if r.SNI != "" {
 			visits[r.DeviceID] = append(visits[r.DeviceID], r.SNI)
 		}

@@ -22,6 +22,7 @@ package libcorpus
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/fingerprint"
 	"repro/internal/tlswire"
@@ -42,6 +43,60 @@ func Build() []fingerprint.LibraryEntry {
 // NewMatcher builds a fingerprint.Matcher over the full corpus.
 func NewMatcher() *fingerprint.Matcher {
 	return fingerprint.NewMatcher(Build())
+}
+
+// The corpus is deterministic — no seed, no clock, no configuration —
+// and every downstream consumer treats entry prints as immutable (the
+// dataset generator deep-copies before mutating, the matcher only
+// reads), so each family is constructed once. The public accessors hand
+// out a fresh top-level slice over the shared immutable entries: callers
+// may append, reorder, or subslice freely; only the inner suite and
+// extension lists are shared.
+var (
+	corpusOnce                                                         sync.Once
+	osslCorpus, wolfCorpus, mbedCorpus, curlOSSLCorpus, curlWolfCorpus []fingerprint.LibraryEntry
+)
+
+func initCorpus() {
+	corpusOnce.Do(func() {
+		osslCorpus = buildOpenSSL()
+		wolfCorpus = buildWolfSSL()
+		mbedCorpus = buildMbedTLS()
+		curlOSSLCorpus = buildCurlOpenSSL()
+		curlWolfCorpus = buildCurlWolfSSL()
+	})
+}
+
+// OpenSSL returns the 19 OpenSSL entries.
+func OpenSSL() []fingerprint.LibraryEntry {
+	initCorpus()
+	return append([]fingerprint.LibraryEntry(nil), osslCorpus...)
+}
+
+// WolfSSL returns the 38 wolfSSL entries.
+func WolfSSL() []fingerprint.LibraryEntry {
+	initCorpus()
+	return append([]fingerprint.LibraryEntry(nil), wolfCorpus...)
+}
+
+// MbedTLS returns the 113 Mbed TLS / PolarSSL entries of Appendix B.1.
+func MbedTLS() []fingerprint.LibraryEntry {
+	initCorpus()
+	return append([]fingerprint.LibraryEntry(nil), mbedCorpus...)
+}
+
+// CurlOpenSSL returns the curl×OpenSSL cross product trimmed to the
+// paper's 5,591 combinations (not every pairing builds in reality).
+func CurlOpenSSL() []fingerprint.LibraryEntry {
+	initCorpus()
+	return append([]fingerprint.LibraryEntry(nil), curlOSSLCorpus...)
+}
+
+// CurlWolfSSL returns the curl×wolfSSL cross product trimmed to 1,130
+// combinations (curl 7.25.0 .. 7.68.0 per the appendix).
+func CurlWolfSSL() []fingerprint.LibraryEntry {
+	initCorpus()
+	return append([]fingerprint.LibraryEntry(nil), curlWolfCorpus...)
 }
 
 // openSSLVersions is the appendix B.1 list with release years and support
@@ -72,8 +127,8 @@ var openSSLVersions = []struct {
 	{"1.1.1i", 2020, true},
 }
 
-// OpenSSL returns the 19 OpenSSL entries.
-func OpenSSL() []fingerprint.LibraryEntry {
+// buildOpenSSL constructs the 19 OpenSSL entries.
+func buildOpenSSL() []fingerprint.LibraryEntry {
 	out := make([]fingerprint.LibraryEntry, 0, len(openSSLVersions))
 	for _, v := range openSSLVersions {
 		out = append(out, fingerprint.LibraryEntry{
@@ -241,8 +296,8 @@ var wolfSSLVersions = []struct {
 	{"WCv4.0-RC4", 2019}, {"WCv4.0-RC5", 2019},
 }
 
-// WolfSSL returns the 38 wolfSSL entries.
-func WolfSSL() []fingerprint.LibraryEntry {
+// buildWolfSSL constructs the 38 wolfSSL entries.
+func buildWolfSSL() []fingerprint.LibraryEntry {
 	out := make([]fingerprint.LibraryEntry, 0, len(wolfSSLVersions))
 	for _, v := range wolfSSLVersions {
 		supported := strings.HasPrefix(v.version, "4.") || strings.HasPrefix(v.version, "WCv4")
@@ -311,8 +366,8 @@ func wolfSSLPrint(version string) fingerprint.Fingerprint {
 	return fingerprint.Fingerprint{Version: ver, CipherSuites: suites, Extensions: exts}
 }
 
-// MbedTLS returns the 113 Mbed TLS / PolarSSL entries of Appendix B.1.
-func MbedTLS() []fingerprint.LibraryEntry {
+// buildMbedTLS constructs the 113 Mbed TLS / PolarSSL entries of Appendix B.1.
+func buildMbedTLS() []fingerprint.LibraryEntry {
 	versions := mbedVersions()
 	out := make([]fingerprint.LibraryEntry, 0, len(versions))
 	for _, v := range versions {
@@ -549,22 +604,22 @@ func openSSLFull() []fingerprint.LibraryEntry {
 	return out
 }
 
-// CurlOpenSSL returns the curl×OpenSSL cross product trimmed to the
-// paper's 5,591 combinations (not every pairing builds in reality).
-func CurlOpenSSL() []fingerprint.LibraryEntry {
+// buildCurlOpenSSL constructs the curl×OpenSSL cross product trimmed to
+// the paper's 5,591 combinations (not every pairing builds in reality).
+func buildCurlOpenSSL() []fingerprint.LibraryEntry {
 	return curlCross("curl+OpenSSL", openSSLFull(), curlVersions(), 5591)
 }
 
-// CurlWolfSSL returns the curl×wolfSSL cross product trimmed to 1,130
-// combinations (curl 7.25.0 .. 7.68.0 per the appendix).
-func CurlWolfSSL() []fingerprint.LibraryEntry {
+// buildCurlWolfSSL constructs the curl×wolfSSL cross product trimmed to
+// 1,130 combinations (curl 7.25.0 .. 7.68.0 per the appendix).
+func buildCurlWolfSSL() []fingerprint.LibraryEntry {
 	var curls []string
 	for _, v := range curlVersions() {
 		if m := curlMinor(v); m >= 25 && m <= 68 {
 			curls = append(curls, v)
 		}
 	}
-	return curlCross("curl+wolfSSL", WolfSSL(), curls, 1130)
+	return curlCross("curl+wolfSSL", buildWolfSSL(), curls, 1130)
 }
 
 func curlCross(family string, libs []fingerprint.LibraryEntry, curls []string, limit int) []fingerprint.LibraryEntry {

@@ -38,8 +38,12 @@ func TestWrapsentinelFixture(t *testing.T) {
 	runFixture(t, Wrapsentinel(), "wrapsentinel")
 }
 
+func TestHotkeyFixture(t *testing.T) {
+	runFixture(t, Hotkey(), "hotkey")
+}
+
 func TestSuiteNamesUniqueAndStable(t *testing.T) {
-	want := []string{"noclock", "seededrand", "sortedrange", "ctxfirst", "wrapsentinel"}
+	want := []string{"noclock", "seededrand", "sortedrange", "ctxfirst", "wrapsentinel", "hotkey"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

@@ -89,6 +89,7 @@ func Suite() []*Analyzer {
 		Sortedrange(),
 		Ctxfirst(),
 		Wrapsentinel(),
+		Hotkey(),
 	}
 }
 

@@ -1,0 +1,51 @@
+// Package a is the hotkey fixture: maps must not be indexed by a
+// direct Fingerprint.Key() call — Key allocates per invocation.
+package a
+
+type Fingerprint struct{ v int }
+
+func (f Fingerprint) Key() string { return "k" }
+
+type entry struct{ n int }
+
+type other struct{}
+
+func (o other) Key() string { return "o" }
+
+func lookup(m map[string]entry, f Fingerprint) entry {
+	return m[f.Key()] // want `map indexed by Fingerprint\.Key`
+}
+
+func store(m map[string]bool, f *Fingerprint) {
+	m[f.Key()] = true // want `map indexed by Fingerprint\.Key`
+}
+
+func probe(m map[string]entry, f Fingerprint) bool {
+	_, ok := m[f.Key()] // want `map indexed by Fingerprint\.Key`
+	return ok
+}
+
+func hoisted(m map[string]entry, fs []Fingerprint) int {
+	n := 0
+	for _, f := range fs {
+		k := f.Key() // hoisted once per element, visible to the reader
+		if _, ok := m[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func otherReceiver(m map[string]entry, o other) entry {
+	return m[o.Key()] // a different type's Key: clean
+}
+
+func notAMap(s []entry, f Fingerprint) entry {
+	_ = f.Key()
+	return s[0]
+}
+
+func allowed(m map[string]entry, f Fingerprint) entry {
+	//lint:allow hotkey one-shot diagnostic path, not a loop
+	return m[f.Key()]
+}

@@ -175,7 +175,7 @@ func RunCase(ctx context.Context, c Case, opts Options, exactRerun bool) (CaseRe
 
 	st := base.study
 	res.Devices = len(st.Dataset.Devices)
-	res.Records = len(st.Dataset.Records)
+	res.Records = st.Dataset.Records.Len()
 	res.SNIs = len(st.Dataset.SNIs())
 	res.SNIsKept = len(st.SNIs)
 	res.Jobs = base.stats.Jobs
@@ -259,7 +259,7 @@ func checkMetricsReconcile(out *runOutput, defect func(string, string, ...interf
 		{"iotcheck_probe_recovered_after_retry_total", stats.RecoveredAfterRetry},
 		{"iotcheck_probe_breaker_opens_total", stats.BreakerOpens},
 		{"iotcheck_probe_breaker_fast_fails_total", stats.BreakerFastFails},
-		{"iotcheck_ingest_records_total", len(st.Dataset.Records)},
+		{"iotcheck_ingest_records_total", st.Dataset.Records.Len()},
 	} {
 		if got := obs.SumSeries(out.samples, tc.series); got != float64(tc.want) {
 			defect("metrics-reconcile", "%s = %v, engine says %d", tc.series, got, tc.want)
@@ -304,19 +304,19 @@ func checkProbeTableReconcile(stats probe.Stats, defect func(string, string, ...
 // records through the crypto/tls differential oracle.
 func checkWire(out *runOutput, sample int, defect func(string, string, ...interface{})) int {
 	records := out.study.Dataset.Records
-	if sample <= 0 || len(records) == 0 {
+	if sample <= 0 || records.Len() == 0 {
 		return 0
 	}
-	stride := len(records) / sample
+	stride := records.Len() / sample
 	if stride == 0 {
 		stride = 1
 	}
 	checked := 0
-	for i := 0; i < len(records) && checked < sample; i += stride {
+	for i := 0; i < records.Len() && checked < sample; i += stride {
 		checked++
-		if diffs := tlswire.CompareWithCryptoTLS(records[i].Raw); len(diffs) > 0 {
+		if diffs := tlswire.CompareWithCryptoTLS(records.Raw(i)); len(diffs) > 0 {
 			defect("wire-differential", "record %d (%s, stack %s): %v",
-				i, records[i].SNI, records[i].StackID, diffs)
+				i, records.At(i).SNI, records.At(i).StackID, diffs)
 		}
 	}
 	return checked

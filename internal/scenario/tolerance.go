@@ -53,7 +53,7 @@ func checkTolerance(out *runOutput, defect func(string, string, ...interface{}))
 	for _, b := range []band{
 		{"devices", len(ds.Devices), paperDevices, 0.15},
 		{"users", ds.Users(), paperUsers, 0.10},
-		{"records", len(ds.Records), paperRecords, 0.10},
+		{"records", ds.Records.Len(), paperRecords, 0.10},
 		{"models", ds.Models(), paperModels, 0.50},
 	} {
 		if b.violated() {

@@ -86,7 +86,7 @@ type LoadReport struct {
 func RunLoad(ctx context.Context, submit SubmitFunc, o LoadOptions) (LoadReport, error) {
 	o = o.withDefaults()
 	ds := dataset.Generate(dataset.Config{Seed: o.Seed, Scale: o.Scale})
-	if len(ds.Records) == 0 {
+	if ds.Records.Len() == 0 {
 		return LoadReport{}, fmt.Errorf("service: loadgen: empty dataset at scale %v", o.Scale)
 	}
 	rep := LoadReport{Outcomes: map[string]int64{}}
@@ -98,10 +98,10 @@ func RunLoad(ctx context.Context, submit SubmitFunc, o LoadOptions) (LoadReport,
 		}
 		source := fmt.Sprintf("source-%02d", i%o.Sources)
 		// Slice a seeded window of the record stream, wrapping around.
-		lo := int(probe.HashFrac(o.Seed, "loadgen-window", source, "", i) * float64(len(ds.Records)))
+		lo := int(probe.HashFrac(o.Seed, "loadgen-window", source, "", i) * float64(ds.Records.Len()))
 		batch := make([]dataset.Record, o.BatchSize)
 		for j := range batch {
-			batch[j] = ds.Records[(lo+j)%len(ds.Records)]
+			batch[j] = ds.Records.At((lo + j) % ds.Records.Len())
 		}
 		if o.PoisonFrac > 0 && probe.HashFrac(o.Seed, "loadgen-poison", source, "", i) < o.PoisonFrac {
 			r := batch[0]

@@ -27,7 +27,7 @@ func testRecords(t *testing.T) []dataset.Record {
 	t.Helper()
 	testData.once.Do(func() {
 		ds := dataset.Generate(dataset.Config{Seed: 11, Scale: 0.02})
-		testData.recs = ds.Records
+		testData.recs = ds.Records.Rows()
 	})
 	if len(testData.recs) < 100 {
 		t.Fatalf("test dataset too small: %d records", len(testData.recs))

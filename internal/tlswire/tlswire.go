@@ -270,21 +270,19 @@ func (ch *ClientHello) Marshal() ([]byte, error) {
 	if len(body) > maxHandshakeLen {
 		return nil, fmt.Errorf("tlswire: ClientHello too large (%d bytes)", len(body))
 	}
-	// Handshake header: type(1) + length(3).
-	hs := make([]byte, 0, 4+len(body))
-	hs = append(hs, handshakeClientHello)
-	hs = append(hs, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
-	hs = append(hs, body...)
-	// Record header: type(1) + version(2) + length(2).
 	recVer := ch.LegacyVersion
 	if recVer > VersionTLS12 {
 		recVer = VersionTLS12 // TLS 1.3 records claim 1.2 on the wire
 	}
-	rec := make([]byte, 0, 5+len(hs))
+	// Record header: type(1) + version(2) + length(2), then the handshake
+	// header: type(1) + length(3). Exact capacity: one allocation total.
+	rec := make([]byte, 0, 9+len(body))
 	rec = append(rec, recordTypeHandshake)
 	rec = appendUint16(rec, uint16(recVer))
-	rec = appendUint16(rec, uint16(len(hs)))
-	rec = append(rec, hs...)
+	rec = appendUint16(rec, uint16(4+len(body)))
+	rec = append(rec, handshakeClientHello)
+	rec = append(rec, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	rec = append(rec, body...)
 	return rec, nil
 }
 
@@ -307,7 +305,26 @@ func (ch *ClientHello) marshalBody() ([]byte, error) {
 	if len(comp) > 255 {
 		return nil, fmt.Errorf("tlswire: compression list too long (%d)", len(comp))
 	}
-	b := make([]byte, 0, 256)
+	// Size the buffer exactly so the whole body is one allocation: the
+	// extensions block length is known up front, so extensions append
+	// directly into b with no intermediate buffer.
+	extLen := 0
+	if len(ch.Extensions) > 0 {
+		for _, e := range ch.Extensions {
+			if len(e.Data) > 0xFFFF {
+				return nil, fmt.Errorf("tlswire: extension %v too long", e.Type)
+			}
+			extLen += 4 + len(e.Data)
+		}
+		if extLen > 0xFFFF {
+			return nil, errors.New("tlswire: extensions block too long")
+		}
+	}
+	n := 2 + len(ch.Random) + 1 + len(ch.SessionID) + 2 + 2*len(ch.CipherSuites) + 1 + len(comp)
+	if len(ch.Extensions) > 0 {
+		n += 2 + extLen
+	}
+	b := make([]byte, 0, n)
 	b = appendUint16(b, uint16(ch.LegacyVersion))
 	b = append(b, ch.Random[:]...)
 	b = append(b, byte(len(ch.SessionID)))
@@ -319,20 +336,12 @@ func (ch *ClientHello) marshalBody() ([]byte, error) {
 	b = append(b, byte(len(comp)))
 	b = append(b, comp...)
 	if len(ch.Extensions) > 0 {
-		var ext []byte
+		b = appendUint16(b, uint16(extLen))
 		for _, e := range ch.Extensions {
-			if len(e.Data) > 0xFFFF {
-				return nil, fmt.Errorf("tlswire: extension %v too long", e.Type)
-			}
-			ext = appendUint16(ext, uint16(e.Type))
-			ext = appendUint16(ext, uint16(len(e.Data)))
-			ext = append(ext, e.Data...)
+			b = appendUint16(b, uint16(e.Type))
+			b = appendUint16(b, uint16(len(e.Data)))
+			b = append(b, e.Data...)
 		}
-		if len(ext) > 0xFFFF {
-			return nil, errors.New("tlswire: extensions block too long")
-		}
-		b = appendUint16(b, uint16(len(ext)))
-		b = append(b, ext...)
 	}
 	return b, nil
 }
@@ -412,9 +421,10 @@ func parseBody(b []byte) (*ClientHello, error) {
 	if compLen > len(b) {
 		return nil, ErrTruncated
 	}
-	ch.CompressionMethods = append([]byte(nil), b[:compLen]...)
+	compView := b[:compLen]
 	b = b[compLen:]
 	if len(b) == 0 {
+		ch.CompressionMethods = append([]byte(nil), compView...)
 		return ch, nil // extensions are optional (SSL3/old stacks)
 	}
 	if len(b) < 2 {
@@ -426,17 +436,46 @@ func parseBody(b []byte) (*ClientHello, error) {
 		return nil, ErrTruncated
 	}
 	b = b[:extLen]
-	for len(b) > 0 {
-		if len(b) < 4 {
+	// Pre-scan the block to count extensions and total payload bytes:
+	// the extension slice and one shared payload backing then allocate
+	// exactly once, instead of growing per extension.
+	nExt, dataLen := 0, 0
+	for rest := b; len(rest) > 0; {
+		if len(rest) < 4 {
 			return nil, ErrTruncated
 		}
+		el := int(binary.BigEndian.Uint16(rest[2:]))
+		rest = rest[4:]
+		if el > len(rest) {
+			return nil, ErrTruncated
+		}
+		nExt++
+		dataLen += el
+		rest = rest[el:]
+	}
+	if nExt == 0 {
+		ch.CompressionMethods = append([]byte(nil), compView...)
+		return ch, nil
+	}
+	// The compression list shares the payload backing: one copy buffer
+	// serves both it and every extension body.
+	ch.Extensions = make([]Extension, 0, nExt)
+	buf := make([]byte, 0, compLen+dataLen)
+	if compLen > 0 { // keep nil (not empty) for a zero-length list
+		buf = append(buf, compView...)
+		ch.CompressionMethods = buf[0:compLen:compLen]
+	}
+	for len(b) > 0 {
 		et := ExtensionType(binary.BigEndian.Uint16(b))
 		el := int(binary.BigEndian.Uint16(b[2:]))
 		b = b[4:]
-		if el > len(b) {
-			return nil, ErrTruncated
+		var data []byte
+		if el > 0 {
+			off := len(buf)
+			buf = append(buf, b[:el]...)
+			data = buf[off : off+el : off+el]
 		}
-		ch.Extensions = append(ch.Extensions, Extension{Type: et, Data: append([]byte(nil), b[:el]...)})
+		ch.Extensions = append(ch.Extensions, Extension{Type: et, Data: data})
 		b = b[el:]
 	}
 	return ch, nil
