@@ -37,6 +37,7 @@ func main() {
 	minUsers := flag.Int("min-users", 3, "SNI popularity filter (paper: 3)")
 	tolerance := flag.Bool("tolerance", true, "append the paper-scale tolerance case")
 	serviceCells := flag.Bool("service", true, "append the service-mode cells (conservation, deterministic shedding, batch equivalence)")
+	serverFPCells := flag.Bool("serverfp", true, "append the active-fingerprinting cells (classification accuracy, worker-count determinism)")
 	goldenDir := flag.String("golden", "internal/scenario/testdata/golden", "golden snapshot directory ('' disables the snapshot check)")
 	update := flag.Bool("update", false, "regenerate golden snapshots instead of comparing")
 	jsonPath := flag.String("json", "", "write the JSON summary to this file")
@@ -56,6 +57,7 @@ func main() {
 	m.MinSNIUsers = *minUsers
 	m.ToleranceCase = *tolerance
 	m.ServiceCells = *serviceCells
+	m.ServerFPCells = *serverFPCells
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "iotcheck:", err)
 		os.Exit(2)

@@ -40,9 +40,10 @@ func main() {
 	var obsFlags cliflags.Obs
 	obsFlags.Register(flag.CommandLine)
 	var (
-		minUser = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users")
-		realTLS = flag.Bool("real-tls", false, "probe with genuine crypto/tls handshakes")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		minUser  = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users")
+		realTLS  = flag.Bool("real-tls", false, "probe with genuine crypto/tls handshakes")
+		serverFP = flag.Bool("serverfp", false, "actively fingerprint server TLS stacks and append the census tables")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -62,7 +63,7 @@ func main() {
 
 	cfg := core.Config{
 		Seed: common.Seed, Scale: common.Scale, MinSNIUsers: *minUser,
-		RealTLS: *realTLS, Workers: common.Workers,
+		RealTLS: *realTLS, ServerFP: *serverFP, Workers: common.Workers,
 		Tracer: tracer, Metrics: metrics,
 	}
 	cfg.Probe.AttemptTimeout = common.Timeout

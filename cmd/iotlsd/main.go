@@ -6,8 +6,8 @@
 // final snapshot, optionally write the full batch-equivalent report,
 // exit 0.
 //
-// Endpoints: POST /v1/batch, GET /healthz /readyz /statz /quarantinez
-// /report, and /metrics when -metrics or -pprof is set.
+// Endpoints: POST /v1/batch, GET /v1/serverfp /healthz /readyz /statz
+// /quarantinez /report, and /metrics when -metrics or -pprof is set.
 //
 // -selfdrive turns the daemon into its own soak rig: a seeded open-loop
 // load generator POSTs batches to the daemon's listener, then triggers

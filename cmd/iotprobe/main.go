@@ -10,11 +10,16 @@
 // from the crowdsourced dataset. Positional SNIs are added to the hosted
 // world, so ad-hoc domains resolve instead of failing with unknown host.
 //
+// With -fingerprint it switches to active server-stack fingerprinting:
+// instead of one canonical handshake per (SNI, vantage), it sends the
+// serverfp battery of crafted ClientHellos to each host from a single
+// vantage and classifies the response vectors into server-stack labels.
+//
 // Usage:
 //
 //	iotprobe [-seed N] [-scale F] [-real-tls] [-vantage V]
 //	         [-timeout D] [-retries N] [-workers N] [-fault-rate F]
-//	         [-trace] [-metrics FILE] [-pprof ADDR] [sni ...]
+//	         [-fingerprint] [-trace] [-metrics FILE] [-pprof ADDR] [sni ...]
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/pki"
 	"repro/internal/probe"
+	"repro/internal/serverfp"
 	"repro/internal/simnet"
 )
 
@@ -42,6 +48,7 @@ func main() {
 		vantage   = flag.String("vantage", "all", "vantage: new-york, frankfurt, singapore, or all")
 		retries   = flag.Int("retries", 3, "max retries per (SNI, vantage) on transient failures")
 		faultRate = flag.Float64("fault-rate", 0, "injected transient-failure probability per attempt, in [0,1]")
+		fpMode    = flag.Bool("fingerprint", false, "actively fingerprint server TLS stacks instead of collecting chains")
 	)
 	flag.Parse()
 	seed, scale, workers, timeout := &common.Seed, &common.Scale, &common.Workers, &common.Timeout
@@ -95,17 +102,51 @@ func main() {
 	if maxRetries == 0 {
 		maxRetries = -1 // flag 0 means "no retries", not "engine default"
 	}
-	eng := probe.New(probe.WorldProber{World: world, RealTLS: *realTLS}, probe.Options{
+	opts := probe.Options{
 		Workers:        *workers,
 		AttemptTimeout: *timeout,
 		MaxRetries:     maxRetries,
 		Seed:           *seed,
 		Metrics:        metrics,
-	})
+	}
 
 	ctx, stop := cliflags.SignalContext(context.Background())
 	defer stop()
 	sort.Strings(snis)
+
+	if *fpMode {
+		fpSpan := tracer.Root().Child("serverfp")
+		census, err := serverfp.Fingerprint(ctx, world, snis, vantages[0], opts)
+		fpSpan.End()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iotprobe:", err)
+			flush()
+			os.Exit(1)
+		}
+		for _, tgt := range census.Targets {
+			truth := tgt.TrueLabel
+			if truth == "" {
+				truth = "?"
+			}
+			fmt.Printf("%-40s stack=%-16s confidence=%.2f truth=%-16s observed=%d/%d\n",
+				tgt.SNI, tgt.Label, tgt.Confidence, truth, tgt.Observed, census.BatterySize)
+		}
+		for _, lc := range census.LabelCounts() {
+			fmt.Printf("# %-18s servers=%-5d mean-confidence=%.2f mismatches=%d\n",
+				lc.Label, lc.Servers, lc.MeanConf, lc.Mismatches)
+		}
+		fmt.Fprintf(os.Stderr,
+			"fingerprinted %d host(s) from %s: battery=%d accuracy=%.3f attempts=%d retries=%d\n",
+			len(census.Targets), census.Vantage, census.BatterySize, census.Accuracy(),
+			census.Stats.Attempts, census.Stats.Retries)
+		if census.Stats.Aborted > 0 {
+			flush()
+			os.Exit(130)
+		}
+		return
+	}
+
+	eng := probe.New(probe.WorldProber{World: world, RealTLS: *realTLS}, opts)
 	probeSpan := tracer.Root().Child("probe")
 	results, stats := eng.Run(ctx, snis, vantages)
 	probeSpan.SetCount("jobs", int64(stats.Jobs))
@@ -118,11 +159,11 @@ func main() {
 				r.SNI, r.Vantage, r.Class, r.Attempts, r.Err)
 			continue
 		}
-		res := world.Validator.Validate(r.Chain, r.SNI, world.ProbeTime)
-		leaf := r.Chain.Leaf()
+		res := world.Validator.Validate(r.Response.Chain, r.SNI, world.ProbeTime)
+		leaf := r.Response.Chain.Leaf()
 		days := int(leaf.NotAfter.Sub(leaf.NotBefore).Hours() / 24)
 		fmt.Printf("%-40s %-10s issuer=%-28s status=%-22s chain=%d validity=%dd ct=%v attempts=%d\n",
-			r.SNI, r.Vantage, pki.IssuerOrg(leaf), res.Status, r.Chain.Len(), days,
+			r.SNI, r.Vantage, pki.IssuerOrg(leaf), res.Status, r.Response.Chain.Len(), days,
 			world.Log.Contains(leaf), r.Attempts)
 	}
 

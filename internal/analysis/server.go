@@ -123,8 +123,8 @@ func NewServerFromProbes(w *simnet.World, ds *dataset.Dataset, snis []string, va
 			failed[r.SNI]++
 			continue
 		}
-		chains[r.Vantage][r.SNI] = r.Chain
-		if leaf := r.Chain.Leaf(); leaf != nil {
+		chains[r.Vantage][r.SNI] = r.Response.Chain
+		if leaf := r.Response.Chain.Leaf(); leaf != nil {
 			s.ByVantage[r.Vantage][r.SNI] = leaf.Raw
 		}
 	}

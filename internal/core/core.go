@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/serverfp"
 	"repro/internal/simnet"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	// RealTLS probes with genuine crypto/tls handshakes instead of the
 	// fast path.
 	RealTLS bool
+	// ServerFP additionally runs the active server-stack fingerprinting
+	// battery (internal/serverfp) after the probe sweep and appends its
+	// census tables to the report. Off by default: the battery costs
+	// len(serverfp.Battery()) extra probes per SNI, and the pre-existing
+	// report tables stay byte-identical either way.
+	ServerFP bool
 	// Workers bounds the worker pools for record ingestion, probing, and
 	// table rendering. 0 means GOMAXPROCS. Results are identical for any
 	// worker count; only wall time changes.
@@ -155,6 +162,9 @@ type Study struct {
 	Matcher *fingerprint.Matcher
 	World   *simnet.World
 	Server  *analysis.Server
+	// ServerFP is the active fingerprinting census (nil unless
+	// Config.ServerFP).
+	ServerFP *serverfp.Census
 	// SNIs is the filtered SNI set fed to the prober.
 	SNIs []string
 
@@ -167,8 +177,7 @@ type Study struct {
 // Run executes the full pipeline under ctx. Cancelling ctx stops the run:
 // stages that have not started are skipped and the probe engine drains
 // in-flight attempts, so Run returns promptly with the context's error.
-// The entry point of record since PR 3; RunDefault keeps the old
-// context-free shape.
+// The entry point of record since PR 3.
 func Run(ctx context.Context, cfg Config) (*Study, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -179,18 +188,14 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 	st := &Study{Config: cfg}
 	pipe := cfg.Tracer.Root().Child("core.Run")
 	defer pipe.End()
-	if err := RunStages(ctx, st, pipe, Stages()); err != nil {
+	stages := Stages()
+	if cfg.ServerFP {
+		stages = append(stages, Stage{Name: StageServerFP, After: []string{StageProbe}, Run: runServerFPStage})
+	}
+	if err := RunStages(ctx, st, pipe, stages); err != nil {
 		return nil, err
 	}
 	return st, nil
-}
-
-// RunDefault executes the pipeline without cancellation.
-//
-// Deprecated: RunDefault exists for callers of the pre-observability API.
-// Use Run with a context.
-func RunDefault(cfg Config) (*Study, error) {
-	return Run(context.Background(), cfg)
 }
 
 // clientTableJobs lists the Section 4 + Appendix B table builders. Each
@@ -218,9 +223,11 @@ func (s *Study) clientTableJobs() []func() report.Table {
 	}
 }
 
-// serverTableJobs lists the Section 5 + Appendix C table builders.
+// serverTableJobs lists the Section 5 + Appendix C table builders, plus
+// the active-fingerprinting tables when that stage ran. Appending rather
+// than always listing them keeps the default report byte-identical.
 func (s *Study) serverTableJobs() []func() report.Table {
-	return []func() report.Table{
+	jobs := []func() report.Table{
 		func() report.Table { return report.Table6(s.Server.Table6()) },
 		func() report.Table { return report.Sharing(s.Server.Sharing()) },
 		func() report.Table { return report.Figure5(s.Server.Figure5()) },
@@ -246,6 +253,13 @@ func (s *Study) serverTableJobs() []func() report.Table {
 			return report.ReportCards(s.Server.ReportCards(s.World.ProbeTime), s.World.ProbeTime)
 		},
 	}
+	if s.ServerFP != nil {
+		jobs = append(jobs,
+			func() report.Table { return report.ServerFPCensus(s.ServerFP) },
+			func() report.Table { return report.ServerFPVendorStacks(s.ServerFP) },
+		)
+	}
+	return jobs
 }
 
 // buildTables runs table jobs across the study's worker pool, preserving

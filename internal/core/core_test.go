@@ -113,3 +113,38 @@ func BenchmarkFullStudySmall(b *testing.B) {
 		}
 	}
 }
+
+func TestServerFPStage(t *testing.T) {
+	s, err := Run(context.Background(), Config{Seed: 17, Scale: 0.2, MinSNIUsers: 2, ServerFP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ServerFP == nil || len(s.ServerFP.Targets) == 0 {
+		t.Fatal("ServerFP census missing")
+	}
+	if acc := s.ServerFP.Accuracy(); acc < 0.95 {
+		t.Fatalf("serverfp accuracy %.3f, want >= 0.95", acc)
+	}
+	var buf bytes.Buffer
+	s.WriteReport(&buf)
+	for _, want := range []string{
+		"Server stack census (active fingerprinting)",
+		"Vendor / backend server stack correlation",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// The census is strictly additive: a default run has no census and
+	// renders no serverfp tables.
+	plain := runSmall(t)
+	if plain.ServerFP != nil {
+		t.Fatal("default config ran the serverfp stage")
+	}
+	var pbuf bytes.Buffer
+	plain.WriteReport(&pbuf)
+	if strings.Contains(pbuf.String(), "Server stack census") {
+		t.Fatal("default report contains serverfp tables")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/libcorpus"
 	"repro/internal/obs"
 	"repro/internal/probe"
+	"repro/internal/serverfp"
 	"repro/internal/simnet"
 )
 
@@ -22,6 +23,11 @@ const (
 	StageWorld    = "world-build"
 	StageProbe    = "probe"
 	StageValidate = "chain-validate"
+	// StageServerFP is the optional active-fingerprinting stage; Run
+	// appends it after StageProbe when Config.ServerFP is set, so
+	// Stages() itself (and every stage-count invariant built on it)
+	// describes the default pipeline.
+	StageServerFP = "serverfp"
 )
 
 // Stage is one named step of the study pipeline. Stages form a DAG via
@@ -141,6 +147,27 @@ func runProbeStage(ctx context.Context, st *Study, rec *StageRecorder) error {
 	// A cancelled sweep leaves aborted placeholders in the results; the
 	// study is incomplete, so surface the cancellation instead of
 	// validating partial data.
+	return ctx.Err()
+}
+
+func runServerFPStage(ctx context.Context, st *Study, rec *StageRecorder) error {
+	cfg := st.Config
+	opts := cfg.Probe
+	if opts.Workers == 0 {
+		opts.Workers = cfg.workers()
+	}
+	// The battery runs uninstrumented: its attempts would otherwise land
+	// on the same probe_* series as the canonical sweep and break the
+	// attempts == stats reconciliation downstream consumers rely on.
+	opts.Metrics = nil
+	census, err := serverfp.Fingerprint(ctx, st.World, st.SNIs, cfg.vantages()[0], opts)
+	if err != nil {
+		return err
+	}
+	st.ServerFP = census
+	rec.Count("targets", int64(len(census.Targets)))
+	rec.Count("battery", int64(census.BatterySize))
+	rec.Count("attempts", int64(census.Stats.Attempts))
 	return ctx.Err()
 }
 

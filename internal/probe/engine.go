@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/pki"
 	"repro/internal/simnet"
+	"repro/internal/tlswire"
 )
 
 // Options tunes the engine. The zero value selects production defaults;
@@ -103,8 +103,12 @@ type AttemptRecord struct {
 type Result struct {
 	SNI     string
 	Vantage simnet.Vantage
-	Chain   pki.Chain
-	Err     error
+	// Probe names the battery probe that produced this result ("" for a
+	// plain Run sweep).
+	Probe string
+	// Response carries the chain and negotiation evidence on success.
+	Response Response
+	Err      error
 	// Attempts counts loop iterations, including breaker fast-fails.
 	Attempts int
 	// Class of the final outcome (ClassNone on success).
@@ -236,7 +240,10 @@ func (e *Engine) Run(ctx context.Context, snis []string, vantages []simnet.Vanta
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runJob(ctx, jobs[i].sni, jobs[i].vantage)
+				sni, v := jobs[i].sni, jobs[i].vantage
+				results[i] = e.runJob(ctx, sni, v, "", func(actx context.Context) (Response, error) {
+					return e.prober.Probe(actx, sni, v)
+				})
 			}
 		}()
 	}
@@ -250,9 +257,72 @@ func (e *Engine) Run(ctx context.Context, snis []string, vantages []simnet.Vanta
 	return results, e.StatsSnapshot()
 }
 
-// runJob drives one (SNI, vantage) pair through the retry loop.
-func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage) Result {
-	res := Result{SNI: sni, Vantage: vantage}
+// BatteryProbe is one crafted hello of a fingerprinting battery. Hello
+// crafts the wire message per target (typically a fixed template with
+// the SNI patched in); it must be deterministic.
+type BatteryProbe struct {
+	// Name labels the probe in results and classification vectors.
+	Name string
+	// Hello crafts the ClientHello for the target.
+	Hello func(sni string) *tlswire.ClientHello
+}
+
+// RunBattery sends every battery probe to every SNI from one vantage,
+// through the same retry/backoff/budget/breaker machinery as Run: a
+// host's retry budget and breaker are shared across its battery probes,
+// so a flapping target cannot consume unbounded attempts. Results are
+// deterministic: SNIs sorted and deduplicated, probes in battery order,
+// results[i*len(battery)+j] = (snis[i], battery[j]). The prober must
+// implement HelloProber.
+func (e *Engine) RunBattery(ctx context.Context, snis []string, vantage simnet.Vantage, battery []BatteryProbe) ([]Result, Stats, error) {
+	hp, ok := e.prober.(HelloProber)
+	if !ok {
+		return nil, e.StatsSnapshot(), fmt.Errorf("probe: %T cannot send crafted hellos", e.prober)
+	}
+	ordered := append([]string(nil), snis...)
+	sort.Strings(ordered)
+	ordered = dedup(ordered)
+
+	type job struct {
+		sni   string
+		probe BatteryProbe
+	}
+	jobs := make([]job, 0, len(ordered)*len(battery))
+	for _, sni := range ordered {
+		for _, bp := range battery {
+			jobs = append(jobs, job{sni, bp})
+		}
+	}
+	results := make([]Result, len(jobs))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < e.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sni, bp := jobs[i].sni, jobs[i].probe
+				hello := bp.Hello(sni)
+				results[i] = e.runJob(ctx, sni, vantage, bp.Name, func(actx context.Context) (Response, error) {
+					return hp.ProbeHello(actx, sni, vantage, hello)
+				})
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, e.StatsSnapshot(), nil
+}
+
+// runJob drives one job through the retry loop. probeName is "" for
+// plain sweeps and the battery probe's name for crafted hellos; attempt
+// performs one probe under the per-attempt deadline.
+func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage, probeName string, probeOnce func(context.Context) (Response, error)) Result {
+	res := Result{SNI: sni, Vantage: vantage, Probe: probeName}
 	e.bump(func(s *Stats) { s.Jobs++ })
 	br := e.breakerFor(sni)
 
@@ -266,7 +336,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		}
 		res.Attempts = attempt
 
-		var chain pki.Chain
+		var resp Response
 		var err error
 		if !br.Allow(e.opts.Clock.Now()) {
 			err = fmt.Errorf("%w: %s", ErrCircuitOpen, sni)
@@ -275,7 +345,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		} else {
 			attemptCtx, cancel := context.WithTimeout(ctx, e.opts.AttemptTimeout)
 			start := e.opts.Clock.Now()
-			chain, err = e.prober.Probe(attemptCtx, sni, vantage)
+			resp, err = probeOnce(attemptCtx)
 			e.inst.latency[vantage].Observe(e.opts.Clock.Now().Sub(start).Seconds())
 			cancel()
 			e.bump(func(s *Stats) { s.Attempts++ })
@@ -294,7 +364,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 		switch class {
 		case ClassNone:
 			br.Success()
-			res.Chain, res.Class = chain, ClassNone
+			res.Response, res.Class = resp, ClassNone
 			res.Trace = append(res.Trace, rec)
 			e.bump(func(s *Stats) {
 				s.Successes++
@@ -348,7 +418,7 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 			e.inst.budgetOut.Inc()
 			return res
 		}
-		rec.Backoff = e.backoff(sni, vantage, attempt)
+		rec.Backoff = e.backoff(sni, vantage, probeName, attempt)
 		res.Trace = append(res.Trace, rec)
 		e.bump(func(s *Stats) { s.Retries++ })
 		e.inst.retries.Inc()
@@ -363,15 +433,22 @@ func (e *Engine) runJob(ctx context.Context, sni string, vantage simnet.Vantage)
 
 // backoff computes the full-jitter backoff after the given attempt:
 // uniform in [0, min(BackoffMax, BackoffBase*2^(attempt-1))], derived
-// deterministically from the seed.
-func (e *Engine) backoff(sni string, vantage simnet.Vantage, attempt int) time.Duration {
+// deterministically from the seed. Battery probes mix their probe name
+// into the jitter coordinates so two probes against the same host do
+// not share a backoff trace; plain sweeps keep the original key and
+// therefore the original traces.
+func (e *Engine) backoff(sni string, vantage simnet.Vantage, probeName string, attempt int) time.Duration {
 	ceil := e.opts.BackoffMax
 	if shift := attempt - 1; shift < 62 {
 		if c := e.opts.BackoffBase << shift; c > 0 && c < ceil {
 			ceil = c
 		}
 	}
-	frac := HashFrac(e.opts.Seed, "backoff", sni, string(vantage), attempt)
+	key := string(vantage)
+	if probeName != "" {
+		key += "|" + probeName
+	}
+	frac := HashFrac(e.opts.Seed, "backoff", sni, key, attempt)
 	return time.Duration(frac * float64(ceil))
 }
 

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/pki"
 	"repro/internal/simnet"
 )
 
@@ -39,9 +38,9 @@ func (p *scriptedProber) callCount(sni string, v simnet.Vantage) int {
 	return p.calls[key(sni, v)]
 }
 
-func (p *scriptedProber) Probe(ctx context.Context, sni string, v simnet.Vantage) (pki.Chain, error) {
+func (p *scriptedProber) Probe(ctx context.Context, sni string, v simnet.Vantage) (Response, error) {
 	if err := ctx.Err(); err != nil {
-		return pki.Chain{}, err
+		return Response{}, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -51,10 +50,10 @@ func (p *scriptedProber) Probe(ctx context.Context, sni string, v simnet.Vantage
 		err := errs[0]
 		p.script[k] = errs[1:]
 		if err != nil {
-			return pki.Chain{}, err
+			return Response{}, err
 		}
 	}
-	return pki.Chain{}, nil
+	return Response{}, nil
 }
 
 func testEngine(p Prober, opts Options) (*Engine, *FakeClock) {
@@ -176,8 +175,8 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 	}
 	a, b := mk(), mk()
 	for attempt := 1; attempt <= 8; attempt++ {
-		da := a.backoff("host.example.com", simnet.VantageFrankfurt, attempt)
-		db := b.backoff("host.example.com", simnet.VantageFrankfurt, attempt)
+		da := a.backoff("host.example.com", simnet.VantageFrankfurt, "", attempt)
+		db := b.backoff("host.example.com", simnet.VantageFrankfurt, "", attempt)
 		if da != db {
 			t.Fatalf("attempt %d: backoff nondeterministic (%v vs %v)", attempt, da, db)
 		}
@@ -193,8 +192,8 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 	c, _ := testEngine(newScriptedProber(), Options{Seed: 43, BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second})
 	same := 0
 	for attempt := 1; attempt <= 8; attempt++ {
-		if a.backoff("host.example.com", simnet.VantageFrankfurt, attempt) ==
-			c.backoff("host.example.com", simnet.VantageFrankfurt, attempt) {
+		if a.backoff("host.example.com", simnet.VantageFrankfurt, "", attempt) ==
+			c.backoff("host.example.com", simnet.VantageFrankfurt, "", attempt) {
 			same++
 		}
 	}
@@ -386,11 +385,11 @@ type slowProber struct {
 	latency time.Duration
 }
 
-func (p slowProber) Probe(ctx context.Context, sni string, v simnet.Vantage) (pki.Chain, error) {
+func (p slowProber) Probe(ctx context.Context, sni string, v simnet.Vantage) (Response, error) {
 	if err := simnet.RealSleep(ctx, p.latency); err != nil {
-		return pki.Chain{}, err
+		return Response{}, err
 	}
-	return pki.Chain{}, nil
+	return Response{}, nil
 }
 
 func TestWorkerPoolCancellation(t *testing.T) {

@@ -22,13 +22,42 @@ import (
 
 	"repro/internal/pki"
 	"repro/internal/simnet"
+	"repro/internal/tlswire"
 )
+
+// Response is the structured outcome of one successful probe attempt:
+// the certificate chain plus the negotiation evidence the server
+// exhibited. A server refusing the hello with a TLS alert is still a
+// successful probe — Alert carries the refusal and Chain is empty —
+// because the refusal is evidence, not a transport failure.
+type Response struct {
+	// Chain the server presented (empty on an alert).
+	Chain pki.Chain
+	// NegotiatedVersion the server selected.
+	NegotiatedVersion tlswire.Version
+	// SelectedCipher is the suite the server chose.
+	SelectedCipher uint16
+	// EchoedExtensions lists the ServerHello extension types in emission
+	// order.
+	EchoedExtensions []uint16
+	// Alert is the server's refusal, when it sent one instead of a
+	// ServerHello.
+	Alert *tlswire.Alert
+}
 
 // Prober is one probing backend: a single attempt against (SNI, vantage)
 // honouring the context deadline. Implementations decide what a probe
 // means (real TLS handshake, fast chain lookup, live network dial).
 type Prober interface {
-	Probe(ctx context.Context, sni string, vantage simnet.Vantage) (pki.Chain, error)
+	Probe(ctx context.Context, sni string, vantage simnet.Vantage) (Response, error)
+}
+
+// HelloProber extends Prober with crafted-hello attempts: the backend
+// answers an arbitrary ClientHello instead of its canonical one. The
+// battery runner (RunBattery) requires this interface.
+type HelloProber interface {
+	Prober
+	ProbeHello(ctx context.Context, sni string, vantage simnet.Vantage, hello *tlswire.ClientHello) (Response, error)
 }
 
 // WorldProber adapts a simulated world to the Prober interface.
@@ -39,12 +68,34 @@ type WorldProber struct {
 	RealTLS bool
 }
 
-// Probe runs one attempt against the world.
-func (p WorldProber) Probe(ctx context.Context, sni string, vantage simnet.Vantage) (pki.Chain, error) {
-	if p.RealTLS {
-		return p.World.ProbeContext(ctx, sni, vantage)
+func responseOf(n simnet.Negotiation) Response {
+	return Response{
+		Chain:             n.Chain,
+		NegotiatedVersion: n.Version,
+		SelectedCipher:    n.Cipher,
+		EchoedExtensions:  n.Echoed,
+		Alert:             n.Alert,
 	}
-	return p.World.ProbeFastContext(ctx, sni, vantage)
+}
+
+// Probe runs one attempt against the world.
+func (p WorldProber) Probe(ctx context.Context, sni string, vantage simnet.Vantage) (Response, error) {
+	var n simnet.Negotiation
+	var err error
+	if p.RealTLS {
+		n, err = p.World.ProbeContext(ctx, sni, vantage)
+	} else {
+		n, err = p.World.ProbeFastContext(ctx, sni, vantage)
+	}
+	return responseOf(n), err
+}
+
+// ProbeHello answers a crafted hello with the server's stack-model
+// response. Crafted hellos always take the model path: the stack model
+// is what a crafted hello interrogates, in both probe modes.
+func (p WorldProber) ProbeHello(ctx context.Context, sni string, vantage simnet.Vantage, hello *tlswire.ClientHello) (Response, error) {
+	n, err := p.World.NegotiateFast(ctx, sni, vantage, hello)
+	return responseOf(n), err
 }
 
 // ErrCircuitOpen: the per-host circuit breaker rejected the attempt

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"repro/internal/serverfp"
+)
+
+// ServerFPCensus renders the active server-stack fingerprinting census:
+// how many probed hosts classified to each modeled stack, at what
+// confidence, and how often the label disagreed with the world's ground
+// truth.
+func ServerFPCensus(c *serverfp.Census) Table {
+	t := Table{
+		Title:   "Server stack census (active fingerprinting)",
+		Headers: []string{"Stack", "Servers", "Mean conf", "Min conf", "Mismatches"},
+	}
+	for _, lc := range c.LabelCounts() {
+		t.Rows = append(t.Rows, []string{
+			lc.Label, itoa(lc.Servers), f2(lc.MeanConf), f2(lc.MinConf), itoa(lc.Mismatches),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"(accuracy vs ground truth)", pct(c.Accuracy()),
+		"", "", itoa(c.BatterySize*len(c.Targets)) + " probes sent",
+	})
+	return t
+}
+
+// ServerFPVendorStacks correlates device vendors with the server stacks
+// terminating their backend TLS: one row per (vendor, stack) pair, so
+// single-stack vendors and mixed fleets are both visible at a glance.
+func ServerFPVendorStacks(c *serverfp.Census) Table {
+	t := Table{
+		Title:   "Vendor / backend server stack correlation",
+		Headers: []string{"Vendor", "Server stack", "Servers"},
+	}
+	for _, vs := range c.VendorStacks() {
+		t.Rows = append(t.Rows, []string{vs.Vendor, vs.Label, itoa(vs.Servers)})
+	}
+	return t
+}

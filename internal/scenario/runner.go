@@ -50,12 +50,13 @@ type CaseResult struct {
 
 // Summary aggregates a matrix sweep.
 type Summary struct {
-	Configs      int             `json:"configs"`
-	Runs         int             `json:"runs"`
-	WireRecords  int             `json:"wire_records_checked"`
-	Cases        []CaseResult    `json:"cases"`
-	ServiceCells []ServiceResult `json:"service_cells,omitempty"`
-	Violations   []Violation     `json:"violations"`
+	Configs       int              `json:"configs"`
+	Runs          int              `json:"runs"`
+	WireRecords   int              `json:"wire_records_checked"`
+	Cases         []CaseResult     `json:"cases"`
+	ServiceCells  []ServiceResult  `json:"service_cells,omitempty"`
+	ServerFPCells []ServerFPResult `json:"serverfp_cells,omitempty"`
+	Violations    []Violation      `json:"violations"`
 }
 
 // OK reports whether every invariant held.
@@ -389,6 +390,30 @@ func RunMatrix(ctx context.Context, m Matrix, opts Options) (*Summary, error) {
 				}
 				fmt.Fprintf(opts.Progress, "[svc] %-44s accepted=%d/%d shed=%d quarantined=%d %s\n",
 					sc.Name(), res.Accepted, res.Submitted, res.Shed, res.Quarantined, status)
+			}
+		}
+	}
+
+	// Active-fingerprinting cells: classification accuracy and census
+	// determinism across worker counts.
+	if m.ServerFPCells {
+		for _, fc := range ServerFPCases() {
+			if err := ctx.Err(); err != nil {
+				return sum, err
+			}
+			res, vs, err := RunServerFPCase(ctx, fc)
+			if err != nil {
+				return sum, err
+			}
+			sum.ServerFPCells = append(sum.ServerFPCells, res)
+			sum.Violations = append(sum.Violations, vs...)
+			if opts.Progress != nil {
+				status := "ok"
+				if len(vs) > 0 {
+					status = fmt.Sprintf("%d violation(s)", len(vs))
+				}
+				fmt.Fprintf(opts.Progress, "[sfp] %-44s targets=%-5d accuracy=%.3f %s\n",
+					fc.Name(), res.Targets, res.Accuracy, status)
 			}
 		}
 	}

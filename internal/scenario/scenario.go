@@ -135,6 +135,10 @@ type Matrix struct {
 	// ingest path checked for conservation, deterministic shedding, and
 	// drained-report equivalence with the batch pipeline.
 	ServiceCells bool
+	// ServerFPCells appends the active-fingerprinting cells: the serverfp
+	// battery checked for classification accuracy and census determinism
+	// across worker counts.
+	ServerFPCells bool
 }
 
 // Short is the CI matrix: 2 seeds × 3 scales × 2 worker pairs ×
@@ -150,6 +154,7 @@ func Short() Matrix {
 		MinSNIUsers:   3,
 		ToleranceCase: true,
 		ServiceCells:  true,
+		ServerFPCells: true,
 	}
 }
 

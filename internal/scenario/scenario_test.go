@@ -239,3 +239,33 @@ func TestServiceCells(t *testing.T) {
 		t.Error("no cell exercised quarantine")
 	}
 }
+
+func TestServerFPCells(t *testing.T) {
+	cells := ServerFPCases()
+	if len(cells) < 2 {
+		t.Fatalf("serverfp matrix has %d cells, want >= 2", len(cells))
+	}
+	var sawFaults bool
+	for _, c := range cells {
+		res, vs, err := RunServerFPCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+		if res.Targets == 0 {
+			t.Errorf("%s: no targets fingerprinted", c.Name())
+		}
+		if res.Runs < 2 {
+			t.Errorf("%s: only %d runs, determinism check needs >= 2", c.Name(), res.Runs)
+		}
+		if res.Accuracy < serverFPAccuracyFloor {
+			t.Errorf("%s: accuracy %.3f below floor", c.Name(), res.Accuracy)
+		}
+		sawFaults = sawFaults || c.FaultRate > 0
+	}
+	if !sawFaults {
+		t.Error("no cell exercised the battery under fault injection")
+	}
+}

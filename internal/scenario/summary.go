@@ -20,6 +20,9 @@ func (s *Summary) WriteText(w io.Writer) {
 	if n := len(s.ServiceCells); n > 0 {
 		fmt.Fprintf(w, "service cells: %d (conservation, deterministic shedding, batch equivalence)\n", n)
 	}
+	if n := len(s.ServerFPCells); n > 0 {
+		fmt.Fprintf(w, "serverfp cells: %d (classification accuracy, worker-count determinism)\n", n)
+	}
 	if s.OK() {
 		fmt.Fprintf(w, "all invariants held\n")
 		return

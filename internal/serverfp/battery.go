@@ -1,0 +1,102 @@
+// Package serverfp implements active server-side TLS stack
+// fingerprinting: a battery of crafted ClientHellos is sent to each
+// target through the resilient probe engine, and the response vector —
+// which cipher the server picked from which order, which extensions it
+// echoed, which version it negotiated, and which alert answered which
+// malformed hello — is classified against the signatures of the modeled
+// server stacks (simnet.ServerStacks). This is the dual of the paper's
+// client-side fingerprinting, after "Active TLS Stack Fingerprinting:
+// Characterizing TLS Server Deployments at Scale" (PAPERS.md).
+//
+// Everything here is deterministic under the probe seed: the battery
+// hellos are fixed templates, the engine's retry jitter is seeded, and
+// classification is a pure function of the response vector, so the same
+// world yields the same labels at any worker count.
+package serverfp
+
+import (
+	"repro/internal/probe"
+	"repro/internal/tlswire"
+)
+
+// craft builds one battery hello template with a deterministic random.
+func craft(tag byte, ver tlswire.Version, suites []uint16, comp []byte, exts []tlswire.Extension) func(sni string) *tlswire.ClientHello {
+	return func(sni string) *tlswire.ClientHello {
+		ch := &tlswire.ClientHello{
+			LegacyVersion:      ver,
+			CipherSuites:       append([]uint16(nil), suites...),
+			CompressionMethods: append([]byte(nil), comp...),
+			SessionID:          []byte{tag, 0x5F, 0x50}, // "_P": battery marker
+		}
+		for _, e := range exts {
+			ch.Extensions = append(ch.Extensions, tlswire.Extension{Type: e.Type, Data: append([]byte(nil), e.Data...)})
+		}
+		for i := range ch.Random {
+			ch.Random[i] = tag ^ byte(i*7)
+		}
+		if ver > tlswire.VersionSSL30 {
+			ch.SetSNI(sni)
+		}
+		return ch
+	}
+}
+
+// baselineSuites overlaps every modeled stack's preference list, in a
+// modern-client order.
+var baselineSuites = []uint16{
+	0xC02B, 0xC02F, 0xC030, 0xC02C, 0xCCA9, 0xCCA8,
+	0x009C, 0x009D, 0xC013, 0xC014, 0x002F, 0x0035, 0x000A,
+}
+
+// commonExts is the extension block stacks differ on echoing.
+var commonExts = []tlswire.Extension{
+	{Type: tlswire.ExtRenegotiationInfo, Data: []byte{0}},
+	{Type: tlswire.ExtECPointFormats, Data: []byte{1, 0}},
+	{Type: tlswire.ExtSessionTicket},
+	{Type: tlswire.ExtStatusRequest},
+	{Type: tlswire.ExtExtendedMasterSecret},
+	{Type: tlswire.ExtMaxFragmentLength, Data: []byte{1}},
+	{Type: tlswire.ExtSupportedGroups, Data: []byte{0, 4, 0, 0x1D, 0, 0x17}},
+	{Type: tlswire.ExtSignatureAlgorithms, Data: []byte{0, 4, 4, 3, 8, 4}},
+}
+
+func reversed(suites []uint16) []uint16 {
+	out := make([]uint16, len(suites))
+	for i, s := range suites {
+		out[len(suites)-1-i] = s
+	}
+	return out
+}
+
+// Battery returns the crafted-hello battery, in fixed order. Each probe
+// targets one behavioural axis:
+//
+//	baseline       echo policy and the server's own preference order
+//	reversed       server-order vs client-order selection
+//	tls13          TLS 1.3 capability (supported_versions/key_share)
+//	ssl30          downlevel tolerance: clamp, refuse, or negotiate
+//	no-overlap     alert taxonomy when no suite is acceptable
+//	compress-offer alert taxonomy on a non-null compression offer
+//	cbc-order      AES-CBC preference split (plus GREASE tolerance)
+func Battery() []probe.BatteryProbe {
+	return []probe.BatteryProbe{
+		{Name: "baseline", Hello: craft(0x01, tlswire.VersionTLS12, baselineSuites, []byte{0}, commonExts)},
+		{Name: "reversed", Hello: craft(0x02, tlswire.VersionTLS12, reversed(baselineSuites), []byte{0}, commonExts)},
+		{Name: "tls13", Hello: craft(0x03, tlswire.VersionTLS12,
+			[]uint16{0x1301, 0x1302, 0x1303, 0xC02F, 0xC02B, 0xCCA8},
+			[]byte{0},
+			append([]tlswire.Extension{
+				{Type: tlswire.ExtSupportedVersions, Data: []byte{4, 0x03, 0x04, 0x03, 0x03}},
+				{Type: tlswire.ExtKeyShare, Data: []byte{0, 4, 0, 0x1D, 0, 0}},
+			}, commonExts...))},
+		{Name: "ssl30", Hello: craft(0x04, tlswire.VersionSSL30,
+			[]uint16{0x0035, 0x002F, 0x000A, 0x0005}, []byte{0}, nil)},
+		{Name: "no-overlap", Hello: craft(0x05, tlswire.VersionTLS12,
+			[]uint16{0x0A0A, 0x0019, 0x001B, 0x0026}, []byte{0},
+			commonExts[:2])},
+		{Name: "compress-offer", Hello: craft(0x06, tlswire.VersionTLS12,
+			baselineSuites, []byte{1, 0}, commonExts)},
+		{Name: "cbc-order", Hello: craft(0x07, tlswire.VersionTLS12,
+			[]uint16{0x0A0A, 0x0035, 0x002F}, []byte{0}, commonExts[:2])},
+	}
+}

@@ -1,0 +1,187 @@
+package serverfp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+// Target is one fingerprinted server.
+type Target struct {
+	// SNI is the probed hostname.
+	SNI string
+	// Vendor owns the domain ("" for shared/CDN hosts).
+	Vendor string
+	// Label is the classified server stack.
+	Label string
+	// Confidence of the classification in [0,1].
+	Confidence float64
+	// TrueLabel is the world's ground-truth stack for the host ("" when
+	// unknown, e.g. live targets).
+	TrueLabel string
+	// Observed counts battery probes that yielded evidence (alert or
+	// hello); the rest failed at the transport layer.
+	Observed int
+}
+
+// Census is the outcome of fingerprinting a set of targets.
+type Census struct {
+	// Vantage the battery ran from.
+	Vantage simnet.Vantage
+	// BatterySize is the number of probes sent per target.
+	BatterySize int
+	// Stats aggregates the engine's work across the whole battery run.
+	Stats probe.Stats
+	// Targets, sorted by SNI.
+	Targets []Target
+}
+
+// LabelCount aggregates a census by classified label.
+type LabelCount struct {
+	Label      string
+	Servers    int
+	MeanConf   float64
+	MinConf    float64
+	Mismatches int // targets whose ground truth disagrees with the label
+}
+
+// Fingerprint runs the crafted-hello battery against every SNI through
+// the resilient engine and classifies each target's response vector.
+// Ground-truth labels are attached from the world's server models so
+// callers can measure accuracy. The result is deterministic under
+// (world seed, engine seed) regardless of opts.Workers.
+func Fingerprint(ctx context.Context, w *simnet.World, snis []string, vantage simnet.Vantage, opts probe.Options) (*Census, error) {
+	battery := Battery()
+	eng := probe.New(probe.WorldProber{World: w}, opts)
+	results, stats, err := eng.RunBattery(ctx, snis, vantage, battery)
+	if err != nil {
+		return nil, fmt.Errorf("serverfp: battery run: %w", err)
+	}
+	if len(results)%len(battery) != 0 {
+		return nil, fmt.Errorf("serverfp: ragged battery results: %d results, %d probes", len(results), len(battery))
+	}
+	cls := NewClassifier(battery)
+	census := &Census{Vantage: vantage, BatterySize: len(battery), Stats: stats}
+	for i := 0; i < len(results); i += len(battery) {
+		group := results[i : i+len(battery)]
+		vec := make([]Observation, len(group))
+		observed := 0
+		for j, r := range group {
+			vec[j] = ObservationOf(r)
+			if !vec[j].Failed {
+				observed++
+			}
+		}
+		verdict := cls.Classify(vec)
+		t := Target{
+			SNI:        group[0].SNI,
+			Label:      verdict.Label,
+			Confidence: verdict.Confidence,
+			Observed:   observed,
+		}
+		if srv, ok := w.Servers[t.SNI]; ok {
+			t.Vendor = srv.OwnerVendor
+			if srv.Stack != nil {
+				t.TrueLabel = srv.Stack.Name
+			}
+		}
+		census.Targets = append(census.Targets, t)
+	}
+	return census, nil
+}
+
+// Accuracy is the fraction of evidence-bearing targets with ground
+// truth whose label matches it. Targets with no evidence (all battery
+// probes failed) or no ground truth are excluded from the denominator.
+// Returns 1 when nothing is scoreable: an empty census is vacuously
+// accurate, not broken.
+func (c *Census) Accuracy() float64 {
+	total, correct := 0, 0
+	for _, t := range c.Targets {
+		if t.Observed == 0 || t.TrueLabel == "" {
+			continue
+		}
+		total++
+		if t.Label == t.TrueLabel {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}
+
+// LabelCounts aggregates the census per classified label, sorted by
+// label name.
+func (c *Census) LabelCounts() []LabelCount {
+	agg := make(map[string]*LabelCount)
+	for _, t := range c.Targets {
+		lc, ok := agg[t.Label]
+		if !ok {
+			lc = &LabelCount{Label: t.Label, MinConf: 1}
+			agg[t.Label] = lc
+		}
+		lc.Servers++
+		lc.MeanConf += t.Confidence
+		if t.Confidence < lc.MinConf {
+			lc.MinConf = t.Confidence
+		}
+		if t.TrueLabel != "" && t.TrueLabel != t.Label {
+			lc.Mismatches++
+		}
+	}
+	labels := make([]string, 0, len(agg))
+	for l := range agg {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]LabelCount, 0, len(labels))
+	for _, l := range labels {
+		lc := agg[l]
+		lc.MeanConf /= float64(lc.Servers)
+		out = append(out, *lc)
+	}
+	return out
+}
+
+// VendorStacks correlates device vendors with the server stacks backing
+// their domains: for each vendor, how many of its fingerprinted hosts
+// run each stack. Rows are sorted by vendor then label. Hosts with no
+// vendor attribution are grouped under "(shared)".
+type VendorStack struct {
+	Vendor  string
+	Label   string
+	Servers int
+}
+
+// VendorStacks aggregates the census into (vendor, stack) rows.
+func (c *Census) VendorStacks() []VendorStack {
+	type key struct{ vendor, label string }
+	agg := make(map[key]int)
+	for _, t := range c.Targets {
+		v := t.Vendor
+		if v == "" {
+			v = "(shared)"
+		}
+		agg[key{v, t.Label}]++
+	}
+	keys := make([]key, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].vendor != keys[j].vendor {
+			return keys[i].vendor < keys[j].vendor
+		}
+		return keys[i].label < keys[j].label
+	})
+	out := make([]VendorStack, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, VendorStack{Vendor: k.vendor, Label: k.label, Servers: agg[k]})
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package serverfp
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+func fpTestWorld(t *testing.T) *simnet.World {
+	t.Helper()
+	return simnet.Build(simnet.Config{Seed: 42, SNIs: []string{
+		"api.roku.com", "scribe.logs.roku.com", "time.samsungcloudsolution.com",
+		"lcprd1.samsungcloudsolution.net", "api.sense.com", "cdn.fastly.net",
+		"ocsp.digicert.com", "a2.tuyaus.com", "m2.tuyaus.com",
+		"devs.tplinkcloud.com", "api.smartthings.com", "fw.ring.com",
+	}})
+}
+
+func sniList(w *simnet.World) []string {
+	snis := make([]string, 0, len(w.Servers))
+	for sni := range w.Servers {
+		snis = append(snis, sni)
+	}
+	return snis // RunBattery sorts; order here is irrelevant
+}
+
+// TestConfusionMatrix replays the battery against every stack model and
+// checks the classifier recovers each one exactly — the full confusion
+// matrix is diagonal with confidence 1.
+func TestConfusionMatrix(t *testing.T) {
+	battery := Battery()
+	cls := NewClassifier(battery)
+	for _, st := range simnet.ServerStacks() {
+		vec := make([]Observation, len(battery))
+		for i, bp := range battery {
+			vec[i] = expect(st, bp)
+		}
+		got := cls.Classify(vec)
+		if got.Label != st.Name {
+			t.Errorf("confusion: %s classified as %s (confidence %.2f, runner %s)",
+				st.Name, got.Label, got.Confidence, got.Runner)
+		}
+		if got.Confidence != 1 {
+			t.Errorf("%s: self-match confidence %.3f, want 1.0", st.Name, got.Confidence)
+		}
+		if got.Margin <= 0 {
+			t.Errorf("%s: no margin over runner %s — signatures are ambiguous", st.Name, got.Runner)
+		}
+	}
+}
+
+// TestSignaturesPairwiseDistinct: every pair of stacks must disagree on
+// at least one battery probe, else the battery cannot separate them.
+func TestSignaturesPairwiseDistinct(t *testing.T) {
+	battery := Battery()
+	stacks := simnet.ServerStacks()
+	sig := func(st *simnet.ServerStack) []string {
+		keys := make([]string, len(battery))
+		for i, bp := range battery {
+			keys[i] = expect(st, bp).Key()
+		}
+		return keys
+	}
+	sigs := make(map[string][]string, len(stacks))
+	for _, st := range stacks {
+		sigs[st.Name] = sig(st)
+	}
+	for i, a := range stacks {
+		for _, b := range stacks[i+1:] {
+			if reflect.DeepEqual(sigs[a.Name], sigs[b.Name]) {
+				t.Errorf("stacks %s and %s have identical battery signatures", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestFingerprintAccuracy(t *testing.T) {
+	w := fpTestWorld(t)
+	c, err := Fingerprint(context.Background(), w, sniList(w), simnet.VantageNewYork, probe.Options{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	if c.BatterySize != len(Battery()) {
+		t.Fatalf("battery size %d, want %d", c.BatterySize, len(Battery()))
+	}
+	reachable := 0
+	for _, tgt := range c.Targets {
+		if tgt.Observed == 0 {
+			if tgt.Label != "unknown" || tgt.Confidence != 0 {
+				t.Errorf("%s: no evidence but labeled %s (%.2f)", tgt.SNI, tgt.Label, tgt.Confidence)
+			}
+			continue
+		}
+		reachable++
+		if tgt.TrueLabel == "" {
+			t.Errorf("%s: no ground truth in simulated world", tgt.SNI)
+		}
+	}
+	if reachable == 0 {
+		t.Fatal("no reachable targets")
+	}
+	if acc := c.Accuracy(); acc != 1 {
+		for _, tgt := range c.Targets {
+			if tgt.Observed > 0 && tgt.Label != tgt.TrueLabel {
+				t.Logf("  miss: %s classified %s, truth %s (conf %.2f)", tgt.SNI, tgt.Label, tgt.TrueLabel, tgt.Confidence)
+			}
+		}
+		t.Fatalf("fault-free accuracy %.3f, want 1.0", acc)
+	}
+}
+
+func TestFingerprintDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Census {
+		w := fpTestWorld(t)
+		clk := probe.NewFakeClock(time.Unix(1700000000, 0))
+		// The fake clock drives both engine backoff and the world's stall
+		// schedule: no retry or stalled-handshake path sleeps for real.
+		w.SetFaults(simnet.Faults{Seed: 5, TransientRate: 0.15, Sleep: clk.Sleep})
+		c, err := Fingerprint(context.Background(), w, sniList(w), simnet.VantageFrankfurt,
+			probe.Options{Workers: workers, Seed: 7, Clock: clk})
+		if err != nil {
+			t.Fatalf("Fingerprint(workers=%d): %v", workers, err)
+		}
+		return c
+	}
+	base := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.Targets, base.Targets) {
+			t.Fatalf("workers=%d: census diverged from workers=1", workers)
+		}
+	}
+	// Faulty runs must still classify accurately: the engine retries
+	// transients, and alerts are evidence rather than failures.
+	if acc := base.Accuracy(); acc < 0.95 {
+		t.Fatalf("accuracy under faults %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestCensusAggregates(t *testing.T) {
+	w := fpTestWorld(t)
+	c, err := Fingerprint(context.Background(), w, sniList(w), simnet.VantageNewYork, probe.Options{Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	total := 0
+	for _, lc := range c.LabelCounts() {
+		total += lc.Servers
+		if lc.MeanConf < 0 || lc.MeanConf > 1 || lc.MinConf > lc.MeanConf {
+			t.Errorf("label %s: inconsistent confidence aggregate %+v", lc.Label, lc)
+		}
+	}
+	if total != len(c.Targets) {
+		t.Fatalf("LabelCounts sums to %d, want %d", total, len(c.Targets))
+	}
+	total = 0
+	for _, vs := range c.VendorStacks() {
+		if vs.Vendor == "" {
+			t.Error("empty vendor row; want (shared)")
+		}
+		total += vs.Servers
+	}
+	if total != len(c.Targets) {
+		t.Fatalf("VendorStacks sums to %d, want %d", total, len(c.Targets))
+	}
+}
+
+func TestClassifyNoEvidence(t *testing.T) {
+	cls := NewClassifier(Battery())
+	vec := []Observation{{Probe: "baseline", Failed: true}, {Probe: "tls13", Failed: true}}
+	got := cls.Classify(vec)
+	if got.Label != "unknown" || got.Confidence != 0 {
+		t.Fatalf("all-failed vector classified as %+v, want unknown/0", got)
+	}
+}

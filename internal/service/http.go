@@ -80,6 +80,7 @@ type wireBatch struct {
 //	GET  /healthz   — liveness: 200 while the process serves
 //	GET  /readyz    — readiness: 503 while draining or stalled
 //	GET  /statz     — conservation counters, queue depth, latency quantiles (JSON)
+//	GET  /v1/serverfp — per-vendor server-stack census for the current epoch (JSON)
 //	GET  /quarantinez — retained quarantined-batch log (JSON)
 //	GET  /report    — current epoch snapshot report (text)
 //	GET  /metrics   — Prometheus exposition (when metrics are attached)
@@ -165,6 +166,18 @@ func Handler(s *Service, opts HTTPOptions) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Stats())
+	}))
+
+	mux.HandleFunc("GET /v1/serverfp", withDeadline(func(w http.ResponseWriter, r *http.Request) {
+		view, err := s.ServerFP(r.Context())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(view)
 	}))
 
 	mux.HandleFunc("GET /quarantinez", withDeadline(func(w http.ResponseWriter, _ *http.Request) {

@@ -174,3 +174,68 @@ func TestLoadgenAgainstService(t *testing.T) {
 		t.Fatalf("unloaded run shed %d batches", st.ShedBatches)
 	}
 }
+
+// TestHTTPServerFP: the census endpoint serves the current epoch's
+// classifications, caches per epoch, and surfaces counts in /statz.
+func TestHTTPServerFP(t *testing.T) {
+	recs := testRecords(t)
+	s := New(Options{Seed: 33, Workers: 1, QueueDepth: 8})
+	srv := httptest.NewServer(Handler(s, HTTPOptions{}))
+	defer srv.Close()
+
+	// Epoch 0: empty snapshot, empty census — still a 200.
+	code, body := getBody(t, srv.URL+"/v1/serverfp")
+	if code != 200 {
+		t.Fatalf("/v1/serverfp (epoch 0) = %d %q", code, body)
+	}
+	var empty ServerFPView
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if empty.Epoch != 0 || empty.Targets != 0 {
+		t.Fatalf("epoch-0 view = %+v, want empty", empty)
+	}
+
+	if resp := postBatch(t, srv.URL, "alpha", recs[:40]); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("accept POST = %d", resp.StatusCode)
+	}
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = getBody(t, srv.URL+"/v1/serverfp")
+	if code != 200 {
+		t.Fatalf("/v1/serverfp = %d %q", code, body)
+	}
+	var view ServerFPView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if view.Epoch != 1 || view.Targets == 0 || view.BatterySize == 0 {
+		t.Fatalf("view = %+v, want epoch 1 with targets", view)
+	}
+	if view.Accuracy < 0.95 {
+		t.Fatalf("census accuracy %.3f, want >= 0.95", view.Accuracy)
+	}
+	if len(view.Stacks) == 0 || len(view.Vendors) == 0 {
+		t.Fatalf("view missing aggregates: %+v", view)
+	}
+
+	// Same epoch, second read: served from cache, byte-identical.
+	_, again := getBody(t, srv.URL+"/v1/serverfp")
+	if again != body {
+		t.Fatal("same-epoch serverfp reads differ")
+	}
+	code, statz := getBody(t, srv.URL+"/statz")
+	if code != 200 {
+		t.Fatalf("/statz = %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(statz), &st); err != nil {
+		t.Fatalf("bad statz JSON: %v", err)
+	}
+	// Two computations: the epoch-0 empty view and the epoch-1 census.
+	if st.ServerFPRuns != 2 || st.ServerFPTargets != int64(view.Targets) {
+		t.Fatalf("statz serverfp counts = (%d, %d), want (2, %d)", st.ServerFPRuns, st.ServerFPTargets, view.Targets)
+	}
+}

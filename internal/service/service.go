@@ -176,6 +176,11 @@ type Stats struct {
 	// IngestP50/P99 are admission-to-merge latencies in seconds.
 	IngestP50 float64 `json:"ingest_p50_seconds"`
 	IngestP99 float64 `json:"ingest_p99_seconds"`
+	// ServerFPRuns counts census computations (one per epoch actually
+	// read through /v1/serverfp); ServerFPTargets is the host count of
+	// the latest census.
+	ServerFPRuns    int64 `json:"serverfp_runs"`
+	ServerFPTargets int64 `json:"serverfp_targets"`
 }
 
 // Conserved reports the conservation invariant: every submitted batch
@@ -237,6 +242,13 @@ type Service struct {
 
 	latMu     sync.Mutex
 	latencies []float64
+
+	// sfpMu guards the per-epoch server-fingerprint census cache
+	// (serverfp.go); sfpRuns/sfpTargets feed /statz.
+	sfpMu      sync.Mutex
+	sfpView    *ServerFPView
+	sfpRuns    atomic.Int64
+	sfpTargets atomic.Int64
 
 	submittedB, submittedR     atomic.Int64
 	acceptedB, acceptedR       atomic.Int64
@@ -550,6 +562,8 @@ func (s *Service) Stats() Stats {
 		st.SnapshotAgeSeconds = s.opts.Clock.Now().Sub(snap.At).Seconds()
 	}
 	st.IngestP50, st.IngestP99 = s.latencyQuantiles()
+	st.ServerFPRuns = s.sfpRuns.Load()
+	st.ServerFPTargets = s.sfpTargets.Load()
 	return st
 }
 

@@ -1,0 +1,366 @@
+package simnet
+
+// Server-side TLS stack models. Every server in the world runs one of a
+// small set of modeled TLS implementations, assigned deterministically
+// per owning vendor (third-party domains key on their SLD). A model is
+// a pure function from ClientHello to either ServerHello or fatal
+// alert, capturing the behaviours that real-world active fingerprinting
+// ("Active TLS Stack Fingerprinting", PAPERS.md) keys on:
+//
+//   - cipher-selection policy: server-preference order vs honouring the
+//     client's order, and the preference list itself;
+//   - extension echo policy: which ClientHello extensions the stack
+//     acknowledges, and in which order it emits them;
+//   - version negotiation: the supported floor/ceiling, whether
+//     downlevel hellos are clamped or refused, and TLS 1.3 capability
+//     via supported_versions/key_share;
+//   - alert taxonomy: which alert description answers a hello with no
+//     cipher overlap, a downlevel version, or a non-null compression
+//     offer.
+//
+// The models are caricatures tuned for distinguishability, not
+// emulations of specific library versions; their names indicate the
+// behavioural family they are drawn from.
+
+import (
+	"repro/internal/tlswire"
+)
+
+// ServerStack models one server-side TLS implementation.
+type ServerStack struct {
+	// Name labels the stack in classifications and reports.
+	Name string
+	// MinVersion/MaxVersion bound the negotiable protocol range.
+	MinVersion, MaxVersion tlswire.Version
+	// Preference12 lists the TLS <= 1.2 suites the stack accepts, in its
+	// server-side preference order.
+	Preference12 []uint16
+	// Preference13 lists the TLS 1.3 suites in preference order (empty
+	// for pre-1.3 stacks).
+	Preference13 []uint16
+	// PreferClientOrder selects the first client-offered suite the stack
+	// supports instead of walking the server preference list.
+	PreferClientOrder bool
+	// Echo lists the ClientHello extensions the stack acknowledges, in
+	// the order it emits them on a TLS <= 1.2 ServerHello.
+	Echo []tlswire.ExtensionType
+	// Echo13 lists the extensions emitted on a TLS 1.3 ServerHello
+	// (supported_versions and key_share, in stack-specific order).
+	Echo13 []tlswire.ExtensionType
+	// EchoSessionID echoes the client's legacy session id (TLS 1.3
+	// compatibility mode, and old resumption-style stacks).
+	EchoSessionID bool
+	// AlertNoOverlap answers a hello sharing no cipher suite.
+	AlertNoOverlap tlswire.AlertDescription
+	// AlertDownlevel answers a hello below MinVersion.
+	AlertDownlevel tlswire.AlertDescription
+	// AlertCompression, when non-zero, refuses hellos offering any
+	// non-null compression method; zero tolerates them (selects null).
+	AlertCompression tlswire.AlertDescription
+}
+
+// serverStacks is the model registry, in deterministic assignment order.
+var serverStacks = []*ServerStack{
+	{
+		// OpenSSL 1.0.2 era: no TLS 1.3, accepts SSL 3.0 by clamping,
+		// AES-256-first server order, rich echo set.
+		Name:       "openssl-1.0.2",
+		MinVersion: tlswire.VersionSSL30,
+		MaxVersion: tlswire.VersionTLS12,
+		Preference12: []uint16{
+			0xC030, 0xC02C, 0xC02F, 0xC02B, 0xC014, 0xC013,
+			0x009D, 0x009C, 0x0035, 0x002F, 0x000A,
+		},
+		Echo: []tlswire.ExtensionType{
+			tlswire.ExtRenegotiationInfo, tlswire.ExtECPointFormats,
+			tlswire.ExtSessionTicket, tlswire.ExtStatusRequest,
+		},
+		AlertNoOverlap: tlswire.AlertHandshakeFailure,
+		AlertDownlevel: tlswire.AlertHandshakeFailure, // unreachable: floor is SSL 3.0
+	},
+	{
+		// OpenSSL 1.1.1 era: TLS 1.3 capable, ChaCha-first 1.2 order,
+		// echoes the legacy session id in 1.3 compatibility mode.
+		Name:       "openssl-1.1.1",
+		MinVersion: tlswire.VersionTLS10,
+		MaxVersion: tlswire.VersionTLS13,
+		Preference12: []uint16{
+			0xCCA9, 0xCCA8, 0xC02B, 0xC02F, 0xC02C, 0xC030,
+			0x009C, 0x009D, 0x002F, 0x0035,
+		},
+		Preference13: []uint16{0x1302, 0x1303, 0x1301},
+		Echo: []tlswire.ExtensionType{
+			tlswire.ExtRenegotiationInfo, tlswire.ExtECPointFormats,
+			tlswire.ExtSessionTicket, tlswire.ExtExtendedMasterSecret,
+		},
+		Echo13:         []tlswire.ExtensionType{tlswire.ExtSupportedVersions, tlswire.ExtKeyShare},
+		EchoSessionID:  true,
+		AlertNoOverlap: tlswire.AlertHandshakeFailure,
+		AlertDownlevel: tlswire.AlertProtocolVersion,
+	},
+	{
+		// wolfSSL-style embedded stack: honours the client's cipher
+		// order, minimal echo, refuses compression offers outright.
+		Name:       "wolfssl",
+		MinVersion: tlswire.VersionTLS10,
+		MaxVersion: tlswire.VersionTLS12,
+		Preference12: []uint16{
+			0xC02B, 0xC02F, 0xC02C, 0xC030, 0x009C, 0x009D,
+			0x002F, 0x0035, 0xC013, 0xC014,
+		},
+		PreferClientOrder: true,
+		Echo:              []tlswire.ExtensionType{tlswire.ExtRenegotiationInfo},
+		AlertNoOverlap:    tlswire.AlertHandshakeFailure,
+		AlertDownlevel:    tlswire.AlertProtocolVersion,
+		AlertCompression:  tlswire.AlertIllegalParameter,
+	},
+	{
+		// mbedTLS-style: AES-128-first server order, distinctive echo
+		// set, insufficient_security on no overlap and a
+		// handshake_failure quirk on downlevel hellos.
+		Name:       "mbedtls",
+		MinVersion: tlswire.VersionTLS10,
+		MaxVersion: tlswire.VersionTLS12,
+		Preference12: []uint16{
+			0xC02F, 0xC02B, 0xC030, 0xC02C, 0x009C, 0x009D,
+			0xC013, 0xC014, 0x002F, 0x0035,
+		},
+		Echo: []tlswire.ExtensionType{
+			tlswire.ExtRenegotiationInfo, tlswire.ExtExtendedMasterSecret,
+			tlswire.ExtMaxFragmentLength,
+		},
+		AlertNoOverlap: tlswire.AlertInsufficientSecurity,
+		AlertDownlevel: tlswire.AlertHandshakeFailure,
+	},
+	{
+		// crypto/tls-style: TLS 1.2 floor, AES-GCM-128-first order,
+		// key_share before supported_versions on the 1.3 flight.
+		Name:       "gotls",
+		MinVersion: tlswire.VersionTLS12,
+		MaxVersion: tlswire.VersionTLS13,
+		Preference12: []uint16{
+			0xC02F, 0xC02B, 0xC030, 0xC02C, 0xCCA8, 0xCCA9,
+			0xC013, 0xC014, 0x009C, 0x009D, 0x002F, 0x0035,
+		},
+		Preference13:     []uint16{0x1301, 0x1302, 0x1303},
+		Echo:             []tlswire.ExtensionType{tlswire.ExtRenegotiationInfo, tlswire.ExtECPointFormats},
+		Echo13:           []tlswire.ExtensionType{tlswire.ExtKeyShare, tlswire.ExtSupportedVersions},
+		EchoSessionID:    true,
+		AlertNoOverlap:   tlswire.AlertHandshakeFailure,
+		AlertDownlevel:   tlswire.AlertProtocolVersion,
+		AlertCompression: tlswire.AlertDecodeError,
+	},
+	{
+		// Pre-extension embedded firmware: TLS 1.0 ceiling, SSL 3.0
+		// floor, CBC/RC4-only client-order selection, ignores every
+		// extension, alerts unexpected_message on anything odd.
+		Name:              "embedded-legacy",
+		MinVersion:        tlswire.VersionSSL30,
+		MaxVersion:        tlswire.VersionTLS10,
+		Preference12:      []uint16{0x0035, 0x002F, 0x000A, 0x0005, 0x0004},
+		PreferClientOrder: true,
+		EchoSessionID:     true,
+		AlertNoOverlap:    tlswire.AlertUnexpectedMessage,
+		AlertDownlevel:    tlswire.AlertUnexpectedMessage, // unreachable: floor is SSL 3.0
+		AlertCompression:  tlswire.AlertUnexpectedMessage,
+	},
+}
+
+// ServerStacks returns the modeled stack registry in deterministic
+// order. Callers must not mutate the returned models.
+func ServerStacks() []*ServerStack {
+	return serverStacks
+}
+
+// ServerStackByName returns the named model, or nil.
+func ServerStackByName(name string) *ServerStack {
+	for _, st := range serverStacks {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// stackFor assigns a server stack: vendor-owned domains are coherent
+// per vendor (a vendor runs one backend stack), third-party domains key
+// on their SLD. The decision hashes the seed rather than drawing from
+// the world's rand stream, so adding stacks never perturbs certificate
+// minting.
+func stackFor(seed int64, owner, sld string) *ServerStack {
+	key := owner
+	if key == "" {
+		key = sld
+	}
+	h := hashOf("stack:" + key)
+	h ^= mixSeed(seed)
+	return serverStacks[h%uint64(len(serverStacks))]
+}
+
+// mixSeed spreads the seed's bits so consecutive seeds reshuffle stack
+// assignment (a bare XOR of small ints would only touch low bits).
+func mixSeed(seed int64) uint64 {
+	x := uint64(seed)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// supports12 reports whether the stack accepts the suite at TLS <= 1.2.
+func (st *ServerStack) supports12(id uint16) bool {
+	for _, s := range st.Preference12 {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// supports13 reports whether the stack accepts the TLS 1.3 suite.
+func (st *ServerStack) supports13(id uint16) bool {
+	for _, s := range st.Preference13 {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// selectCipher12 applies the stack's TLS <= 1.2 selection policy; ok is
+// false when no offered suite is acceptable.
+func (st *ServerStack) selectCipher12(offered []uint16) (uint16, bool) {
+	if st.PreferClientOrder {
+		for _, id := range offered {
+			if tlswire.IsGREASEExtension(id) {
+				continue
+			}
+			if st.supports12(id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	for _, id := range st.Preference12 {
+		for _, off := range offered {
+			if id == off {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// selectCipher13 picks the TLS 1.3 suite (always server order: every
+// 1.3 stack modeled here ranks its own AEAD list).
+func (st *ServerStack) selectCipher13(offered []uint16) (uint16, bool) {
+	for _, id := range st.Preference13 {
+		for _, off := range offered {
+			if id == off {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// fatal builds the stack's refusal.
+func fatal(desc tlswire.AlertDescription) *tlswire.Alert {
+	return &tlswire.Alert{Level: tlswire.AlertLevelFatal, Description: desc}
+}
+
+// Respond answers a ClientHello the way this stack would: with a
+// ServerHello carrying the selected cipher, negotiated version, and
+// echoed extensions, or with a fatal alert. The function is pure and
+// deterministic; the ServerHello random derives from the stack name and
+// the client random so repeated handshakes are reproducible.
+func (st *ServerStack) Respond(hello *tlswire.ClientHello) (*tlswire.ServerHello, *tlswire.Alert) {
+	// Compression: the null method must be offered; stacks with a
+	// compression alert refuse any hello offering more than null.
+	nullOffered := len(hello.CompressionMethods) == 0
+	extraOffered := false
+	for _, m := range hello.CompressionMethods {
+		if m == 0 {
+			nullOffered = true
+		} else {
+			extraOffered = true
+		}
+	}
+	if !nullOffered {
+		return nil, fatal(tlswire.AlertHandshakeFailure)
+	}
+	if extraOffered && st.AlertCompression != 0 {
+		return nil, fatal(st.AlertCompression)
+	}
+
+	// Version negotiation: clamp the client's best to the stack ceiling;
+	// below the floor the stack refuses with its downlevel alert.
+	version := hello.EffectiveVersion()
+	if version > st.MaxVersion {
+		version = st.MaxVersion
+	}
+	if version < st.MinVersion {
+		return nil, fatal(st.AlertDownlevel)
+	}
+
+	// Cipher selection. A 1.3 negotiation with no 1.3 suite on offer
+	// falls back to 1.2 when the floor allows (supported_versions said
+	// the client speaks it too).
+	var cipher uint16
+	var ok bool
+	if version == tlswire.VersionTLS13 {
+		cipher, ok = st.selectCipher13(hello.CipherSuites)
+		if !ok && tlswire.VersionTLS12 >= st.MinVersion {
+			version = tlswire.VersionTLS12
+			cipher, ok = st.selectCipher12(hello.CipherSuites)
+		}
+	} else {
+		cipher, ok = st.selectCipher12(hello.CipherSuites)
+	}
+	if !ok {
+		return nil, fatal(st.AlertNoOverlap)
+	}
+
+	sh := &tlswire.ServerHello{
+		LegacyVersion: version,
+		CipherSuite:   cipher,
+	}
+	if version == tlswire.VersionTLS13 {
+		sh.LegacyVersion = tlswire.VersionTLS12 // 1.3 keeps 0x0303 here
+	}
+	// Deterministic server random: stack identity mixed with the client
+	// random, so every (stack, hello) pair reproduces byte-identically.
+	h := hashOf("shrandom:" + st.Name)
+	for i := range sh.Random {
+		sh.Random[i] = byte(h>>(8*uint(i%8))) ^ hello.Random[i]
+	}
+	if st.EchoSessionID {
+		sh.SessionID = append([]byte(nil), hello.SessionID...)
+	}
+	if version == tlswire.VersionTLS13 {
+		for _, t := range st.Echo13 {
+			switch t {
+			case tlswire.ExtSupportedVersions:
+				sh.SetSelectedVersion(tlswire.VersionTLS13)
+			case tlswire.ExtKeyShare:
+				// Minimal x25519 key-share echo marker.
+				sh.Extensions = append(sh.Extensions, tlswire.Extension{Type: tlswire.ExtKeyShare, Data: []byte{0x00, 0x1D}})
+			}
+		}
+		return sh, nil
+	}
+	for _, t := range st.Echo {
+		if !hello.HasExtension(t) {
+			continue
+		}
+		var data []byte
+		switch t {
+		case tlswire.ExtRenegotiationInfo:
+			data = []byte{0}
+		case tlswire.ExtECPointFormats:
+			data = []byte{1, 0}
+		}
+		sh.Extensions = append(sh.Extensions, tlswire.Extension{Type: t, Data: data})
+	}
+	return sh, nil
+}

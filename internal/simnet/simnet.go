@@ -72,6 +72,9 @@ type Server struct {
 	Unreachable bool
 	// InCT reports whether the leaf was submitted to the CT log.
 	InCT bool
+	// Stack is the server-side TLS implementation model answering
+	// handshakes (seeded per owning vendor; see serverstack.go).
+	Stack *ServerStack
 }
 
 // ChainAt returns the chain presented to a vantage.
@@ -84,6 +87,8 @@ func (s *Server) ChainAt(v Vantage) pki.Chain {
 
 // World is the simulated Internet.
 type World struct {
+	// Seed the world was built with (drives server-stack assignment).
+	Seed int64
 	// Servers by FQDN.
 	Servers map[string]*Server
 	// CAs by organization name.
@@ -247,6 +252,7 @@ func Build(cfg Config) *World {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &World{
+		Seed:         cfg.Seed,
 		Servers:      map[string]*Server{},
 		CAs:          map[string]*pki.CA{},
 		Stores:       pki.NewStoreSet(),
@@ -388,6 +394,7 @@ func (w *World) buildSLDServers(sld string, snis []string, owner, issuerOrg stri
 			Leaf:        leaf,
 			Chain:       ca.BuildChain(leaf, pki.ChainLeafOnly),
 			IPs:         w.ipsFor(mismatchHost, rng),
+			Stack:       stackFor(w.Seed, owner, sld),
 		}
 	}
 
@@ -462,6 +469,7 @@ func (w *World) buildSLDServers(sld string, snis []string, owner, issuerOrg stri
 				IPs:         ips,
 				Unreachable: hashOf("reach:"+fqdn)%28 == 0, // ~3.6%
 				InCT:        inCT,
+				Stack:       stackFor(w.Seed, owner, sld),
 			}
 			if netflixPublicChain {
 				srv.IssuerKind = pki.PrivateCA // leaf issuer is Netflix itself

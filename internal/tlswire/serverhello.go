@@ -1,0 +1,366 @@
+package tlswire
+
+// Server-side wire objects: ServerHello and Alert. The active
+// server-fingerprinting workload (internal/serverfp) sends crafted
+// ClientHellos and classifies the server's TLS stack from how it
+// answers; both possible answers — a ServerHello or a fatal alert —
+// are first-class wire objects here so the probe layer can carry
+// negotiation evidence (selected cipher, echoed extensions, version
+// choice, alert taxonomy) instead of a bare certificate chain.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Additional record/handshake codepoints for the server side.
+const (
+	recordTypeAlert      = 21
+	handshakeServerHello = 2
+)
+
+// Server-side parse errors.
+var (
+	// ErrNotServerHello: the handshake message is not a ServerHello.
+	ErrNotServerHello = errors.New("tlswire: handshake is not a ServerHello")
+	// ErrNotAlert: the record is not an alert.
+	ErrNotAlert = errors.New("tlswire: record is not an alert")
+)
+
+// ServerHello is the parsed/serializable form of a TLS ServerHello
+// handshake message.
+type ServerHello struct {
+	// LegacyVersion is the server_version field (for TLS 1.3 this stays
+	// 0x0303 and supported_versions carries the selected 0x0304).
+	LegacyVersion Version
+	// Random is the 32-byte server random.
+	Random [32]byte
+	// SessionID is the legacy session id echo (0..32 bytes).
+	SessionID []byte
+	// CipherSuite is the single selected suite.
+	CipherSuite uint16
+	// CompressionMethod is the selected legacy compression (always 0 on
+	// honest stacks).
+	CompressionMethod byte
+	// Extensions in order of appearance. The order is a fingerprinting
+	// feature: stacks echo different subsets in different orders.
+	Extensions []Extension
+}
+
+// SelectedVersion returns the negotiated protocol version: the
+// supported_versions extension when present (TLS 1.3 servers put the
+// selected version there), else LegacyVersion.
+func (sh *ServerHello) SelectedVersion() Version {
+	for _, e := range sh.Extensions {
+		if e.Type != ExtSupportedVersions {
+			continue
+		}
+		// In a ServerHello the extension body is a bare uint16, not the
+		// length-prefixed list a ClientHello sends.
+		if len(e.Data) == 2 {
+			return Version(binary.BigEndian.Uint16(e.Data))
+		}
+	}
+	return sh.LegacyVersion
+}
+
+// SetSelectedVersion appends (or replaces) the supported_versions
+// extension carrying the selected version, as a TLS 1.3 server does.
+func (sh *ServerHello) SetSelectedVersion(v Version) {
+	data := []byte{byte(v >> 8), byte(v)}
+	for i := range sh.Extensions {
+		if sh.Extensions[i].Type == ExtSupportedVersions {
+			sh.Extensions[i].Data = data
+			return
+		}
+	}
+	sh.Extensions = append(sh.Extensions, Extension{Type: ExtSupportedVersions, Data: data})
+}
+
+// ExtensionTypes returns the extension type codepoints in order.
+func (sh *ServerHello) ExtensionTypes() []uint16 {
+	out := make([]uint16, len(sh.Extensions))
+	for i, e := range sh.Extensions {
+		out[i] = uint16(e.Type)
+	}
+	return out
+}
+
+// HasExtension reports whether the hello carries an extension of type t.
+func (sh *ServerHello) HasExtension(t ExtensionType) bool {
+	for _, e := range sh.Extensions {
+		if e.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal serializes the ServerHello as a complete TLS record
+// (record header + handshake header + body).
+func (sh *ServerHello) Marshal() ([]byte, error) {
+	body, err := sh.marshalBody()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxHandshakeLen {
+		return nil, fmt.Errorf("tlswire: ServerHello too large (%d bytes)", len(body))
+	}
+	recVer := sh.LegacyVersion
+	if recVer > VersionTLS12 {
+		recVer = VersionTLS12 // TLS 1.3 records claim 1.2 on the wire
+	}
+	rec := make([]byte, 0, 9+len(body))
+	rec = append(rec, recordTypeHandshake)
+	rec = appendUint16(rec, uint16(recVer))
+	rec = appendUint16(rec, uint16(4+len(body)))
+	rec = append(rec, handshakeServerHello)
+	rec = append(rec, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	rec = append(rec, body...)
+	return rec, nil
+}
+
+func (sh *ServerHello) marshalBody() ([]byte, error) {
+	// One length byte: 255 is the encodable maximum (mirrors ClientHello;
+	// parse tolerates the same range, so Marshal∘Parse stays an identity).
+	if len(sh.SessionID) > 255 {
+		return nil, fmt.Errorf("tlswire: session id too long (%d)", len(sh.SessionID))
+	}
+	extLen := 0
+	if len(sh.Extensions) > 0 {
+		for _, e := range sh.Extensions {
+			if len(e.Data) > 0xFFFF {
+				return nil, fmt.Errorf("tlswire: extension %v too long", e.Type)
+			}
+			extLen += 4 + len(e.Data)
+		}
+		if extLen > 0xFFFF {
+			return nil, errors.New("tlswire: extensions block too long")
+		}
+	}
+	n := 2 + len(sh.Random) + 1 + len(sh.SessionID) + 2 + 1
+	if len(sh.Extensions) > 0 {
+		n += 2 + extLen
+	}
+	b := make([]byte, 0, n)
+	b = appendUint16(b, uint16(sh.LegacyVersion))
+	b = append(b, sh.Random[:]...)
+	b = append(b, byte(len(sh.SessionID)))
+	b = append(b, sh.SessionID...)
+	b = appendUint16(b, sh.CipherSuite)
+	b = append(b, sh.CompressionMethod)
+	if len(sh.Extensions) > 0 {
+		b = appendUint16(b, uint16(extLen))
+		for _, e := range sh.Extensions {
+			b = appendUint16(b, uint16(e.Type))
+			b = appendUint16(b, uint16(len(e.Data)))
+			b = append(b, e.Data...)
+		}
+	}
+	return b, nil
+}
+
+// ParseServerHelloRecord parses a full TLS record assumed to contain a
+// ServerHello.
+func ParseServerHelloRecord(data []byte) (*ServerHello, error) {
+	if len(data) < 5 {
+		return nil, ErrTruncated
+	}
+	if data[0] != recordTypeHandshake {
+		return nil, ErrNotHandshake
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if 5+recLen > len(data) {
+		return nil, ErrTruncated
+	}
+	return ParseServerHelloHandshake(data[5 : 5+recLen])
+}
+
+// ParseServerHelloHandshake parses a handshake message (type + 3-byte
+// length + body) expected to be a ServerHello.
+func ParseServerHelloHandshake(data []byte) (*ServerHello, error) {
+	if len(data) < 4 {
+		return nil, ErrTruncated
+	}
+	if data[0] != handshakeServerHello {
+		return nil, ErrNotServerHello
+	}
+	bodyLen := int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if 4+bodyLen > len(data) {
+		return nil, ErrTruncated
+	}
+	return parseServerHelloBody(data[4 : 4+bodyLen])
+}
+
+func parseServerHelloBody(b []byte) (*ServerHello, error) {
+	sh := &ServerHello{}
+	if len(b) < 2+32+1 {
+		return nil, ErrTruncated
+	}
+	sh.LegacyVersion = Version(binary.BigEndian.Uint16(b))
+	copy(sh.Random[:], b[2:34])
+	b = b[34:]
+	sidLen := int(b[0])
+	b = b[1:]
+	// Tolerate session ids beyond the RFC's 32-byte cap, like the
+	// ClientHello parser: a measurement parser must not be stricter than
+	// the stacks it observes.
+	if sidLen > len(b) {
+		return nil, ErrTruncated
+	}
+	sh.SessionID = append([]byte(nil), b[:sidLen]...)
+	b = b[sidLen:]
+	if len(b) < 3 {
+		return nil, ErrTruncated
+	}
+	sh.CipherSuite = binary.BigEndian.Uint16(b)
+	sh.CompressionMethod = b[2]
+	b = b[3:]
+	if len(b) == 0 {
+		return sh, nil // extensions are optional (SSL3/old stacks)
+	}
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	extLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if extLen > len(b) {
+		return nil, ErrTruncated
+	}
+	b = b[:extLen]
+	// Pre-scan the block so the extension slice and one shared payload
+	// backing allocate exactly once (same layout as the ClientHello
+	// parser).
+	nExt, dataLen := 0, 0
+	for rest := b; len(rest) > 0; {
+		if len(rest) < 4 {
+			return nil, ErrTruncated
+		}
+		el := int(binary.BigEndian.Uint16(rest[2:]))
+		rest = rest[4:]
+		if el > len(rest) {
+			return nil, ErrTruncated
+		}
+		nExt++
+		dataLen += el
+		rest = rest[el:]
+	}
+	if nExt == 0 {
+		return sh, nil
+	}
+	sh.Extensions = make([]Extension, 0, nExt)
+	buf := make([]byte, 0, dataLen)
+	for len(b) > 0 {
+		et := ExtensionType(binary.BigEndian.Uint16(b))
+		el := int(binary.BigEndian.Uint16(b[2:]))
+		b = b[4:]
+		var data []byte
+		if el > 0 {
+			off := len(buf)
+			buf = append(buf, b[:el]...)
+			data = buf[off : off+el : off+el]
+		}
+		sh.Extensions = append(sh.Extensions, Extension{Type: et, Data: data})
+		b = b[el:]
+	}
+	return sh, nil
+}
+
+// AlertLevel is a TLS alert level codepoint.
+type AlertLevel uint8
+
+// Alert levels.
+const (
+	AlertLevelWarning AlertLevel = 1
+	AlertLevelFatal   AlertLevel = 2
+)
+
+// String names the level.
+func (l AlertLevel) String() string {
+	switch l {
+	case AlertLevelWarning:
+		return "warning"
+	case AlertLevelFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("level_%d", uint8(l))
+	}
+}
+
+// AlertDescription is a TLS alert description codepoint.
+type AlertDescription uint8
+
+// Alert descriptions the modeled server stacks emit.
+const (
+	AlertCloseNotify          AlertDescription = 0
+	AlertUnexpectedMessage    AlertDescription = 10
+	AlertHandshakeFailure     AlertDescription = 40
+	AlertIllegalParameter     AlertDescription = 47
+	AlertDecodeError          AlertDescription = 50
+	AlertProtocolVersion      AlertDescription = 70
+	AlertInsufficientSecurity AlertDescription = 71
+	AlertInternalError        AlertDescription = 80
+)
+
+// alertNames maps description codepoints to RFC 8446 names.
+var alertNames = map[AlertDescription]string{
+	AlertCloseNotify:          "close_notify",
+	AlertUnexpectedMessage:    "unexpected_message",
+	AlertHandshakeFailure:     "handshake_failure",
+	AlertIllegalParameter:     "illegal_parameter",
+	AlertDecodeError:          "decode_error",
+	AlertProtocolVersion:      "protocol_version",
+	AlertInsufficientSecurity: "insufficient_security",
+	AlertInternalError:        "internal_error",
+}
+
+// String returns the alert description name when known.
+func (d AlertDescription) String() string {
+	if n, ok := alertNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("alert_%d", uint8(d))
+}
+
+// Alert is a TLS alert message: the other way a server answers a
+// ClientHello. Which description a stack chooses for which malformed or
+// downlevel hello is part of its fingerprint.
+type Alert struct {
+	Level       AlertLevel
+	Description AlertDescription
+}
+
+// String renders "fatal:handshake_failure" style labels for reports.
+func (a Alert) String() string {
+	return a.Level.String() + ":" + a.Description.String()
+}
+
+// Marshal serializes the alert as a complete TLS record at the given
+// record version.
+func (a Alert) Marshal(ver Version) []byte {
+	recVer := ver
+	if recVer > VersionTLS12 {
+		recVer = VersionTLS12
+	}
+	return []byte{recordTypeAlert, byte(recVer >> 8), byte(recVer), 0, 2, byte(a.Level), byte(a.Description)}
+}
+
+// ParseAlertRecord parses a full TLS record expected to contain an
+// alert.
+func ParseAlertRecord(data []byte) (*Alert, error) {
+	if len(data) < 5 {
+		return nil, ErrTruncated
+	}
+	if data[0] != recordTypeAlert {
+		return nil, ErrNotAlert
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if 5+recLen > len(data) {
+		return nil, ErrTruncated
+	}
+	if recLen < 2 {
+		return nil, ErrTruncated
+	}
+	return &Alert{Level: AlertLevel(data[5]), Description: AlertDescription(data[6])}, nil
+}

@@ -1,0 +1,208 @@
+package tlswire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func seedServerHello() *ServerHello {
+	sh := &ServerHello{
+		LegacyVersion: VersionTLS12,
+		SessionID:     []byte{9, 8, 7},
+		CipherSuite:   0xC02F,
+		Extensions: []Extension{
+			{Type: ExtRenegotiationInfo, Data: []byte{0}},
+			{Type: ExtECPointFormats, Data: []byte{1, 0}},
+			{Type: ExtSessionTicket, Data: nil},
+		},
+	}
+	for i := range sh.Random {
+		sh.Random[i] = byte(0xA0 ^ i)
+	}
+	return sh
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	sh := seedServerHello()
+	rec, err := sh.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseServerHelloRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.LegacyVersion != sh.LegacyVersion || got.Random != sh.Random {
+		t.Fatalf("version/random changed in round trip")
+	}
+	if !bytes.Equal(got.SessionID, sh.SessionID) {
+		t.Fatalf("session id: %x != %x", got.SessionID, sh.SessionID)
+	}
+	if got.CipherSuite != sh.CipherSuite || got.CompressionMethod != sh.CompressionMethod {
+		t.Fatalf("cipher/compression changed in round trip")
+	}
+	if len(got.Extensions) != len(sh.Extensions) {
+		t.Fatalf("extensions: %d != %d", len(got.Extensions), len(sh.Extensions))
+	}
+	for i := range sh.Extensions {
+		if got.Extensions[i].Type != sh.Extensions[i].Type || !bytes.Equal(got.Extensions[i].Data, sh.Extensions[i].Data) {
+			t.Fatalf("extension %d: %v != %v", i, got.Extensions[i], sh.Extensions[i])
+		}
+	}
+}
+
+func TestServerHelloSelectedVersion(t *testing.T) {
+	sh := seedServerHello()
+	if v := sh.SelectedVersion(); v != VersionTLS12 {
+		t.Fatalf("selected version = %v, want TLS 1.2 from legacy field", v)
+	}
+	sh.SetSelectedVersion(VersionTLS13)
+	if v := sh.SelectedVersion(); v != VersionTLS13 {
+		t.Fatalf("selected version = %v, want TLS 1.3 from supported_versions", v)
+	}
+	// Replacing, not appending: a second set must not grow the list.
+	n := len(sh.Extensions)
+	sh.SetSelectedVersion(VersionTLS12)
+	if len(sh.Extensions) != n {
+		t.Fatalf("SetSelectedVersion appended a duplicate extension")
+	}
+	rec, err := sh.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseServerHelloRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.SelectedVersion() != VersionTLS12 {
+		t.Fatalf("selected version lost in round trip")
+	}
+}
+
+func TestServerHelloNoExtensions(t *testing.T) {
+	sh := &ServerHello{LegacyVersion: VersionSSL30, CipherSuite: 0x0035}
+	rec, err := sh.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseServerHelloRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got.Extensions) != 0 {
+		t.Fatalf("phantom extensions: %v", got.Extensions)
+	}
+	if got.SelectedVersion() != VersionSSL30 {
+		t.Fatalf("selected version = %v, want SSL 3.0", got.SelectedVersion())
+	}
+}
+
+func TestServerHelloParseErrors(t *testing.T) {
+	rec, err := seedServerHello().Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short record", rec[:4], ErrTruncated},
+		{"truncated body", rec[:len(rec)-2], ErrTruncated},
+		{"not handshake", []byte{23, 3, 3, 0, 0}, ErrNotHandshake},
+		{"client hello type", []byte{22, 3, 3, 0, 4, 1, 0, 0, 0}, ErrNotServerHello},
+	}
+	for _, tc := range cases {
+		if _, err := ParseServerHelloRecord(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAlertRoundTrip(t *testing.T) {
+	a := Alert{Level: AlertLevelFatal, Description: AlertHandshakeFailure}
+	rec := a.Marshal(VersionTLS12)
+	got, err := ParseAlertRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if *got != a {
+		t.Fatalf("round trip: %v != %v", *got, a)
+	}
+	if s := got.String(); s != "fatal:handshake_failure" {
+		t.Fatalf("String() = %q", s)
+	}
+	if _, err := ParseAlertRecord(rec[:4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short alert: err = %v, want truncated", err)
+	}
+	if _, err := ParseAlertRecord([]byte{22, 3, 3, 0, 2, 2, 40}); !errors.Is(err, ErrNotAlert) {
+		t.Fatalf("handshake record: err = %v, want not-alert", err)
+	}
+}
+
+// FuzzParseServerHello: parsing never panics for arbitrary input, and
+// Marshal∘Parse is the identity on every hello the parser accepts. CI
+// runs this alongside the ClientHello targets in the fuzz-smoke job;
+// the seed corpus under testdata/fuzz/FuzzParseServerHello/ runs as
+// regression cases on every plain `go test`.
+func FuzzParseServerHello(f *testing.F) {
+	rec, err := seedServerHello().Marshal()
+	if err != nil {
+		f.Fatalf("marshal seed: %v", err)
+	}
+	f.Add(rec)
+	f.Add(rec[:5])
+	f.Add(rec[:len(rec)-3])
+	f.Add([]byte{})
+	f.Add([]byte{21, 3, 3, 0, 2, 2, 40})        // alert, not a handshake
+	f.Add([]byte{22, 3, 3, 0, 1, 1})            // handshake, ClientHello type
+	f.Add([]byte{22, 3, 3, 0xFF, 0xFF, 2})      // record claims more than present
+	f.Add(append(bytes.Clone(rec), 0xAA, 0xBB)) // trailing garbage
+	tls13 := seedServerHello()
+	tls13.SetSelectedVersion(VersionTLS13)
+	rec13, err := tls13.Marshal()
+	if err != nil {
+		f.Fatalf("marshal tls13 seed: %v", err)
+	}
+	f.Add(rec13)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sh, err := ParseServerHelloRecord(data)
+		if err != nil {
+			if sh != nil {
+				t.Fatalf("non-nil hello alongside error %v", err)
+			}
+			return
+		}
+		// Accessors never panic on hostile input.
+		_ = sh.SelectedVersion()
+		_ = sh.ExtensionTypes()
+		_ = sh.HasExtension(ExtSupportedVersions)
+		_ = sh.LegacyVersion.String()
+		// Marshal∘Parse identity.
+		rec2, err := sh.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of parsed hello failed: %v", err)
+		}
+		sh2, err := ParseServerHelloRecord(rec2)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled hello failed: %v", err)
+		}
+		if sh2.LegacyVersion != sh.LegacyVersion || sh2.Random != sh.Random ||
+			sh2.CipherSuite != sh.CipherSuite || sh2.CompressionMethod != sh.CompressionMethod {
+			t.Fatalf("round-trip fixed fields changed")
+		}
+		if !bytes.Equal(sh2.SessionID, sh.SessionID) {
+			t.Fatalf("round-trip session id: %x != %x", sh2.SessionID, sh.SessionID)
+		}
+		if len(sh2.Extensions) != len(sh.Extensions) {
+			t.Fatalf("round-trip extensions: %d != %d", len(sh2.Extensions), len(sh.Extensions))
+		}
+		for i := range sh.Extensions {
+			if sh2.Extensions[i].Type != sh.Extensions[i].Type || !bytes.Equal(sh2.Extensions[i].Data, sh.Extensions[i].Data) {
+				t.Fatalf("round-trip extension %d changed", i)
+			}
+		}
+	})
+}
