@@ -17,6 +17,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/labdata"
 	"repro/internal/libcorpus"
+	"repro/internal/lint"
 	"repro/internal/localnet"
 	"repro/internal/probe"
 	"repro/internal/report"
@@ -480,6 +481,25 @@ func BenchmarkEndToEndStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(context.Background(), core.Config{Seed: int64(i) + 1, Scale: 0.1, MinSNIUsers: 2}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIotlintSelf measures the static-analysis suite linting the
+// repository that defines it: all ten analyzers (six AST-local, four
+// flow-sensitive on internal/lint/cfg) over every package, type-checked
+// from source. The process-wide shared loader makes every iteration
+// after the first a pure cache hit, so -benchtime 1x measures the cold
+// cost and longer runs converge on the analysis-only cost.
+func BenchmarkIotlintSelf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		diags, err := lint.CheckDirs(".", []string{"./..."}, lint.Suite())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("self-lint found %d unsuppressed diagnostic(s): %v", len(diags), diags[0])
 		}
 	}
 }

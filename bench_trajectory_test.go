@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fingerprint"
 	"repro/internal/libcorpus"
+	"repro/internal/lint"
 	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/tlswire"
@@ -349,6 +350,82 @@ func TestBenchTrajectory(t *testing.T) {
 	}
 	t.Logf("wrote %s: %d scale-sweep points, generate alloc reduction %.1fx, ingest %.1fx",
 		out7, len(rep7.ScaleSweep), rep7.GenerateAllocReductionVsPR2, rep7.IngestAllocReductionVsPR2)
+
+	// BENCH_PR9.json extends the trajectory with the static-analysis
+	// suite analyzing its own repository: cold (fresh loader, every
+	// package type-checked from source) and warm (shared-loader cache
+	// hit) wall times for all ten analyzers over ./.... Measured
+	// single-shot rather than through testing.Benchmark — a full-repo
+	// type-check is far too slow for adaptive iteration.
+	rep9 := benchReport9{benchReport: rep}
+	rep9.SeedBaselineRef = "PR2 trajectory (BENCH_PR2.json) in the same artifact; lint " +
+		"self-analysis points are new in PR9 and have no earlier baseline"
+	rep9.LintSelf = lintSelfSweep(t)
+	data9, err := json.MarshalIndent(rep9, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data9 = append(data9, '\n')
+	out9 := filepath.Join(filepath.Dir(out), "BENCH_PR9.json")
+	if err := os.WriteFile(out9, data9, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d packages linted, cold %.0fms, warm %.0fms",
+		out9, rep9.LintSelf.Packages, rep9.LintSelf.ColdWallMs, rep9.LintSelf.WarmWallMs)
+}
+
+// lintSelfPoint records the self-lint cost: every analyzer over every
+// repository package, cold and warm.
+type lintSelfPoint struct {
+	Packages   int     `json:"packages"`
+	Analyzers  int     `json:"analyzers"`
+	ColdWallMs float64 `json:"cold_wall_ms"`
+	WarmWallMs float64 `json:"warm_wall_ms"`
+}
+
+// benchReport9 is the BENCH_PR9.json schema: the PR2 trajectory plus
+// the self-lint point.
+type benchReport9 struct {
+	benchReport
+	LintSelf lintSelfPoint `json:"lint_self"`
+}
+
+// lintSelfSweep measures BenchmarkIotlintSelf's workload directly: one
+// cold run on a private loader, then a warmed shared-loader run.
+func lintSelfSweep(t *testing.T) lintSelfPoint {
+	suite := lint.Suite()
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lint.CheckFull(pkgs, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+	if n := rep.Unsuppressed(); len(n) > 0 {
+		t.Fatalf("self-lint found %d unsuppressed diagnostic(s): %v", len(n), n[0])
+	}
+	// Prime the process-wide shared loader, then time a pure cache hit.
+	if _, err := lint.CheckDirsFull(".", []string{"./..."}, suite); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := lint.CheckDirsFull(".", []string{"./..."}, suite); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+	return lintSelfPoint{
+		Packages:   len(pkgs),
+		Analyzers:  len(suite),
+		ColdWallMs: float64(cold.Microseconds()) / 1000,
+		WarmWallMs: float64(warm.Microseconds()) / 1000,
+	}
 }
 
 // scalePoint is one scale-sweep measurement: single-shot wall and alloc

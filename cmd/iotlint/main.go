@@ -11,52 +11,162 @@
 //	//lint:allow <analyzer> <reason>
 //
 // on the flagged line or the line directly above it.
+//
+// -json writes the full machine-readable report (every diagnostic,
+// suppressed ones flagged with their reason, plus stale annotations)
+// to stdout while the human-readable gating lines go to stderr, so a
+// single invocation feeds both a CI problem matcher and an artifact.
+// -audit-allow additionally gates on stale //lint:allow annotations:
+// annotations whose finding is gone are reported and fail the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
+// jsonDiag is one diagnostic in the -json report. File is relative to
+// the working directory when possible, so the artifact is stable
+// across checkouts.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonStale is one stale //lint:allow annotation in the -json report.
+type jsonStale struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Diagnostics []jsonDiag  `json:"diagnostics"`
+	Stale       []jsonStale `json:"stale"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: iotlint [-list] [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism/hygiene analyzer suite; packages default to ./...\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, argv []string) int {
+	fs := flag.NewFlagSet("iotlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "write the full report as JSON to stdout (human lines go to stderr)")
+	auditAllow := fs.Bool("audit-allow", false, "also fail on stale //lint:allow annotations that suppress nothing")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: iotlint [-list] [-json] [-audit-allow] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the determinism/hygiene analyzer suite; packages default to ./...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	suite := lint.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iotlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iotlint:", err)
+		return 2
 	}
-	diags, err := lint.CheckDirs(cwd, patterns, suite)
+	rep, err := lint.CheckDirsFull(cwd, patterns, suite)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iotlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iotlint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	// Human-readable gating lines: unsuppressed findings, plus stale
+	// annotations under -audit-allow. In -json mode they move to
+	// stderr so stdout stays pure JSON.
+	lines := stderr
+	if !*asJSON {
+		lines = stdout
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "iotlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	unsup := rep.Unsuppressed()
+	for _, d := range unsup {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+		fmt.Fprintln(lines, d)
 	}
+	failures := len(unsup)
+	if *auditAllow {
+		for _, s := range rep.Stale {
+			s.Pos.Filename = relPath(cwd, s.Pos.Filename)
+			fmt.Fprintln(lines, s)
+		}
+		failures += len(rep.Stale)
+	}
+
+	if *asJSON {
+		doc := jsonReport{Diagnostics: []jsonDiag{}, Stale: []jsonStale{}}
+		for _, d := range rep.Diagnostics {
+			doc.Diagnostics = append(doc.Diagnostics, jsonDiag{
+				File:       relPath(cwd, d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.Reason,
+			})
+		}
+		for _, s := range rep.Stale {
+			doc.Stale = append(doc.Stale, jsonStale{
+				File:     relPath(cwd, s.Pos.Filename),
+				Line:     s.Pos.Line,
+				Col:      s.Pos.Column,
+				Analyzer: s.Analyzer,
+				Reason:   s.Reason,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(stderr, "iotlint:", err)
+			return 2
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stderr, "iotlint: %d finding(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// relPath rewrites an absolute source path relative to base when the
+// file sits inside the tree; paths outside base (or unresolvable ones)
+// come back unchanged.
+func relPath(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }

@@ -42,8 +42,27 @@ func TestHotkeyFixture(t *testing.T) {
 	runFixture(t, Hotkey(), "hotkey")
 }
 
+func TestLockbalanceFixture(t *testing.T) {
+	runFixture(t, Lockbalance(), "lockbalance")
+}
+
+func TestGoleakFixture(t *testing.T) {
+	runFixture(t, Goleak(), "goleak")
+}
+
+func TestDefercloseFixture(t *testing.T) {
+	runFixture(t, Deferclose(), "deferclose")
+}
+
+func TestSnapshotsafeFixture(t *testing.T) {
+	runFixture(t, Snapshotsafe(), "snapshotsafe")
+}
+
 func TestSuiteNamesUniqueAndStable(t *testing.T) {
-	want := []string{"noclock", "seededrand", "sortedrange", "ctxfirst", "wrapsentinel", "hotkey"}
+	want := []string{
+		"noclock", "seededrand", "sortedrange", "ctxfirst", "wrapsentinel", "hotkey",
+		"lockbalance", "goleak", "deferclose", "snapshotsafe",
+	}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,449 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// runs forward dataflow analyses to a fixpoint. It is the flow-sensitive
+// substrate under the lockbalance, goleak, deferclose, snapshotsafe and
+// sortedrange analyzers, and — like the rest of internal/lint — uses
+// only the standard library.
+//
+// The graph is a list of basic blocks. Each block carries the statement
+// and expression nodes executed in order when control enters it, an
+// optional branch condition (Cond), and its successor edges. Blocks are
+// purely syntactic: the builder walks statements only, so function
+// literals nested in expressions are not inlined — analyzers descend
+// into them separately if they care.
+//
+// Two conventions matter to clients:
+//
+//   - When Cond is non-nil, Succs[0] is the edge taken when Cond is
+//     true and Succs[1] (if present) the edge when it is false. This is
+//     what lets a dataflow Problem refine facts per branch (e.g. "err
+//     != nil" proving a resource was never acquired).
+//   - Calls that cannot return — panic, os.Exit, and anything the
+//     Options.NoReturn callback claims — terminate their block with no
+//     edge to Exit. Paths that end in panic are therefore exempt from
+//     "on all paths" obligations, matching the runtime's behaviour of
+//     unwinding defers.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, entry first. Dead blocks (no path from
+	// Entry) are kept — with Live false — so analyzers can report
+	// unreachable code if they want to.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block. Every return statement
+	// and every fall-off-the-end path has an edge to it; panicking
+	// paths do not.
+	Exit *Block
+}
+
+// A Block is one basic block.
+type Block struct {
+	Index int
+	// Nodes are the statements and branch conditions executed in order.
+	// Conditions appear as their ast.Expr; everything else as the
+	// ast.Stmt.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the boolean condition deciding between
+	// Succs[0] (true) and Succs[1] (false).
+	Cond ast.Expr
+	// Term is the statement that ended the block early, if any: a
+	// return, a branch (break/continue/goto/fallthrough), or a call
+	// that never returns.
+	Term ast.Stmt
+	// Live reports whether the block is reachable from Entry.
+	Live  bool
+	Succs []*Block
+	Preds []*Block
+}
+
+// Options configures graph construction.
+type Options struct {
+	// NoReturn, when set, classifies calls that never return (panic,
+	// os.Exit, a local fatal helper). When nil, only a call to an
+	// identifier literally named "panic" is treated as terminal.
+	NoReturn func(*ast.CallExpr) bool
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt, opts Options) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		opts:   opts,
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit) // fall off the end: implicit return
+	}
+	b.markLive()
+	return b.g
+}
+
+type builder struct {
+	g    *Graph
+	opts Options
+	// cur is the block under construction; nil while the current point
+	// is unreachable (after return/break/panic). Statements arriving
+	// then open a fresh, unconnected (dead) block.
+	cur    *Block
+	frames []frame
+	labels map[string]*Block // goto / labeled-statement targets
+	// fallTarget is the next case clause's block while building a
+	// switch clause, for fallthrough.
+	fallTarget *Block
+}
+
+// A frame is one enclosing breakable construct (loop, switch, select).
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil unless a loop
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the block under construction, opening a dead block when
+// the current point is unreachable so dead statements still land in the
+// graph.
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jumpIfLive adds an edge from the current block to to, then marks the
+// current point unreachable.
+func (b *builder) jumpIfLive(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to)
+	}
+	b.cur = nil
+}
+
+func (b *builder) add(n ast.Node) {
+	b.block().Nodes = append(b.block().Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds one statement. label is non-empty when the statement is
+// the body of a LabeledStmt, so loops and switches register it on their
+// frame.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.stmt(s.Stmt, s.Label.Name)
+		default:
+			// A plain labeled statement is a goto target: control
+			// transfers to a fresh block.
+			lb := b.labelBlock(s.Label.Name)
+			if b.cur != nil {
+				b.edge(b.cur, lb)
+			}
+			b.cur = lb
+			b.stmt(s.Stmt, "")
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(caseClauses(s.Body), label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(caseClauses(s.Body), label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case *ast.ReturnStmt:
+		blk := b.block()
+		blk.Nodes = append(blk.Nodes, s)
+		blk.Term = s
+		b.jumpIfLive(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturn(call) {
+			b.block().Term = s
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// inc/dec, empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	cond := b.block()
+	cond.Nodes = append(cond.Nodes, s.Cond)
+	cond.Cond = s.Cond
+	then := b.newBlock()
+	after := b.newBlock()
+	b.edge(cond, then) // Succs[0]: condition true
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock()
+		b.edge(cond, els) // Succs[1]: condition false
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = then
+	b.stmt(s.Body, "")
+	b.jumpIfLive(after)
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.jumpIfLive(after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.jumpIfLive(head)
+	body := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body)  // Succs[0]: condition true
+		b.edge(head, after) // Succs[1]: condition false
+	} else {
+		// for { }: the only way out is break/return/panic.
+		b.edge(head, body)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmt(s.Body, "")
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jumpIfLive(cont)
+	if post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.jumpIfLive(head)
+	// The RangeStmt node itself stands for the per-iteration key/value
+	// assignment; analyzers match on it directly.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)  // another element
+	b.edge(head, after) // exhausted
+	b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmt(s.Body, "")
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jumpIfLive(head)
+	b.cur = after
+}
+
+func caseClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	out := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func (b *builder) switchClauses(clauses []*ast.CaseClause, label string) {
+	head := b.block()
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no case matched
+	}
+	b.frames = append(b.frames, frame{label: label, brk: after})
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.fallTarget = nil
+		if i+1 < len(clauses) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		b.add(cc)
+		b.stmtList(cc.Body)
+		b.jumpIfLive(after)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.block()
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock()
+	var clauses []*ast.CommClause
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Without a default clause the select blocks until a case is ready:
+	// there is no head→after edge. select{} blocks forever, so head has
+	// no successors at all and after is dead.
+	b.frames = append(b.frames, frame{label: label, brk: after})
+	for _, cc := range clauses {
+		cb := b.newBlock()
+		b.edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jumpIfLive(after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, s)
+	blk.Term = s
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.edge(blk, f.brk)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.edge(blk, f.cont)
+		}
+	case token.GOTO:
+		b.edge(blk, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edge(blk, b.fallTarget)
+		}
+	}
+	b.cur = nil
+}
+
+// findFrame locates the innermost frame matching label (any frame when
+// label is empty). needLoop restricts the search to loops (continue).
+func (b *builder) findFrame(label string, needLoop bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	if b.opts.NoReturn != nil {
+		return b.opts.NoReturn(call)
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// markLive flags every block reachable from Entry.
+func (b *builder) markLive() {
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(b.g.Entry)
+}

@@ -1,0 +1,336 @@
+package cfg_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// loadFixtures parses testdata/cfg/fixtures.go and indexes its
+// functions by name.
+func loadFixtures(t *testing.T) (map[string]*ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	path := filepath.Join("..", "testdata", "cfg", "fixtures.go")
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	fns := map[string]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fns[fd.Name.Name] = fd
+		}
+	}
+	return fns, fset
+}
+
+// render formats a node back to source for substring assertions.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	return buf.String()
+}
+
+// deadText concatenates the source of every node in dead blocks.
+func deadText(fset *token.FileSet, g *cfg.Graph) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		if b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			sb.WriteString(render(fset, n))
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// findBlock returns the first live block containing a node whose
+// rendered source is want or starts with want. Prefix (not substring)
+// matching keeps a loop head — whose RangeStmt node renders the whole
+// body — from swallowing queries for statements inside it.
+func findBlock(fset *token.FileSet, g *cfg.Graph, want string) *cfg.Block {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if strings.HasPrefix(render(fset, n), want) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from along successor
+// edges (including a cycle back to from itself when from == to).
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var visit func(*cfg.Block) bool
+	visit = func(b *cfg.Block) bool {
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(from)
+}
+
+func TestGraphShapes(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	cases := []struct {
+		fn       string
+		exitLive bool   // a path falls off or returns
+		deadHas  string // substring that must appear in dead blocks
+	}{
+		{fn: "forNoPost", exitLive: true},
+		{fn: "spinForever", exitLive: false},
+		{fn: "selectNoDefault", exitLive: true},
+		{fn: "selectWithDefault", exitLive: true},
+		{fn: "labeledBreakContinue", exitLive: true},
+		{fn: "deferInLoop", exitLive: true},
+		{fn: "deadAfterPanic", exitLive: true, deadHas: "x = 0"},
+		{fn: "deadAfterReturn", exitLive: true, deadHas: "return 2"},
+		{fn: "gotoBack", exitLive: true},
+		{fn: "fallthroughChain", exitLive: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fd, ok := fns[tc.fn]
+			if !ok {
+				t.Fatalf("fixture %s missing", tc.fn)
+			}
+			g := cfg.New(fd.Body, cfg.Options{})
+			if g.Exit.Live != tc.exitLive {
+				t.Errorf("%s: exit live = %v, want %v", tc.fn, g.Exit.Live, tc.exitLive)
+			}
+			if g.Entry == nil || !g.Entry.Live {
+				t.Fatalf("%s: entry not live", tc.fn)
+			}
+			if len(g.Exit.Succs) != 0 {
+				t.Errorf("%s: exit has %d successors", tc.fn, len(g.Exit.Succs))
+			}
+			// Every live block other than Exit must either have a
+			// successor or be cut short by panic (Term set, no edge).
+			for _, b := range g.Blocks {
+				if !b.Live || b == g.Exit {
+					continue
+				}
+				if len(b.Succs) == 0 && b.Term == nil {
+					t.Errorf("%s: live block %d dangles with no successors and no terminator", tc.fn, b.Index)
+				}
+			}
+			if tc.deadHas != "" {
+				if dead := deadText(fset, g); !strings.Contains(dead, tc.deadHas) {
+					t.Errorf("%s: dead blocks missing %q; dead code:\n%s", tc.fn, tc.deadHas, dead)
+				}
+			}
+		})
+	}
+}
+
+func TestForNoPostShape(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["forNoPost"].Body, cfg.Options{})
+	// The condition-less loop head must have exactly one successor (the
+	// body): no implicit exit edge.
+	brk := findBlock(fset, g, "break")
+	if brk == nil {
+		t.Fatal("no block containing break")
+	}
+	if len(brk.Succs) != 1 {
+		t.Fatalf("break block has %d successors, want 1", len(brk.Succs))
+	}
+	after := brk.Succs[0]
+	// The code after the loop (return i) is reached only via break.
+	if fb := findBlock(fset, g, "return i"); fb == nil || !reaches(after, fb) && after != fb {
+		t.Errorf("break edge does not lead to the return block")
+	}
+}
+
+func TestSelectNoDefaultShape(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["selectNoDefault"].Body, cfg.Options{})
+	head := findBlock(fset, g, "select")
+	if head == nil {
+		t.Fatal("no select head block")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want 2 (one per clause, no default edge)", len(head.Succs))
+	}
+	g2 := cfg.New(fns["selectWithDefault"].Body, cfg.Options{})
+	head2 := findBlock(fset, g2, "select")
+	if head2 == nil {
+		t.Fatal("no select head block (default case)")
+	}
+	if len(head2.Succs) != 2 {
+		t.Fatalf("select-with-default head has %d successors, want 2 (clause + default)", len(head2.Succs))
+	}
+}
+
+func TestLabeledBreakContinueShape(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["labeledBreakContinue"].Body, cfg.Options{})
+	brk := findBlock(fset, g, "break outer")
+	cont := findBlock(fset, g, "continue outer")
+	ret := findBlock(fset, g, "return total")
+	outerHead := findBlock(fset, g, "for _, row := range m")
+	innerHead := findBlock(fset, g, "for _, v := range row")
+	for name, b := range map[string]*cfg.Block{"break outer": brk, "continue outer": cont, "return": ret, "outer head": outerHead, "inner head": innerHead} {
+		if b == nil {
+			t.Fatalf("no block for %s", name)
+		}
+	}
+	// break outer jumps past both loops: from its successor, neither
+	// range head is reachable, but the return is.
+	if len(brk.Succs) != 1 {
+		t.Fatalf("break outer has %d successors", len(brk.Succs))
+	}
+	if tgt := brk.Succs[0]; reaches(tgt, innerHead) || reaches(tgt, outerHead) {
+		t.Error("break outer still reaches a loop head")
+	} else if tgt != ret && !reaches(tgt, ret) {
+		t.Error("break outer does not lead to the return")
+	}
+	// continue outer re-enters the outer head directly.
+	if len(cont.Succs) != 1 || cont.Succs[0] != outerHead {
+		t.Error("continue outer does not edge to the outer range head")
+	}
+}
+
+func TestDeferInLoopShape(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["deferInLoop"].Body, cfg.Options{})
+	d := findBlock(fset, g, "defer")
+	if d == nil {
+		t.Fatal("no block containing the defer")
+	}
+	// The defer's block is on the loop cycle: it reaches itself.
+	if !reaches(d, d) {
+		t.Error("defer block is not on a cycle")
+	}
+}
+
+func TestPanicCutsExitEdge(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["deadAfterPanic"].Body, cfg.Options{})
+	p := findBlock(fset, g, "panic")
+	if p == nil {
+		t.Fatal("no panic block")
+	}
+	if len(p.Succs) != 0 {
+		t.Fatalf("panic block has %d successors, want 0", len(p.Succs))
+	}
+	if p.Term == nil {
+		t.Error("panic block has no terminator")
+	}
+}
+
+func TestGotoBackForsmLoop(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["gotoBack"].Body, cfg.Options{})
+	inc := findBlock(fset, g, "i++")
+	if inc == nil {
+		t.Fatal("no block containing i++")
+	}
+	if !reaches(inc, inc) {
+		t.Error("goto does not form a cycle")
+	}
+}
+
+func TestFallthroughEdge(t *testing.T) {
+	fns, fset := loadFixtures(t)
+	g := cfg.New(fns["fallthroughChain"].Body, cfg.Options{})
+	ft := findBlock(fset, g, "fallthrough")
+	next := findBlock(fset, g, "case 1:")
+	if ft == nil || next == nil {
+		t.Fatal("fallthrough fixture blocks missing")
+	}
+	if len(ft.Succs) != 1 || ft.Succs[0] != next {
+		t.Error("fallthrough does not edge into the next clause block")
+	}
+}
+
+// TestForwardBranchRefinement pins the Succs[0]=true convention and the
+// fixpoint driver: a string-set lattice where the Branch hook tags
+// which way the condition went.
+func TestForwardBranchRefinement(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+	done()
+}
+func a() {}
+func b() {}
+func done() {}
+`
+	file, err := parser.ParseFile(fset, "branch.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := cfg.New(fd.Body, cfg.Options{})
+
+	type set = map[string]bool
+	join := func(a, b any) any {
+		out := set{}
+		for k := range a.(set) {
+			out[k] = true
+		}
+		for k := range b.(set) {
+			out[k] = true
+		}
+		return out
+	}
+	in := cfg.Forward(g, cfg.Problem{
+		Entry:    set{},
+		Transfer: func(b *cfg.Block, in any) any { return in },
+		Branch: func(cond ast.Expr, whenTrue bool, out any) any {
+			tag := "F"
+			if whenTrue {
+				tag = "T"
+			}
+			return join(out, set{tag: true}).(set)
+		},
+		Join:  join,
+		Equal: func(a, b any) bool { return len(a.(set)) == len(b.(set)) },
+	})
+
+	thenBlk := findBlock(fset, g, "a()")
+	elseBlk := findBlock(fset, g, "b()")
+	afterBlk := findBlock(fset, g, "done()")
+	if thenBlk == nil || elseBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if f := in[thenBlk].(set); !f["T"] || f["F"] {
+		t.Errorf("then-branch fact = %v, want {T}", f)
+	}
+	if f := in[elseBlk].(set); !f["F"] || f["T"] {
+		t.Errorf("else-branch fact = %v, want {F}", f)
+	}
+	if f := in[afterBlk].(set); !f["T"] || !f["F"] {
+		t.Errorf("join fact = %v, want {T,F}", f)
+	}
+}

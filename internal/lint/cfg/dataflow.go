@@ -1,0 +1,96 @@
+package cfg
+
+import "go/ast"
+
+// A Problem is one forward dataflow analysis: a lattice (Join, Equal),
+// a per-block transfer function, and an optional per-edge refinement
+// for branch conditions. Facts are opaque to the driver; Transfer and
+// Branch must treat their input as immutable and return fresh values
+// when the fact changes.
+type Problem struct {
+	// Entry is the fact at function entry.
+	Entry any
+	// Transfer computes the fact at the end of a block from the fact at
+	// its start.
+	Transfer func(b *Block, in any) any
+	// Branch, when set, refines the post-block fact along a conditional
+	// edge: cond is the block's condition and whenTrue tells which edge
+	// is being followed. Return out unchanged when the condition proves
+	// nothing.
+	Branch func(cond ast.Expr, whenTrue bool, out any) any
+	// Join merges facts where paths meet. It must be commutative,
+	// associative and idempotent, or the iteration may not converge.
+	Join func(a, b any) any
+	// Equal reports whether two facts are the same, ending iteration.
+	Equal func(a, b any) bool
+	// MaxIter caps fixpoint passes over the graph; 0 means a default
+	// generous enough for any lattice of finite height.
+	MaxIter int
+}
+
+// Forward runs the problem to a fixpoint and returns the fact at the
+// ENTRY of every reached block. Blocks never reached (dead code, or cut
+// off by Branch refinement) are absent from the map.
+func Forward(g *Graph, p Problem) map[*Block]any {
+	in := map[*Block]any{g.Entry: p.Entry}
+	order := postorder(g)
+	// Reverse postorder: process a block before its successors where
+	// possible, so most functions converge in one or two passes.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	max := p.MaxIter
+	if max <= 0 {
+		max = 4*len(g.Blocks) + 8
+	}
+	for iter := 0; iter < max; iter++ {
+		changed := false
+		for _, b := range order {
+			inFact, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := p.Transfer(b, inFact)
+			for i, s := range b.Succs {
+				edgeFact := out
+				if p.Branch != nil && b.Cond != nil && i < 2 {
+					edgeFact = p.Branch(b.Cond, i == 0, out)
+				}
+				cur, seen := in[s]
+				if !seen {
+					in[s] = edgeFact
+					changed = true
+					continue
+				}
+				merged := p.Join(cur, edgeFact)
+				if !p.Equal(merged, cur) {
+					in[s] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func postorder(g *Graph) []*Block {
+	var out []*Block
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		out = append(out, b)
+	}
+	visit(g.Entry)
+	return out
+}

@@ -20,10 +20,30 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// fixtureEnv shares one file set and one source importer across every
+// loadFixture call, so the standard library packages the fixtures
+// import (net, os, sync, ...) are type-checked once per test process
+// instead of once per fixture.
+var fixtureEnv struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func fixtureImporter() (*token.FileSet, types.Importer) {
+	fixtureEnv.once.Do(func() {
+		disableCgo()
+		fixtureEnv.fset = token.NewFileSet()
+		fixtureEnv.imp = importer.ForCompiler(fixtureEnv.fset, "source", nil)
+	})
+	return fixtureEnv.fset, fixtureEnv.imp
+}
 
 // loadFixture parses and type-checks the fixture package at
 // testdata/src/<rel>, using <rel> as the import path so analyzers with
@@ -31,13 +51,12 @@ var wantRe = regexp.MustCompile("// want `([^`]+)`")
 // paths.
 func loadFixture(t *testing.T, rel string) *Package {
 	t.Helper()
-	disableCgo()
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("read fixture dir: %v", err)
 	}
-	fset := token.NewFileSet()
+	fset, imp := fixtureImporter()
 	var files []*ast.File
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -56,7 +75,7 @@ func loadFixture(t *testing.T, rel string) *Package {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(rel, fset, files, info)
 	if err != nil {
 		t.Fatalf("type-check fixture %s: %v", rel, err)

@@ -1,0 +1,232 @@
+package lint
+
+// flow.go holds the shared plumbing under the flow-sensitive analyzers
+// (lockbalance, goleak, deferclose, snapshotsafe and the interprocedural
+// half of sortedrange): function enumeration, canonical expression keys
+// for lock/resource identity, and the no-return call classifier that
+// keeps panicking paths out of "on all paths" obligations.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/cfg"
+)
+
+// declaredFuncs maps every function and method declared in the package
+// to its declaration, so analyzers can look through one level of
+// intra-package calls.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// funcBody is one analyzable body: a declared function/method or a
+// function literal found anywhere in the package.
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+}
+
+// functionBodies enumerates every declared function plus every function
+// literal, so flow analyzers cover goroutine bodies and closures too.
+func functionBodies(pass *Pass) []funcBody {
+	var out []funcBody
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcBody{name: fd.Name.Name, body: fd.Body, decl: fd})
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcBody{name: name + ".func", body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// fatalCalls names stdlib functions that never return.
+var fatalCalls = map[string]map[string]bool{
+	"os":      {"Exit": true},
+	"log":     {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"runtime": {"Goexit": true},
+}
+
+// noReturnPredicate classifies calls that never return: the panic
+// builtin, os.Exit and friends, and — one level deep — local functions
+// whose body ends in such a call (a main-package fatal(...) helper).
+func noReturnPredicate(pass *Pass) func(*ast.CallExpr) bool {
+	direct := func(call *ast.CallExpr) bool {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == types.Universe.Lookup("panic") {
+				return true
+			}
+		}
+		fn := funcOf(pass.TypesInfo, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		names := fatalCalls[fn.Pkg().Path()]
+		return names != nil && names[fn.Name()]
+	}
+	// One-level summaries: a local function is no-return when its body's
+	// last top-level statement is an unconditional no-return call.
+	local := map[*types.Func]bool{}
+	for fn, fd := range declaredFuncs(pass) {
+		stmts := fd.Body.List
+		if len(stmts) == 0 {
+			continue
+		}
+		if es, ok := stmts[len(stmts)-1].(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && direct(call) {
+				local[fn] = true
+			}
+		}
+	}
+	return func(call *ast.CallExpr) bool {
+		if direct(call) {
+			return true
+		}
+		fn := funcOf(pass.TypesInfo, call.Fun)
+		return fn != nil && local[fn]
+	}
+}
+
+// buildGraph constructs the CFG of one body with the pass's no-return
+// classifier wired in.
+func buildGraph(pass *Pass, body *ast.BlockStmt, noRet func(*ast.CallExpr) bool) *cfg.Graph {
+	return cfg.New(body, cfg.Options{NoReturn: noRet})
+}
+
+// exprKey canonicalizes an lvalue-ish expression (an identifier or a
+// selector chain rooted at one) to a stable string, so "s.mu" in two
+// statements is the same lock and shadowed variables stay distinct.
+// The second result is false for expressions with no stable identity
+// (calls, index expressions, unresolved identifiers).
+func exprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return fmt.Sprintf("%s@%d", v.Name(), v.Pos()), true
+		}
+	case *ast.SelectorExpr:
+		base, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	case *ast.StarExpr:
+		return exprKey(info, e.X)
+	}
+	return "", false
+}
+
+// rootVar returns the *types.Var at the root of an identifier, selector,
+// index or star expression chain ("s.snap.Epoch" → s, "m[k]" → m).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			v, _ := obj.(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedTypeName strips pointers and reports the defining package path
+// and name of a named (or instantiated generic) type.
+func namedTypeName(t types.Type) (pkg, name string, ok bool) {
+	for {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := n.Obj()
+	if obj == nil {
+		return "", "", false
+	}
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true // error, or another universe type
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// methodOn resolves call to a method named name whose receiver's named
+// type is pkgPath.typeName (through pointers), returning the receiver
+// expression.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	rp, rn, ok := namedTypeName(sig.Recv().Type())
+	if !ok || rp != pkgPath || rn != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// splitRecvPath splits key = recvKey + path and returns path (like
+// ".mu"), for rebasing a callee's receiver-rooted lock effects onto the
+// caller's receiver expression.
+func splitRecvPath(key, recvKey string) (string, bool) {
+	rest, ok := strings.CutPrefix(key, recvKey)
+	if !ok || rest == "" || rest[0] != '.' {
+		return "", false
+	}
+	return rest, true
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goleak returns the analyzer that demands every goroutine have a join
+// or cancellation discipline, the invariant the probe worker pools and
+// the daemon rely on for graceful drain. A `go` statement is accepted
+// when any of the following holds:
+//
+//   - an argument carries a context.Context, a channel, or a
+//     *sync.WaitGroup (the spawner handed over a leash);
+//   - the goroutine body (a function literal, or a same-package
+//     function's body, one level deep) signals completion: it calls
+//     WaitGroup.Done or Wait, sends on or closes a channel, ranges over
+//     a channel, or references a context.Context value it captured.
+//
+// A goroutine that does none of these — fire-and-forget into an
+// external call, or a loop with no exit signal — is flagged. Genuinely
+// unowned goroutines (a debug HTTP server serving until process exit,
+// an accept loop whose listener close is the shutdown signal) take a
+// //lint:allow goleak annotation stating who stops them.
+func Goleak() *Analyzer {
+	a := &Analyzer{
+		Name: "goleak",
+		Doc: "flags go statements with no join or cancellation discipline: no WaitGroup, " +
+			"no channel send/close/range, no context — nothing that ever stops or " +
+			"observes the goroutine",
+	}
+	a.Run = func(pass *Pass) error {
+		decls := declaredFuncs(pass)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goDisciplined(pass, decls, gs) {
+					pass.Reportf(gs.Pos(),
+						"goroutine has no join or cancellation discipline (no WaitGroup, channel, or context); it can outlive its owner")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func goDisciplined(pass *Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	call := gs.Call
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && leashType(tv.Type) {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := funcOf(pass.TypesInfo, fun); fn != nil && fn.Pkg() == pass.Pkg {
+			if fd := decls[fn]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		// An external or unresolvable callee with no leash argument:
+		// nothing ties the goroutine to its owner.
+		return false
+	}
+	return bodySignals(pass, body)
+}
+
+// leashType reports whether t is a handle the spawner can use to join
+// or cancel the goroutine.
+func leashType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if pkg, name, ok := namedTypeName(t); ok {
+		if pkg == "context" && name == "Context" {
+			return true
+		}
+		if pkg == "sync" && name == "WaitGroup" {
+			return true
+		}
+	}
+	return false
+}
+
+// bodySignals reports whether a goroutine body contains any completion
+// or cancellation signal.
+func bodySignals(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+				found = true
+				break
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			// A captured context is a cancellation leash even when the
+			// body only consults it (ctx.Err, ctx.Done in a select).
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && v.Type() != nil {
+				if pkg, name, ok := namedTypeName(v.Type()); ok && pkg == "context" && name == "Context" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

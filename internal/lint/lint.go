@@ -71,17 +71,60 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 }
 
 // A Diagnostic is one finding, already resolved to a file position.
+// Suppressed findings are kept (with the annotation's reason) so tools
+// like iotlint -json can show the full picture; only unsuppressed ones
+// gate.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// Suppressed marks a finding covered by a well-formed
+	// //lint:allow annotation; Reason carries the annotation's text.
+	Suppressed bool
+	Reason     string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Suite returns every analyzer in the iotlint suite, in a fixed order.
+// A StaleAllowance is a well-formed //lint:allow annotation that
+// suppressed nothing: the finding it once covered is gone, so the
+// annotation is dead weight and should be removed.
+type StaleAllowance struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+func (s StaleAllowance) String() string {
+	return fmt.Sprintf("%s:%d:%d: stale lint:allow %s (suppresses nothing): %s",
+		s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Analyzer, s.Reason)
+}
+
+// A Report is the full outcome of a lint run: every diagnostic
+// (suppressed ones flagged, not dropped) plus the allowances that no
+// longer cover anything.
+type Report struct {
+	Diagnostics []Diagnostic
+	Stale       []StaleAllowance
+}
+
+// Unsuppressed returns the diagnostics that gate a run.
+func (r Report) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Suite returns every analyzer in the iotlint suite, in a fixed order:
+// the six AST-local analyzers first, then the four flow-sensitive ones
+// built on internal/lint/cfg.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Noclock(),
@@ -90,6 +133,10 @@ func Suite() []*Analyzer {
 		Ctxfirst(),
 		Wrapsentinel(),
 		Hotkey(),
+		Lockbalance(),
+		Goleak(),
+		Deferclose(),
+		Snapshotsafe(),
 	}
 }
 
@@ -125,18 +172,27 @@ func collectAllowances(fset *token.FileSet, files []*ast.File) []allowance {
 	return out
 }
 
-// applyAllowances drops diagnostics covered by a same-line or
-// line-above //lint:allow annotation and appends a diagnostic for
-// every malformed annotation (missing reason, unknown analyzer).
-// validNames is the set of analyzer names the caller ran.
-func applyAllowances(diags []Diagnostic, allows []allowance, validNames map[string]bool) []Diagnostic {
+// applyAllowances marks diagnostics covered by a same-line or
+// line-above //lint:allow annotation as suppressed, appends a
+// diagnostic for every malformed annotation (missing reason, unknown
+// analyzer), and returns the well-formed annotations that suppressed
+// nothing. validNames is the set of analyzer names the caller ran.
+func applyAllowances(diags []Diagnostic, allows []allowance, validNames map[string]bool) ([]Diagnostic, []StaleAllowance) {
 	type key struct {
 		file string
 		line int
 		name string
 	}
-	covered := map[key]bool{}
+	type cover struct {
+		reason string
+		used   *bool
+	}
+	covered := map[key][]cover{}
 	var out []Diagnostic
+	var wellFormed []struct {
+		a    allowance
+		used *bool
+	}
 	for _, a := range allows {
 		if !validNames[a.analyzer] {
 			out = append(out, Diagnostic{
@@ -156,17 +212,40 @@ func applyAllowances(diags []Diagnostic, allows []allowance, validNames map[stri
 		}
 		// The annotation covers its own line and the line below,
 		// so it works both trailing a statement and on its own line.
-		covered[key{a.pos.Filename, a.pos.Line, a.analyzer}] = true
-		covered[key{a.pos.Filename, a.pos.Line + 1, a.analyzer}] = true
+		used := new(bool)
+		c := cover{reason: a.reason, used: used}
+		covered[key{a.pos.Filename, a.pos.Line, a.analyzer}] = append(covered[key{a.pos.Filename, a.pos.Line, a.analyzer}], c)
+		covered[key{a.pos.Filename, a.pos.Line + 1, a.analyzer}] = append(covered[key{a.pos.Filename, a.pos.Line + 1, a.analyzer}], c)
+		wellFormed = append(wellFormed, struct {
+			a    allowance
+			used *bool
+		}{a, used})
 	}
 	for _, d := range diags {
-		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			continue
+		if cs := covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; len(cs) > 0 {
+			d.Suppressed = true
+			d.Reason = cs[0].reason
+			for _, c := range cs {
+				*c.used = true
+			}
 		}
 		out = append(out, d)
 	}
 	sortDiagnostics(out)
-	return out
+	var stale []StaleAllowance
+	for _, w := range wellFormed {
+		if !*w.used {
+			stale = append(stale, StaleAllowance{Pos: w.a.pos, Analyzer: w.a.analyzer, Reason: w.a.reason})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, stale
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer, so
@@ -194,11 +273,22 @@ func sortDiagnostics(diags []Diagnostic) {
 // diagnostics, sorted. Malformed //lint:allow annotations are reported
 // as diagnostics of the pseudo-analyzer "lintallow".
 func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	rep, err := CheckFull(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Unsuppressed(), nil
+}
+
+// CheckFull runs analyzers over pkgs and returns the full Report:
+// every diagnostic with suppressed ones flagged in place, plus the
+// stale //lint:allow annotations that no longer cover anything.
+func CheckFull(pkgs []*Package, analyzers []*Analyzer) (Report, error) {
 	validNames := map[string]bool{}
 	for _, a := range analyzers {
 		validNames[a.Name] = true
 	}
-	var all []Diagnostic
+	var rep Report
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
 		for _, a := range analyzers {
@@ -211,14 +301,16 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+				return Report{}, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 		allows := collectAllowances(pkg.Fset, pkg.Files)
-		all = append(all, applyAllowances(diags, allows, validNames)...)
+		marked, stale := applyAllowances(diags, allows, validNames)
+		rep.Diagnostics = append(rep.Diagnostics, marked...)
+		rep.Stale = append(rep.Stale, stale...)
 	}
-	sortDiagnostics(all)
-	return all, nil
+	sortDiagnostics(rep.Diagnostics)
+	return rep, nil
 }
 
 // funcOf resolves a call or bare selector/ident to the *types.Func it

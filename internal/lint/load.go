@@ -45,6 +45,17 @@ type Loader struct {
 	src  types.Importer
 	mu   sync.Mutex
 	pkgs map[string]*Package
+
+	typeChecks int // module-local packages type-checked from source
+}
+
+// TypeChecks returns how many module-local packages this loader has
+// type-checked from source. Cache hits do not count, so the counter
+// going flat across two CheckDirs calls proves the memoization works.
+func (l *Loader) TypeChecks() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.typeChecks
 }
 
 // disableCgo makes the source importer type-check cgo-capable stdlib
@@ -217,6 +228,7 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		return pkg, nil
 	}
 	l.pkgs[path] = nil // cycle guard
+	l.typeChecks++
 	l.mu.Unlock()
 
 	pkg, err := l.typeCheck(path)
@@ -300,17 +312,60 @@ func (m moduleImporter) Import(path string) (*types.Package, error) {
 	return m.l.src.Import(path)
 }
 
-// CheckDirs is the one-call entry used by cmd/iotlint and the
-// self-check test: load every package matching patterns under the
-// module containing root and run the analyzers over them.
-func CheckDirs(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// sharedLoaders memoizes one Loader per module root for the life of
+// the process, so repeated CheckDirs calls (the self-check test, the
+// warm half of BenchmarkIotlintSelf, editor integrations that lint on
+// save) type-check each package — and the standard library behind it —
+// exactly once. The cache never observes source edits made after the
+// first load; a process that needs a fresh view uses NewLoader.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = map[string]*Loader{}
+)
+
+// SharedLoader returns the process-wide loader for the module at or
+// above dir, creating it on first use.
+func SharedLoader(dir string) (*Loader, error) {
+	root, _, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[root]; ok {
+		return l, nil
+	}
 	l, err := NewLoader(root)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := l.LoadPatterns(patterns)
+	sharedLoaders[root] = l
+	return l, nil
+}
+
+// CheckDirs is the one-call entry used by cmd/iotlint and the
+// self-check test: load every package matching patterns under the
+// module containing root and run the analyzers over them. The loader
+// is shared process-wide, so back-to-back calls reuse every
+// type-checked package.
+func CheckDirs(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	rep, err := CheckDirsFull(root, patterns, analyzers)
 	if err != nil {
 		return nil, err
 	}
-	return Check(pkgs, analyzers)
+	return rep.Unsuppressed(), nil
+}
+
+// CheckDirsFull is CheckDirs returning the full Report, including
+// suppressed diagnostics and stale //lint:allow annotations.
+func CheckDirsFull(root string, patterns []string, analyzers []*Analyzer) (Report, error) {
+	l, err := SharedLoader(root)
+	if err != nil {
+		return Report{}, err
+	}
+	pkgs, err := l.LoadPatterns(patterns)
+	if err != nil {
+		return Report{}, err
+	}
+	return CheckFull(pkgs, analyzers)
 }

@@ -1,0 +1,421 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/cfg"
+)
+
+// lockKind distinguishes the four sync.Mutex/RWMutex operations.
+type lockKind int
+
+const (
+	lockW   lockKind = iota // Lock
+	unlockW                 // Unlock
+	lockR                   // RLock
+	unlockR                 // RUnlock
+)
+
+func (k lockKind) String() string {
+	return [...]string{"Lock", "Unlock", "RLock", "RUnlock"}[k]
+}
+
+func (k lockKind) token(key string) string {
+	if k == lockR || k == unlockR {
+		return key + "|R"
+	}
+	return key + "|W"
+}
+
+func (k lockKind) acquires() bool { return k == lockW || k == lockR }
+
+// lockFact is the dataflow fact: locks that may be held entering a
+// block, and locks whose release is deferred.
+type lockFact struct {
+	held     map[string]token.Pos // token -> acquisition site
+	deferred map[string]bool      // token -> an unlock is deferred
+}
+
+func (f lockFact) clone() lockFact {
+	out := lockFact{held: make(map[string]token.Pos, len(f.held)), deferred: make(map[string]bool, len(f.deferred))}
+	for k, v := range f.held {
+		out.held[k] = v
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+// lockEffect is one entry of a callee summary: a lock operation on a
+// path relative to the receiver (".mu").
+type lockEffect struct {
+	path string
+	kind lockKind
+}
+
+// Lockbalance returns the flow-sensitive analyzer enforcing the lock
+// discipline the daemon and the probe engine rely on: every
+// sync.Mutex/RWMutex Lock reaches an Unlock on all paths to return
+// (directly or via defer), and no path re-locks a mutex it may already
+// hold. Paths ending in panic/os.Exit are exempt — the runtime unwinds
+// defers and the process dies anyway.
+//
+// One level of intra-package calls is summarized: a method whose body
+// unconditionally locks or unlocks mutexes reachable from its receiver
+// (a lock()/unlock() helper pair) carries those effects to its callers.
+// Conditional locking inside a helper defeats the summary, and a
+// matching conditional unlock on every path is beyond the may-held
+// lattice — such patterns take a //lint:allow lockbalance annotation.
+func Lockbalance() *Analyzer {
+	a := &Analyzer{
+		Name: "lockbalance",
+		Doc: "flags sync.Mutex/RWMutex locks that are not released on every path to " +
+			"return (defer-aware) and locks re-acquired while possibly held; " +
+			"one level of intra-package lock()/unlock() helpers is summarized",
+	}
+	a.Run = func(pass *Pass) error {
+		noRet := noReturnPredicate(pass)
+		sums := lockSummaries(pass)
+		for _, fb := range functionBodies(pass) {
+			checkLockBalance(pass, fb, sums, noRet)
+		}
+		return nil
+	}
+	return a
+}
+
+// lockOp resolves a call to a direct sync.Mutex/RWMutex operation on an
+// expression with stable identity. TryLock/TryRLock are ignored: their
+// result is branched on, which the may-held lattice cannot track.
+func lockOp(pass *Pass, call *ast.CallExpr) (key string, display string, kind lockKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", 0, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", 0, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", 0, false
+	}
+	if _, name, named := namedTypeName(sig.Recv().Type()); !named || (name != "Mutex" && name != "RWMutex") {
+		return "", "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = lockW
+	case "Unlock":
+		kind = unlockW
+	case "RLock":
+		kind = lockR
+	case "RUnlock":
+		kind = unlockR
+	default:
+		return "", "", 0, false
+	}
+	key, ok = exprKey(pass.TypesInfo, sel.X)
+	if !ok {
+		return "", "", 0, false
+	}
+	return key, exprText(sel.X), kind, true
+}
+
+// exprText renders an ident/selector chain for diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	}
+	return "?"
+}
+
+// lockSummaries computes one-level summaries for methods whose lock
+// operations on receiver-rooted mutexes are all unconditional (directly
+// in the body's top-level statement list). A method with any
+// receiver-rooted lock op in nested control flow gets no summary.
+func lockSummaries(pass *Pass) map[*types.Func][]lockEffect {
+	out := map[*types.Func][]lockEffect{}
+	for fn, fd := range declaredFuncs(pass) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+			continue
+		}
+		recvKey, ok := exprKey(pass.TypesInfo, fd.Recv.List[0].Names[0])
+		if !ok {
+			continue
+		}
+		var effects []lockEffect
+		var deferredEffects []lockEffect
+		pure := true
+		topLevel := map[ast.Node]bool{}
+		for _, s := range fd.Body.List {
+			topLevel[s] = true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			key, _, kind, isOp := lockOp(pass, call)
+			if !isOp {
+				return true
+			}
+			path, rooted := splitRecvPath(key, recvKey)
+			if !rooted {
+				return true
+			}
+			// The op counts for the summary only when unconditional:
+			// a direct top-level statement or a top-level defer.
+			parentStmt := false
+			deferredOp := false
+			for s := range topLevel {
+				switch s := s.(type) {
+				case *ast.ExprStmt:
+					if s.X == call {
+						parentStmt = true
+					}
+				case *ast.DeferStmt:
+					if s.Call == call {
+						parentStmt, deferredOp = true, true
+					}
+				}
+			}
+			if !parentStmt {
+				pure = false
+				return true
+			}
+			if deferredOp {
+				deferredEffects = append(deferredEffects, lockEffect{path: path, kind: kind})
+			} else {
+				effects = append(effects, lockEffect{path: path, kind: kind})
+			}
+			return true
+		})
+		if !pure || (len(effects) == 0 && len(deferredEffects) == 0) {
+			continue
+		}
+		// Defers run at return: net order is body effects then defers.
+		out[fn] = append(effects, deferredEffects...)
+	}
+	return out
+}
+
+// netAcquires reports whether a summary leaves locks held at return —
+// the signature of a deliberate lock() handoff helper.
+func netAcquires(effects []lockEffect) bool {
+	held := map[string]bool{}
+	for _, e := range effects {
+		tok := e.kind.token(e.path)
+		if e.kind.acquires() {
+			held[tok] = true
+		} else {
+			delete(held, tok)
+		}
+	}
+	return len(held) > 0
+}
+
+func checkLockBalance(pass *Pass, fb funcBody, sums map[*types.Func][]lockEffect, noRet func(*ast.CallExpr) bool) {
+	g := buildGraph(pass, fb.body, noRet)
+
+	// A function summarized as net-acquiring hands its locks to the
+	// caller on purpose; the caller-side check enforces the balance, so
+	// the helper itself is exempt from leak reports (double-lock still
+	// applies).
+	handoff := false
+	if fb.decl != nil {
+		if fn, ok := pass.TypesInfo.Defs[fb.decl.Name].(*types.Func); ok {
+			handoff = netAcquires(sums[fn])
+		}
+	}
+
+	display := map[string]string{} // token -> rendered mutex expr
+
+	// applyOp mutates fact with one lock operation; report is nil
+	// during fixpoint iteration.
+	applyOp := func(fact *lockFact, key, disp string, kind lockKind, pos token.Pos, deferredOp bool, report func(string, token.Pos)) {
+		tok := kind.token(key)
+		if _, seen := display[tok]; !seen {
+			display[tok] = disp
+		}
+		switch {
+		case deferredOp && !kind.acquires():
+			fact.deferred[tok] = true
+		case deferredOp:
+			// defer mu.Lock() is pathological; ignore.
+		case kind.acquires():
+			if _, already := fact.held[tok]; already && kind == lockW && report != nil {
+				report(fmt.Sprintf("%s.Lock() while %s may already be held; a second Lock deadlocks", disp, disp), pos)
+			}
+			if _, already := fact.held[tok]; !already {
+				fact.held[tok] = pos
+			}
+		default:
+			delete(fact.held, tok)
+			delete(fact.deferred, tok)
+		}
+	}
+
+	// applyCall handles one call expression: a direct lock op or a
+	// summarized intra-package helper.
+	applyCall := func(fact *lockFact, call *ast.CallExpr, deferredOp bool, report func(string, token.Pos)) {
+		if key, disp, kind, ok := lockOp(pass, call); ok {
+			applyOp(fact, key, disp, kind, call.Pos(), deferredOp, report)
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		effects, ok := sums[fn]
+		if !ok {
+			return
+		}
+		recvKey, ok := exprKey(pass.TypesInfo, sel.X)
+		if !ok {
+			return
+		}
+		recvDisp := exprText(sel.X)
+		for _, e := range effects {
+			k := e.kind
+			if deferredOp && k.acquires() {
+				continue
+			}
+			applyOp(fact, recvKey+e.path, recvDisp+e.path, k, call.Pos(), deferredOp && !k.acquires(), report)
+		}
+	}
+
+	transfer := func(b *cfg.Block, fact lockFact, report func(string, token.Pos)) lockFact {
+		out := fact.clone()
+		for _, n := range b.Nodes {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					applyCall(&out, call, false, report)
+				}
+			case *ast.DeferStmt:
+				if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					// defer func() { mu.Unlock() }(): unconditional
+					// top-level unlocks count as deferred releases.
+					for _, st := range fl.Body.List {
+						if es, ok := st.(*ast.ExprStmt); ok {
+							if call, ok := es.X.(*ast.CallExpr); ok {
+								applyCall(&out, call, true, report)
+							}
+						}
+					}
+					continue
+				}
+				applyCall(&out, s.Call, true, report)
+			}
+		}
+		return out
+	}
+
+	in := cfg.Forward(g, cfg.Problem{
+		Entry: lockFact{held: map[string]token.Pos{}, deferred: map[string]bool{}},
+		Transfer: func(b *cfg.Block, in any) any {
+			return transfer(b, in.(lockFact), nil)
+		},
+		Join: func(a, b any) any {
+			fa, fb := a.(lockFact), b.(lockFact)
+			out := fa.clone()
+			for k, p := range fb.held {
+				if cur, ok := out.held[k]; !ok || p < cur {
+					out.held[k] = p
+				}
+			}
+			for k := range fb.deferred {
+				out.deferred[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b any) bool {
+			fa, fb := a.(lockFact), b.(lockFact)
+			if len(fa.held) != len(fb.held) || len(fa.deferred) != len(fb.deferred) {
+				return false
+			}
+			for k, p := range fa.held {
+				if q, ok := fb.held[k]; !ok || p != q {
+					return false
+				}
+			}
+			for k := range fa.deferred {
+				if !fb.deferred[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	// Reporting sweep: re-run transfers with the fixpoint entry facts,
+	// this time surfacing double-locks; then check every edge into Exit
+	// for locks still held with no deferred release.
+	type repKey struct {
+		msg string
+		pos token.Pos
+	}
+	seen := map[repKey]bool{}
+	report := func(msg string, pos token.Pos) {
+		k := repKey{msg, pos}
+		if !seen[k] {
+			seen[k] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+	var leaks []repKey
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok || !b.Live {
+			continue
+		}
+		out := transfer(b, fact.(lockFact), report)
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits || handoff {
+			continue
+		}
+		toks := make([]string, 0, len(out.held))
+		for tok := range out.held {
+			if !out.deferred[tok] {
+				toks = append(toks, tok)
+			}
+		}
+		sort.Strings(toks)
+		for _, tok := range toks {
+			op := "Lock"
+			if strings.HasSuffix(tok, "|R") {
+				op = "RLock"
+			}
+			leaks = append(leaks, repKey{
+				msg: fmt.Sprintf("%s.%s() in %s is not released on every path to return; unlock it or defer the unlock", display[tok], op, fb.name),
+				pos: out.held[tok],
+			})
+		}
+	}
+	for _, l := range leaks {
+		report(l.msg, l.pos)
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/cfg"
+)
+
+// Snapshotsafe returns the flow-sensitive analyzer guarding the
+// daemon's epoch-snapshot invariant: a value published through
+// atomic.Pointer.Store — or obtained from atomic.Pointer.Load — is
+// shared with lock-free readers and must never be written through
+// again. The epoch pattern is copy-on-write: build a fresh value,
+// Store it, and from that moment treat it as immutable.
+//
+// The analysis tracks, per function, the set of variables that refer to
+// a published value (the Store argument, any Load result, and plain
+// aliases of either) and flags assignments through them: field writes,
+// element writes, and compound assignments. Rebinding the variable to a
+// fresh value clears the taint. Writes hidden behind method calls on a
+// published value are beyond this analysis — the reviewer's job, not
+// the linter's.
+func Snapshotsafe() *Analyzer {
+	a := &Analyzer{
+		Name: "snapshotsafe",
+		Doc: "flags writes through values published via atomic.Pointer.Store or read " +
+			"via atomic.Pointer.Load; published snapshots are immutable — copy, " +
+			"mutate, re-Store",
+	}
+	a.Run = func(pass *Pass) error {
+		noRet := noReturnPredicate(pass)
+		for _, fb := range functionBodies(pass) {
+			checkSnapshotSafe(pass, fb, noRet)
+		}
+		return nil
+	}
+	return a
+}
+
+// pubFact maps variables referring to published values to the position
+// where they became published.
+type pubFact map[*types.Var]token.Pos
+
+func (f pubFact) clone() pubFact {
+	out := make(pubFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// atomicPtrMethod resolves call to atomic.Pointer[T].Store / Load /
+// Swap and returns the method name.
+func atomicPtrMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	for _, m := range [...]string{"Store", "Load", "Swap"} {
+		if _, ok := methodOn(info, call, "sync/atomic", "Pointer", m); ok {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+func checkSnapshotSafe(pass *Pass, fb funcBody, noRet func(*ast.CallExpr) bool) {
+	g := buildGraph(pass, fb.body, noRet)
+	info := pass.TypesInfo
+
+	type violation struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	var violations []violation
+	seen := map[token.Pos]bool{}
+	flag := func(pos token.Pos, v *types.Var) {
+		if !seen[pos] {
+			seen[pos] = true
+			violations = append(violations, violation{pos, v})
+		}
+	}
+
+	// writeCheck flags an lvalue that writes through a published var:
+	// a selector, index or star chain rooted at it. Writing the bare
+	// var itself is a rebind, not a write-through.
+	writeCheck := func(fact pubFact, lhs ast.Expr, report bool) {
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			return
+		}
+		if v := rootVar(info, lhs); v != nil {
+			if _, published := fact[v]; published && report {
+				flag(lhs.Pos(), v)
+			}
+		}
+	}
+
+	transfer := func(b *cfg.Block, fact pubFact, report bool) pubFact {
+		out := fact.clone()
+		for _, n := range b.Nodes {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lh := range s.Lhs {
+					writeCheck(out, lh, report)
+				}
+				// Publication and aliasing, position-aligned when the
+				// counts match.
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, rh := range s.Rhs {
+						lv := objVar(info, s.Lhs[i])
+						switch r := rh.(type) {
+						case *ast.CallExpr:
+							if m, ok := atomicPtrMethod(info, r); ok && (m == "Load" || m == "Swap") && lv != nil {
+								out[lv] = r.Pos()
+								continue
+							}
+							if lv != nil {
+								delete(out, lv) // fresh value: taint cleared
+							}
+						case *ast.Ident:
+							if rv := objVar(info, r); rv != nil {
+								if pos, pub := out[rv]; pub && lv != nil {
+									out[lv] = pos
+									continue
+								}
+							}
+							if lv != nil {
+								delete(out, lv)
+							}
+						default:
+							if lv != nil {
+								delete(out, lv)
+							}
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				writeCheck(out, s.X, report)
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if m, ok := atomicPtrMethod(info, call); ok && m == "Store" && len(call.Args) == 1 {
+						if v := objVar(info, call.Args[0]); v != nil {
+							out[v] = call.Pos()
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	in := cfg.Forward(g, cfg.Problem{
+		Entry: pubFact{},
+		Transfer: func(b *cfg.Block, in any) any {
+			return transfer(b, in.(pubFact), false)
+		},
+		Join: func(a, b any) any {
+			fa, fb := a.(pubFact), b.(pubFact)
+			out := fa.clone()
+			for v, p := range fb {
+				if cur, ok := out[v]; !ok || p < cur {
+					out[v] = p
+				}
+			}
+			return out
+		},
+		Equal: func(a, b any) bool {
+			fa, fb := a.(pubFact), b.(pubFact)
+			if len(fa) != len(fb) {
+				return false
+			}
+			for v, p := range fa {
+				if q, ok := fb[v]; !ok || p != q {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok || !b.Live {
+			continue
+		}
+		transfer(b, fact.(pubFact), true)
+	}
+	sort.Slice(violations, func(i, j int) bool { return violations[i].pos < violations[j].pos })
+	for _, v := range violations {
+		pass.Reportf(v.pos,
+			"write through %s after it was published via atomic.Pointer (Store/Load); published snapshots are immutable — copy, mutate, re-Store", v.v.Name())
+	}
+}

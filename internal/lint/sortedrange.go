@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 )
 
 // writerMethods are method names that emit output in call order; a
@@ -37,13 +39,23 @@ var sortCalls = map[string]map[string]bool{
 
 // Sortedrange returns the analyzer that catches the exact bug class
 // fixed by hand in PR 3's VulnStats: ranging over a map and letting
-// the iteration order escape into output. Two shapes are flagged:
+// the iteration order escape into output. Within one function, two
+// shapes are flagged:
 //
 //   - the loop body writes directly (fmt.Fprintf, Write, WriteString,
 //     WriteRow, ...): the output is ordered by map iteration;
 //   - the loop body appends to a slice declared outside the loop, and
 //     no sort.*/slices.Sort* call mentioning that slice follows in
 //     the function: the collected elements keep map order.
+//
+// Since PR 9 the taint also flows through one level of intra-package
+// calls: a function that returns a map-range-collected slice unsorted
+// is summarized, and each caller is checked — sorting the result is
+// clean, handing it to a writer (directly, through a range loop, or
+// via a sink parameter that another local function writes) is flagged
+// at the caller. When no caller provably sorts it — or the function is
+// exported, so unseen callers exist — the collection site itself is
+// flagged, which is exactly what the local analyzer did before.
 //
 // Sorting the slice afterwards, building another map, or counting are
 // all clean. Deliberately order-free aggregation (a commutative merge,
@@ -53,25 +65,69 @@ func Sortedrange() *Analyzer {
 	a := &Analyzer{
 		Name: "sortedrange",
 		Doc: "flags range-over-map loops whose iteration order escapes — direct writes " +
-			"from the loop body, or appends to an outer slice that is never sorted " +
-			"afterwards; sort the keys first or sort the result",
+			"from the loop body, appends to an outer slice that is never sorted " +
+			"afterwards, or (one call level deep) unsorted collected slices returned " +
+			"to callers that write them",
 	}
 	a.Run = func(pass *Pass) error {
+		s := &srState{
+			pass:    pass,
+			decls:   declaredFuncs(pass),
+			taint:   map[*types.Func]*srTaint{},
+			sinks:   map[*types.Func][]int{},
+			sorters: map[*types.Func][]int{},
+		}
+		// Pass 1: local shapes, plus tainted-result and sink-parameter
+		// summaries.
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
 					continue
 				}
-				checkFuncRanges(pass, fd)
+				s.analyzeLocal(fd)
 			}
 		}
+		// Pass 2: push taint through call sites.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				s.analyzeCallers(fd)
+			}
+		}
+		// Pass 3: taints never proven sorted fall back to the
+		// collection site.
+		s.reportResidualTaints()
 		return nil
 	}
 	return a
 }
 
-func checkFuncRanges(pass *Pass, fd *ast.FuncDecl) {
+// srTaint summarizes a function returning a map-range-collected slice
+// that the function itself never sorts.
+type srTaint struct {
+	fn      *types.Func
+	varName string
+	site    token.Pos // the append site inside the map range
+	// every call site must end in one of: sorted, reported-at-caller.
+	// Any other use leaves the taint unproven.
+	calls    int
+	resolved int
+}
+
+type srState struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	taint   map[*types.Func]*srTaint
+	sinks   map[*types.Func][]int // param indexes written unsorted
+	sorters map[*types.Func][]int // param indexes the callee sorts
+}
+
+func (s *srState) analyzeLocal(fd *ast.FuncDecl) {
+	pass := s.pass
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -84,12 +140,14 @@ func checkFuncRanges(pass *Pass, fd *ast.FuncDecl) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		checkMapRange(pass, fd, rs)
+		s.checkMapRange(fd, rs)
 		return true
 	})
+	s.collectSinkParams(fd)
 }
 
-func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+func (s *srState) checkMapRange(fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	pass := s.pass
 	// Shape 1: the body writes output directly.
 	var writeCall *ast.CallExpr
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
@@ -144,11 +202,28 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 		}
 		return true
 	})
-	for v, site := range appended {
+	vars := make([]*types.Var, 0, len(appended))
+	for v := range appended {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for _, v := range vars {
+		site := appended[v]
 		if v.Parent() == v.Pkg().Scope() {
 			continue // package-level aggregation: beyond a local heuristic
 		}
 		if sortedAfter(pass, fd, rs, v) {
+			continue
+		}
+		// The collected slice is returned: defer judgment to the call
+		// sites (pass 2/3) instead of flagging here — unless the range
+		// sits inside a nested literal, which has no summarizable
+		// identity.
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok &&
+			!insideFuncLit(fd, rs) && returnsVar(pass, fd, v) {
+			if _, dup := s.taint[fn]; !dup {
+				s.taint[fn] = &srTaint{fn: fn, varName: v.Name(), site: site.Pos()}
+			}
 			continue
 		}
 		pass.Reportf(site.Pos(),
@@ -158,16 +233,352 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 	}
 }
 
-// sortedAfter reports whether a sort.*/slices.Sort* call mentioning v
-// appears in fd after the range statement.
-func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+// insideFuncLit reports whether n sits inside a function literal nested
+// in fd (so "returns" belong to the literal, not fd).
+func insideFuncLit(fd *ast.FuncDecl, n ast.Node) bool {
+	inside := false
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			if fl.Pos() <= n.Pos() && n.End() <= fl.End() {
+				inside = true
+			}
+			return false
+		}
+		return !inside
+	})
+	return inside
+}
+
+// returnsVar reports whether fd returns v directly.
+func returnsVar(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return !found
+		}
+		for _, r := range ret.Results {
+			if id, ok := r.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectSinkParams records slice parameters the function writes to
+// output in iteration order without sorting first.
+func (s *srState) collectSinkParams(fd *ast.FuncDecl) {
+	pass := s.pass
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok || fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				idx++
+				continue
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				if sortedAnywhere(pass, fd, v) {
+					s.sorters[fn] = append(s.sorters[fn], idx)
+				} else if writesParam(pass, fd, v) {
+					s.sinks[fn] = append(s.sinks[fn], idx)
+				}
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+}
+
+// writesParam reports whether fd hands v to a writer method, directly
+// or element-wise through a range loop.
+func writesParam(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := funcOf(pass.TypesInfo, n.Fun); fn != nil && writerMethods[fn.Name()] && mentionsVar(pass, n, v) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				if hasWriterCall(pass, n.Body) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasWriterCall(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := funcOf(pass.TypesInfo, call.Fun); fn != nil && writerMethods[fn.Name()] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// analyzeCallers checks each call to a tainted function within fd.
+func (s *srState) analyzeCallers(fd *ast.FuncDecl) {
+	pass := s.pass
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// t := tainted(...): judge what happens to t afterwards.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			taint := s.taintOf(call)
+			if taint == nil {
+				return true
+			}
+			taint.calls++
+			if len(n.Lhs) != 1 {
+				return true // multi-assign from single call: untrackable
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				return true
+			}
+			if sortedAnywhere(pass, fd, v) || s.passedToSorter(fd, v) {
+				taint.resolved++
+				return true
+			}
+			if sinkPos, ok := s.findSinkUse(fd, call.End(), v); ok {
+				taint.resolved++
+				pass.Reportf(sinkPos,
+					"%s returned by %s collects map-range elements unsorted and is written here in map order; sort it first",
+					v.Name(), taint.fn.Name())
+			}
+			return true
+		case *ast.CallExpr:
+			// writer(..., tainted()) or sink(tainted()): the result is
+			// written without ever touching a variable.
+			if fn := funcOf(pass.TypesInfo, n.Fun); fn != nil && writerMethods[fn.Name()] {
+				for _, arg := range n.Args {
+					if taint := s.taintInExpr(arg); taint != nil {
+						taint.calls++
+						taint.resolved++
+						pass.Reportf(n.Pos(),
+							"result of %s collects map-range elements unsorted and is written here in map order; sort it first",
+							taint.fn.Name())
+					}
+				}
+				return true
+			}
+			if callee := funcOf(pass.TypesInfo, n.Fun); callee != nil {
+				for _, i := range s.sinks[callee] {
+					if i < len(n.Args) {
+						if taint := s.taintInExpr(n.Args[i]); taint != nil {
+							taint.calls++
+							taint.resolved++
+							pass.Reportf(n.Pos(),
+								"result of %s flows unsorted into %s, which writes it in map order; sort it first",
+								taint.fn.Name(), callee.Name())
+						}
+					}
+				}
+				// sortedEmit(w, keysOf(m)): the sorter orders the
+				// result before it reaches output — clean.
+				for _, i := range s.sorters[callee] {
+					if i < len(n.Args) {
+						if taint := s.taintInExpr(n.Args[i]); taint != nil {
+							taint.calls++
+							taint.resolved++
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// passedToSorter reports whether v is handed to a local function that
+// sorts the corresponding slice parameter — an indirect but provable
+// ordering.
+func (s *srState) passedToSorter(fd *ast.FuncDecl, v *types.Var) bool {
+	pass := s.pass
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rs.End() {
+		if !ok {
+			return true
+		}
+		fn := funcOf(pass.TypesInfo, call.Fun)
+		if fn == nil {
+			return true
+		}
+		for _, i := range s.sorters[fn] {
+			if i < len(call.Args) {
+				if id, ok := call.Args[i].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintOf returns the taint summary of the called function, or nil.
+func (s *srState) taintOf(call *ast.CallExpr) *srTaint {
+	fn := funcOf(s.pass.TypesInfo, call.Fun)
+	if fn == nil {
+		return nil
+	}
+	return s.taint[fn]
+}
+
+// taintInExpr finds a direct call to a tainted function within e.
+func (s *srState) taintInExpr(e ast.Expr) *srTaint {
+	var out *srTaint
+	ast.Inspect(e, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if t := s.taintOf(call); t != nil {
+				out = t
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findSinkUse locates the first write of v after pos within fd: a
+// writer call mentioning it, a range over it whose body writes, or a
+// call passing it into a local sink parameter.
+func (s *srState) findSinkUse(fd *ast.FuncDecl, pos token.Pos, v *types.Var) (token.Pos, bool) {
+	pass := s.pass
+	var at token.Pos
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n.Pos() < pos {
+				return true
+			}
+			fn := funcOf(pass.TypesInfo, n.Fun)
+			if fn == nil {
+				return true
+			}
+			if writerMethods[fn.Name()] && mentionsVar(pass, n, v) {
+				at, found = n.Pos(), true
+				return false
+			}
+			if idxs, ok := s.sinks[fn]; ok {
+				for _, i := range idxs {
+					if i < len(n.Args) {
+						if id, ok := n.Args[i].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+							at, found = n.Pos(), true
+							return false
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Pos() < pos {
+				return true
+			}
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v && hasWriterCall(pass, n.Body) {
+				at, found = n.For, true
+				return false
+			}
+		}
+		return true
+	})
+	return at, found
+}
+
+// reportResidualTaints flags collection sites whose sorted-ness was
+// never proven: exported functions (unknown external callers), functions
+// with no observed calls, or calls that neither sort nor visibly write.
+func (s *srState) reportResidualTaints() {
+	fns := make([]*types.Func, 0, len(s.taint))
+	for fn := range s.taint {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		t := s.taint[fn]
+		if !fn.Exported() && t.calls > 0 && t.resolved == t.calls {
+			continue
+		}
+		why := "no intra-package caller sorts it"
+		if fn.Exported() {
+			why = "it escapes through the exported API"
+		}
+		s.pass.Reportf(t.site,
+			"%s collects map-range elements, is returned unsorted from %s, and %s; "+
+				"sort it (or the map keys) before it reaches output",
+			t.varName, fn.Name(), why)
+	}
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning v
+// appears in fd after the range statement.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	return sortCallAfter(pass, fd, rs.End(), v)
+}
+
+// sortedAnywhere reports whether any sort call in fd mentions v.
+func sortedAnywhere(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	return sortCallAfter(pass, fd, token.NoPos, v)
+}
+
+func sortCallAfter(pass *Pass, fd *ast.FuncDecl, after token.Pos, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
 			return true
 		}
 		fn := funcOf(pass.TypesInfo, call.Fun)

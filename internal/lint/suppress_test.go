@@ -14,52 +14,82 @@ func allowAt(analyzer, reason, file string, line int) allowance {
 	return allowance{pos: token.Position{Filename: file, Line: line, Column: 40}, analyzer: analyzer, reason: reason}
 }
 
+// unsuppressed filters applyAllowances output the way Check does.
+func unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 func TestApplyAllowances(t *testing.T) {
 	valid := map[string]bool{"noclock": true, "sortedrange": true}
 
 	t.Run("same line and line below are covered", func(t *testing.T) {
 		diags := []Diagnostic{diagAt("noclock", "a.go", 10), diagAt("noclock", "a.go", 11)}
 		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
-		if got := applyAllowances(diags, allows, valid); len(got) != 0 {
+		all, stale := applyAllowances(diags, allows, valid)
+		if got := unsuppressed(all); len(got) != 0 {
 			t.Fatalf("want all suppressed, got %v", got)
+		}
+		if len(all) != 2 || !all[0].Suppressed || all[0].Reason != "reason" {
+			t.Fatalf("suppressed diagnostics should survive with the reason attached, got %v", all)
+		}
+		if len(stale) != 0 {
+			t.Fatalf("annotation suppressed two findings, want no stale, got %v", stale)
 		}
 	})
 
 	t.Run("two lines below is not covered", func(t *testing.T) {
 		diags := []Diagnostic{diagAt("noclock", "a.go", 12)}
 		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
-		if got := applyAllowances(diags, allows, valid); len(got) != 1 {
+		all, stale := applyAllowances(diags, allows, valid)
+		if got := unsuppressed(all); len(got) != 1 {
 			t.Fatalf("want 1 surviving diagnostic, got %v", got)
+		}
+		if len(stale) != 1 || stale[0].Analyzer != "noclock" || stale[0].Pos.Line != 10 {
+			t.Fatalf("out-of-range annotation should be stale, got %v", stale)
 		}
 	})
 
 	t.Run("analyzer name must match", func(t *testing.T) {
 		diags := []Diagnostic{diagAt("sortedrange", "a.go", 10)}
 		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
-		if got := applyAllowances(diags, allows, valid); len(got) != 1 {
+		all, stale := applyAllowances(diags, allows, valid)
+		if got := unsuppressed(all); len(got) != 1 {
 			t.Fatalf("want 1 surviving diagnostic, got %v", got)
+		}
+		if len(stale) != 1 {
+			t.Fatalf("mismatched annotation should be stale, got %v", stale)
 		}
 	})
 
 	t.Run("missing reason is a diagnostic", func(t *testing.T) {
 		allows := []allowance{allowAt("noclock", "", "a.go", 10)}
-		got := applyAllowances(nil, allows, valid)
+		got, stale := applyAllowances(nil, allows, valid)
 		if len(got) != 1 || got[0].Analyzer != "lintallow" || !strings.Contains(got[0].Message, "needs a reason") {
 			t.Fatalf("want a lintallow reason diagnostic, got %v", got)
+		}
+		if len(stale) != 0 {
+			t.Fatalf("malformed annotations are diagnostics, not stale entries, got %v", stale)
 		}
 	})
 
 	t.Run("reasonless annotation suppresses nothing", func(t *testing.T) {
 		diags := []Diagnostic{diagAt("noclock", "a.go", 10)}
 		allows := []allowance{allowAt("noclock", "", "a.go", 10)}
-		if got := applyAllowances(diags, allows, valid); len(got) != 2 {
+		all, _ := applyAllowances(diags, allows, valid)
+		if got := unsuppressed(all); len(got) != 2 {
 			t.Fatalf("want finding + lintallow diagnostic, got %v", got)
 		}
 	})
 
 	t.Run("unknown analyzer is a diagnostic", func(t *testing.T) {
 		allows := []allowance{allowAt("nosuch", "reason", "a.go", 10)}
-		got := applyAllowances(nil, allows, valid)
+		got, _ := applyAllowances(nil, allows, valid)
 		if len(got) != 1 || got[0].Analyzer != "lintallow" || !strings.Contains(got[0].Message, "unknown analyzer") {
 			t.Fatalf("want a lintallow unknown-analyzer diagnostic, got %v", got)
 		}
@@ -71,9 +101,29 @@ func TestApplyAllowances(t *testing.T) {
 			diagAt("noclock", "a.go", 20),
 			diagAt("noclock", "a.go", 3),
 		}
-		got := applyAllowances(diags, nil, valid)
+		got, _ := applyAllowances(diags, nil, valid)
 		if len(got) != 3 || got[0].Pos.Line != 3 || got[1].Pos.Line != 20 || got[2].Pos.Filename != "b.go" {
 			t.Fatalf("diagnostics not sorted: %v", got)
+		}
+	})
+
+	t.Run("stale entries are sorted by position", func(t *testing.T) {
+		allows := []allowance{
+			allowAt("noclock", "later", "b.go", 4),
+			allowAt("noclock", "earlier", "a.go", 7),
+		}
+		_, stale := applyAllowances(nil, allows, valid)
+		if len(stale) != 2 || stale[0].Pos.Filename != "a.go" || stale[1].Pos.Filename != "b.go" {
+			t.Fatalf("stale not sorted: %v", stale)
+		}
+	})
+
+	t.Run("annotation matching on the line below is not stale", func(t *testing.T) {
+		diags := []Diagnostic{diagAt("noclock", "a.go", 11)}
+		allows := []allowance{allowAt("noclock", "reason", "a.go", 10)}
+		_, stale := applyAllowances(diags, allows, valid)
+		if len(stale) != 0 {
+			t.Fatalf("annotation matched on the line below, want no stale, got %v", stale)
 		}
 	})
 }

@@ -1,0 +1,121 @@
+// Package cfgfix holds small functions exercising the control-flow
+// shapes the cfg builder must get right. The cfg tests parse this file
+// and assert structural properties of each function's graph; it is
+// never compiled into the repository build (testdata is invisible to
+// the go tool and to the lint loader's Expand).
+package cfgfix
+
+type res struct{}
+
+func open(string) *res { return &res{} }
+func (*res) close()    {}
+
+// forNoPost: a for without condition or post; the only exit is break.
+func forNoPost(n int) int {
+	i := 0
+	for {
+		if i >= n {
+			break
+		}
+		i++
+	}
+	return i
+}
+
+// spinForever: for{} with no break — the exit block must be unreachable.
+func spinForever() {
+	for {
+	}
+}
+
+// selectNoDefault blocks until a case is ready: the select head must
+// have exactly one edge per clause and none to the code after it.
+func selectNoDefault(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// selectWithDefault may fall through immediately.
+func selectWithDefault(a chan int) int {
+	out := 0
+	select {
+	case v := <-a:
+		out = v
+	default:
+	}
+	return out
+}
+
+// labeledBreakContinue: break outer must leave both loops, continue
+// outer must re-enter the outer range head.
+func labeledBreakContinue(m [][]int) int {
+	total := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// deferInLoop: the defer sits on the loop's back-edge cycle, so a
+// defer-aware analysis sees it accumulate per iteration.
+func deferInLoop(paths []string) {
+	for _, p := range paths {
+		f := open(p)
+		defer f.close()
+	}
+}
+
+// deadAfterPanic: the assignment after panic is unreachable, and the
+// panicking path must not reach the exit block.
+func deadAfterPanic(x int) int {
+	if x < 0 {
+		panic("negative")
+		x = 0
+	}
+	return x
+}
+
+// deadAfterReturn: statements after a return are unreachable.
+func deadAfterReturn() int {
+	return 1
+	return 2
+}
+
+// gotoBack: a goto to an earlier label forms a loop.
+func gotoBack(n int) int {
+	i := 0
+again:
+	i++
+	if i < n {
+		goto again
+	}
+	return i
+}
+
+// fallthroughChain: fallthrough edges link consecutive case clauses.
+func fallthroughChain(x int) int {
+	out := 0
+	switch x {
+	case 0:
+		out++
+		fallthrough
+	case 1:
+		out++
+	default:
+		out--
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package a is the deferclose fixture: connections, listeners and
+// files must be closed on every path out of the acquiring function,
+// unless ownership visibly moves (return, store, send, pass, go).
+package a
+
+import (
+	"net"
+	"os"
+)
+
+func deferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func explicitClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func leakOnBranch(path string, c bool) error {
+	f, err := os.Open(path) // want `f \(os.File\) is not closed on every path to return in leakOnBranch`
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil
+	}
+	return f.Close()
+}
+
+func connLeak(addr string) error {
+	c, err := net.Dial("tcp", addr) // want `c \(net.Conn\) is not closed on every path to return in connLeak`
+	if err != nil {
+		return err
+	}
+	_ = c.RemoteAddr()
+	return nil
+}
+
+func listenerLeak() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0") // want `ln \(net.Listener\) is not closed on every path to return in listenerLeak`
+	if err != nil {
+		return err
+	}
+	_ = ln.Addr()
+	return nil
+}
+
+// returned: ownership moves to the caller.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	return f, err
+}
+
+type holder struct{ c net.Conn }
+
+// stored: ownership moves to the struct.
+func keep(h *holder, addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.c = c
+	return nil
+}
+
+// handOff: the goroutine owns the conn now.
+func handOff(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		c.Close()
+	}()
+	return nil
+}
+
+// sent: the receiver owns the conn.
+func sent(addr string, sink chan net.Conn) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sink <- c
+	return nil
+}
+
+// passed: the callee takes responsibility.
+func passed(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return consume(c)
+}
+
+func consume(c net.Conn) error {
+	return c.Close()
+}
+
+// eqlIdiom: the err == nil guard is the same idiom inverted.
+func eqlIdiom(path string) error {
+	f, err := os.Open(path)
+	if err == nil {
+		defer f.Close()
+		return readAll(f)
+	}
+	return err
+}
+
+func readAll(f *os.File) error {
+	_, err := f.Stat()
+	return err
+}
+
+// panicPath: acquisitions on paths that end in panic are exempt.
+func panicPath(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func intentional(addr string) {
+	c, _ := net.Dial("tcp", addr) //lint:allow deferclose fixture demonstrates suppression
+	_ = c.RemoteAddr()
+}

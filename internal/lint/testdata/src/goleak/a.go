@@ -1,0 +1,96 @@
+// Package a is the goleak fixture: every goroutine needs a join or
+// cancellation discipline — a WaitGroup, a channel it sends on, closes
+// or drains, or a context it watches.
+package a
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func waitGroupJoin(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channelJoin() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+func closeJoin() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+type queue struct{ ch chan int }
+
+// startWorker's goroutine is a named method whose body drains a
+// channel: disciplined through the one-level body lookup.
+func startWorker(q *queue) {
+	go q.loop()
+}
+
+func (q *queue) loop() {
+	for v := range q.ch {
+		_ = v
+	}
+}
+
+func ctxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// leashArg hands the stop channel to the goroutine: the spawner holds
+// the other end.
+func leashArg(stop chan struct{}) {
+	go waitStop(stop)
+}
+
+func waitStop(stop chan struct{}) {
+	<-stop
+}
+
+func fireAndForget() {
+	go spin() // want `goroutine has no join or cancellation discipline`
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func anonLeak(n int) {
+	go func() { // want `goroutine has no join or cancellation discipline`
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// externalLeak: an external callee with no leash argument — nothing
+// ties the goroutine to its owner.
+func externalLeak() {
+	go fmt.Println("fire and forget") // want `goroutine has no join or cancellation discipline`
+}
+
+func debugServer() {
+	//lint:allow goleak fixture: serves until process exit by design
+	go fmt.Println("debug listener")
+}

@@ -1,0 +1,127 @@
+// Package a is the lockbalance fixture: every Lock must reach an
+// Unlock on all paths (defer-aware), no path may re-Lock a held mutex,
+// and one level of intra-package lock helpers is summarized.
+package a
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (b *box) good() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) goodDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) branchBalanced(c bool) int {
+	b.mu.Lock()
+	if c {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) leakOnEarlyReturn(c bool) {
+	b.mu.Lock() // want `b.mu.Lock\(\) in leakOnEarlyReturn is not released on every path`
+	if c {
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) doubleLock(c bool) {
+	b.mu.Lock()
+	if c {
+		b.mu.Lock() // want `b.mu.Lock\(\) while b.mu may already be held`
+	}
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) panicPathExempt(c bool) {
+	b.mu.Lock()
+	if c {
+		panic("invariant broken")
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) readers() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+func (b *box) rlockLeak(c bool) int {
+	b.rw.RLock() // want `b.rw.RLock\(\) in rlockLeak is not released on every path`
+	if c {
+		return 0
+	}
+	n := b.n
+	b.rw.RUnlock()
+	return n
+}
+
+func (b *box) loopBalanced(xs []int) {
+	for range xs {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+func (b *box) deferredLitUnlock() {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	b.n++
+}
+
+// lock/unlock helpers: their unconditional receiver-rooted ops are
+// summarized, so callers inherit the effects; the helpers themselves
+// are deliberate handoffs and stay silent.
+func (b *box) lock()   { b.mu.Lock() }
+func (b *box) unlock() { b.mu.Unlock() }
+
+func (b *box) helperBalanced() {
+	b.lock()
+	b.n++
+	b.unlock()
+}
+
+func (b *box) helperLeak(c bool) {
+	b.lock() // want `b.mu.Lock\(\) in helperLeak is not released on every path`
+	if c {
+		return
+	}
+	b.unlock()
+}
+
+func (b *box) helperDouble() {
+	b.lock()
+	b.lock() // want `b.mu.Lock\(\) while b.mu may already be held`
+	b.n++
+	b.unlock()
+}
+
+type unlocker interface{ release() }
+
+func (b *box) viaInterface(u unlocker) {
+	b.mu.Lock() //lint:allow lockbalance u.release unlocks on the caller's behalf; beyond one-level summaries
+	b.n++
+	u.release()
+}

@@ -1,0 +1,81 @@
+// Package a is the snapshotsafe fixture: a value published through
+// atomic.Pointer.Store, or obtained from Load, is shared with lock-free
+// readers and must never be written through again.
+package a
+
+import "sync/atomic"
+
+type snap struct {
+	epoch int
+	names []string
+}
+
+type holder struct {
+	cur atomic.Pointer[snap]
+}
+
+// good: build fully, then publish.
+func good(h *holder) {
+	s := &snap{epoch: 1}
+	s.names = append(s.names, "a")
+	h.cur.Store(s)
+}
+
+func badAfterStore(h *holder) {
+	s := &snap{}
+	h.cur.Store(s)
+	s.epoch = 2 // want `write through s after it was published via atomic.Pointer`
+}
+
+func badAfterLoad(h *holder) {
+	s := h.cur.Load()
+	s.epoch++ // want `write through s after it was published via atomic.Pointer`
+}
+
+func readOnlyLoad(h *holder) int {
+	s := h.cur.Load()
+	return s.epoch
+}
+
+// copyOnWrite is the blessed epoch pattern: read the old snapshot,
+// build a fresh value, publish that.
+func copyOnWrite(h *holder) {
+	old := h.cur.Load()
+	next := &snap{epoch: old.epoch + 1}
+	h.cur.Store(next)
+}
+
+func aliasBad(h *holder) {
+	s := &snap{}
+	h.cur.Store(s)
+	t := s
+	t.epoch = 3 // want `write through t after it was published via atomic.Pointer`
+}
+
+// rebindClean: rebinding the variable to a fresh value clears the
+// taint; the new value may be mutated until it is published.
+func rebindClean(h *holder) {
+	s := &snap{}
+	h.cur.Store(s)
+	s = &snap{}
+	s.epoch = 9
+	h.cur.Store(s)
+}
+
+func indexWriteBad(h *holder) {
+	s := h.cur.Load()
+	s.names[0] = "x" // want `write through s after it was published via atomic.Pointer`
+}
+
+func branchBad(h *holder, c bool) {
+	s := h.cur.Load()
+	if c {
+		return
+	}
+	s.epoch = 4 // want `write through s after it was published via atomic.Pointer`
+}
+
+func suppressedWrite(h *holder) {
+	s := h.cur.Load()
+	s.epoch = 7 //lint:allow snapshotsafe fixture demonstrates suppression
+}

@@ -27,9 +27,17 @@ func builderWrite(m map[string]int) string {
 func collectNoSort(m map[string]int) []string {
 	var keys []string
 	for k := range m {
-		keys = append(keys, k) // want `keys collects map-range elements and is never sorted`
+		keys = append(keys, k) // want `keys collects map-range elements, is returned unsorted from collectNoSort, and no intra-package caller sorts it`
 	}
 	return keys
+}
+
+func collectNoSortLocal(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys collects map-range elements and is never sorted`
+	}
+	return len(keys)
 }
 
 func collectSorted(m map[string]int) []string {

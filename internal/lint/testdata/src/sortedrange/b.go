@@ -1,0 +1,100 @@
+// b.go exercises the interprocedural half of sortedrange: map-order
+// taint flowing through one level of intra-package calls.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// keysOf returns the collected keys unsorted; judgment belongs to its
+// callers. One sorts (clean), one writes (flagged at the write), so
+// the helper itself stays silent.
+func keysOf(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func callerSorts(m map[string]int) []string {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	return ks
+}
+
+func callerWritesLoop(w io.Writer, m map[string]int) {
+	ks := keysOf(m)
+	for _, k := range ks { // want `ks returned by keysOf collects map-range elements unsorted and is written here`
+		fmt.Fprintln(w, k)
+	}
+}
+
+// valsOf feeds a writer directly: flagged at the writer call.
+func valsOf(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+func callerWritesDirect(w io.Writer, m map[string]int) {
+	fmt.Fprintln(w, valsOf(m)) // want `result of valsOf collects map-range elements unsorted and is written here`
+}
+
+// emit is a sink: it writes its slice parameter in iteration order
+// without sorting first.
+func emit(w io.Writer, items []string) {
+	for _, it := range items {
+		fmt.Fprintln(w, it)
+	}
+}
+
+// namesOf's result reaches output through the emit sink.
+func namesOf(m map[string]bool) []string {
+	var ns []string
+	for n := range m {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+func callerViaSink(w io.Writer, m map[string]bool) {
+	ns := namesOf(m)
+	emit(w, ns) // want `ns returned by namesOf collects map-range elements unsorted and is written here`
+}
+
+// ExportedKeys escapes the package: unseen callers exist, so the
+// collection site itself is flagged.
+func ExportedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `ks collects map-range elements, is returned unsorted from ExportedKeys, and it escapes through the exported API`
+	}
+	return ks
+}
+
+// sortedSink sorts before writing, so passing a tainted result into it
+// through sortedEmit is clean — sortedEmit is not a sink.
+func sortedEmit(w io.Writer, items []string) {
+	sort.Strings(items)
+	for _, it := range items {
+		fmt.Fprintln(w, it)
+	}
+}
+
+func idsOf(m map[string]int) []string {
+	var ids []string
+	for k := range m {
+		ids = append(ids, k)
+	}
+	return ids
+}
+
+func callerViaSortedSink(w io.Writer, m map[string]int) {
+	ids := idsOf(m)
+	sortedEmit(w, ids)
+}

@@ -66,14 +66,21 @@ func (d *DeviceServer) Start() error {
 		return fmt.Errorf("localnet: listen: %w", err)
 	}
 	d.ln = ln
+	//lint:allow goleak accept loop is leashed by the listener: Close unblocks Accept and the loop returns
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
+			//lint:allow goleak per-conn goroutine is bounded by the handshake deadline below and always closes its conn
 			go func(c net.Conn) {
 				defer c.Close()
+				// A real device would not serve a client forever: without
+				// this deadline a stalled peer pins the goroutine and the
+				// socket for the life of the process.
+				//lint:allow noclock real handshake deadline on a live socket needs wall-clock time
+				c.SetDeadline(time.Now().Add(5 * time.Second))
 				if tc, ok := c.(*tls.Conn); ok {
 					tc.Handshake()
 				}

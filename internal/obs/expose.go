@@ -232,6 +232,7 @@ func ServeDebug(addr string, r *Registry) (*http.Server, net.Addr, error) {
 		return nil, nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	srv := &http.Server{Handler: mux}
+	//lint:allow goleak the returned *http.Server is the leash: callers own shutdown and Close unblocks Serve
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

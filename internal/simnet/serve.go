@@ -135,6 +135,10 @@ func (w *World) ProbeContext(ctx context.Context, sni string, vantage Vantage) (
 		errCh <- sconn.Handshake()
 	}()
 
+	// The deferred clientSide.Close above releases the transport; a
+	// TLS-level Close would block sending close_notify into the
+	// unbuffered pipe once the server goroutine is gone.
+	//lint:allow deferclose the raw pipe under this conn is defer-closed; tls.Conn.Close would deadlock on net.Pipe
 	cconn := tls.Client(clientSide, &tls.Config{
 		ServerName:         sni,
 		InsecureSkipVerify: true, // we validate ourselves, like the study's prober
