@@ -372,6 +372,144 @@ func TestBenchTrajectory(t *testing.T) {
 	}
 	t.Logf("wrote %s: %d packages linted, cold %.0fms, warm %.0fms",
 		out9, rep9.LintSelf.Packages, rep9.LintSelf.ColdWallMs, rep9.LintSelf.WarmWallMs)
+
+	// BENCH_PR10.json extends the trajectory with the TLS 1.3 wire path
+	// and the firmware-drift timeline: marshal/parse micros for a fully
+	// populated 1.3 hello, and full-pipeline wall times swept across the
+	// -asof ladder together with the 1.3 adoption fraction each virtual
+	// date produces.
+	rep10 := benchReport10{benchReport: rep}
+	rep10.SeedBaselineRef = "PR2 trajectory (BENCH_PR2.json) in the same artifact; TLS 1.3 " +
+		"wire and timeline-sweep points are new in PR10 and have no earlier baseline"
+	hello13 := bench13Hello()
+	raw13, err := hello13.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep10.Micro = append(append([]benchPoint(nil), rep.Micro...),
+		microPoint("tlswire.ClientHello13.Marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hello13.Marshal(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		microPoint("tlswire.ParseRecord/tls13", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tlswire.ParseRecord(raw13); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		microPoint("tlswire.ClientHello13.Accessors", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(hello13.SupportedVersions()) == 0 || len(hello13.KeyShares()) == 0 ||
+					len(hello13.SignatureAlgorithms()) == 0 || len(hello13.PSKKeyExchangeModes()) == 0 {
+					b.Fatal("1.3 accessor returned empty")
+				}
+			}
+		}),
+	)
+	for _, epoch := range []time.Time{
+		{}, // paper era: the zero AsOf no-op path
+		time.Date(2021, 8, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2025, 8, 1, 0, 0, 0, 0, time.UTC),
+	} {
+		p := timelineWall(epoch, 1.0, maxW, runs)
+		rep10.TimelineSweep = append(rep10.TimelineSweep, p)
+		t.Logf("asof %s: core.Run %.0fms, 1.3 fraction %.3f", p.AsOf, p.WallMs, p.TLS13Fraction)
+	}
+	data10, err := json.MarshalIndent(rep10, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data10 = append(data10, '\n')
+	out10 := filepath.Join(filepath.Dir(out), "BENCH_PR10.json")
+	if err := os.WriteFile(out10, data10, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d micro points, %d timeline-sweep points",
+		out10, len(rep10.Micro), len(rep10.TimelineSweep))
+}
+
+// timelinePoint is one firmware-drift sweep measurement: the full
+// pipeline run at a virtual date, its best wall time, and the TLS 1.3
+// adoption fraction the drifted dataset reports at that date.
+type timelinePoint struct {
+	AsOf          string  `json:"asof"`
+	Scale         float64 `json:"scale"`
+	Workers       int     `json:"workers"`
+	WallMs        float64 `json:"wall_ms"`
+	TLS13Fraction float64 `json:"tls13_fraction"`
+}
+
+// benchReport10 is the BENCH_PR10.json schema: the PR2 trajectory plus
+// the TLS 1.3 wire micros and the -asof timeline sweep.
+type benchReport10 struct {
+	benchReport
+	TimelineSweep []timelinePoint `json:"timeline_sweep"`
+}
+
+// bench13Hello is the 1.3-shaped hello the wire micros measure: every
+// extension the 1.3 accessors decode, mirroring the differential fuzz
+// seed so the numbers track the same code paths the oracle exercises.
+func bench13Hello() *tlswire.ClientHello {
+	ch := &tlswire.ClientHello{
+		LegacyVersion:      tlswire.VersionTLS12,
+		SessionID:          []byte{0xA0, 0xA1, 0xA2, 0xA3},
+		CipherSuites:       []uint16{0x1301, 0x1302, 0x1303, 0xC02F},
+		CompressionMethods: []byte{0},
+	}
+	for i := range ch.Random {
+		ch.Random[i] = byte(0x13 ^ i)
+	}
+	ch.SetSNI("device13.vendor.example")
+	ch.SetSupportedVersions([]uint16{uint16(tlswire.VersionTLS13), uint16(tlswire.VersionTLS12)})
+	ch.SetSupportedGroups([]uint16{tlswire.GroupX25519, tlswire.GroupP256, tlswire.GroupP384})
+	ch.SetSignatureAlgorithms([]uint16{0x0403, 0x0804, 0x0401})
+	ch.SetPSKKeyExchangeModes([]byte{1})
+	share := make([]byte, 32)
+	for i := range share {
+		share[i] = 0x1D
+	}
+	ch.SetKeyShares([]tlswire.KeyShare{{Group: tlswire.GroupX25519, Data: share}})
+	return ch
+}
+
+// timelineWall runs the full pipeline at one virtual date (zero = paper
+// era) and records the drifted dataset's 1.3 adoption fraction along
+// with the best-of-runs wall time.
+func timelineWall(asof time.Time, scale float64, workers, runs int) timelinePoint {
+	label := "paper-era"
+	if !asof.IsZero() {
+		label = asof.Format("2006-01-02")
+	}
+	best := time.Duration(0)
+	var frac float64
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		s, err := core.Run(context.Background(), core.Config{
+			Seed: 20231024, Scale: scale, MinSNIUsers: 3, Workers: workers, AsOf: asof,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+		frac = s.Dataset.TLS13Fraction(asof)
+	}
+	return timelinePoint{
+		AsOf:          label,
+		Scale:         scale,
+		Workers:       workers,
+		WallMs:        float64(best.Microseconds()) / 1000,
+		TLS13Fraction: frac,
+	}
 }
 
 // lintSelfPoint records the self-lint cost: every analyzer over every

@@ -38,6 +38,7 @@ func main() {
 	tolerance := flag.Bool("tolerance", true, "append the paper-scale tolerance case")
 	serviceCells := flag.Bool("service", true, "append the service-mode cells (conservation, deterministic shedding, batch equivalence)")
 	serverFPCells := flag.Bool("serverfp", true, "append the active-fingerprinting cells (classification accuracy, worker-count determinism)")
+	timelineCells := flag.Bool("timeline", true, "append the firmware-drift timeline cells (monotone 1.3 adoption, row conservation, per-epoch determinism)")
 	goldenDir := flag.String("golden", "internal/scenario/testdata/golden", "golden snapshot directory ('' disables the snapshot check)")
 	update := flag.Bool("update", false, "regenerate golden snapshots instead of comparing")
 	jsonPath := flag.String("json", "", "write the JSON summary to this file")
@@ -58,6 +59,7 @@ func main() {
 	m.ToleranceCase = *tolerance
 	m.ServiceCells = *serviceCells
 	m.ServerFPCells = *serverFPCells
+	m.TimelineCells = *timelineCells
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "iotcheck:", err)
 		os.Exit(2)

@@ -43,6 +43,7 @@ func main() {
 		minUser  = flag.Int("min-sni-users", 3, "drop SNIs observed from fewer users")
 		realTLS  = flag.Bool("real-tls", false, "probe with genuine crypto/tls handshakes")
 		serverFP = flag.Bool("serverfp", false, "actively fingerprint server TLS stacks and append the census tables")
+		asof     = flag.String("asof", "", "replay the study at this virtual date (YYYY-MM-DD): firmware drift moves part of the population to TLS 1.3 and the adoption-timeline tables are appended ('' = paper era)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
@@ -67,6 +68,13 @@ func main() {
 		Tracer: tracer, Metrics: metrics,
 	}
 	cfg.Probe.AttemptTimeout = common.Timeout
+	if *asof != "" {
+		at, err := time.Parse("2006-01-02", *asof)
+		if err != nil {
+			fatal(fmt.Errorf("-asof: %w", err))
+		}
+		cfg.AsOf = at
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}

@@ -64,6 +64,7 @@ func main() {
 
 		drainLinger  = flag.Duration("drain-linger", 0, "hold in the draining state this long before flushing (lets probes observe /readyz flip)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "deadline for flushing the queue on shutdown")
+		asof         = flag.String("asof", "", "virtual date (YYYY-MM-DD) for the drained final report: the probe world and library corpus apply their firmware drift ('' = paper era)")
 		finalReport  = flag.String("final-report", "", `write the drained batch-equivalent study report here ("-" = stdout, "" = skip)`)
 		loadReport   = flag.String("load-report", "", "write the selfdrive load report JSON here")
 	)
@@ -177,6 +178,13 @@ func main() {
 		cfg := core.Config{
 			Seed: common.Seed, Scale: common.Scale, MinSNIUsers: *minUser,
 			Workers: common.Workers, Metrics: metrics,
+		}
+		if *asof != "" {
+			at, err := time.Parse("2006-01-02", *asof)
+			if err != nil {
+				fatal(fmt.Errorf("-asof: %w", err))
+			}
+			cfg.AsOf = at
 		}
 		if err := svc.FinalReport(context.Background(), out, cfg); err != nil {
 			fatal(err)

@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
@@ -28,6 +29,20 @@ import (
 func goldenStudy(t *testing.T) *core.Study {
 	t.Helper()
 	s, err := core.Run(context.Background(), core.Config{Seed: 1, Scale: 1.0, MinSNIUsers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// goldenAsOf is the late-timeline epoch pinned alongside the paper-era
+// snapshot: five years past the capture window, deep enough into the
+// drift schedule that most non-straggler devices have upgraded.
+var goldenAsOf = time.Date(2025, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func goldenTimelineStudy(t *testing.T) *core.Study {
+	t.Helper()
+	s, err := core.Run(context.Background(), core.Config{Seed: 1, Scale: 1.0, MinSNIUsers: 3, AsOf: goldenAsOf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,4 +75,45 @@ func TestGoldenReportCSV(t *testing.T) {
 		fmt.Fprintln(&buf)
 	}
 	goldenCheck(t, "report_seed1_scale1.csv", buf.Bytes())
+}
+
+// TestGoldenReportTimelineText pins the late-epoch report: the same
+// population replayed at goldenAsOf, with the firmware-drift records,
+// the modern-corpus matcher rows, and the adoption-timeline tables.
+func TestGoldenReportTimelineText(t *testing.T) {
+	var buf bytes.Buffer
+	goldenTimelineStudy(t).WriteReport(&buf)
+	goldenCheck(t, "report_seed1_scale1_asof2025-08-01.txt", buf.Bytes())
+}
+
+// TestTimelineAdoptionIncreases locks the headline longitudinal fact:
+// the paper-era population proposes no TLS 1.3 at all, and the late
+// epoch's 1.3 fraction is strictly higher.
+func TestTimelineAdoptionIncreases(t *testing.T) {
+	s := goldenTimelineStudy(t)
+	if f := s.Dataset.TLS13Fraction(time.Date(2020, 8, 1, 0, 0, 0, 0, time.UTC)); f != 0 {
+		t.Fatalf("paper-era 1.3 fraction = %v, want 0", f)
+	}
+	late := s.Dataset.TLS13Fraction(goldenAsOf)
+	if late <= 0 {
+		t.Fatalf("late-epoch 1.3 fraction = %v, want > 0", late)
+	}
+	// The generated records agree with the schedule: some hellos now
+	// negotiate 1.3 on the wire.
+	tls13 := 0
+	for i := 0; i < s.Dataset.Records.Len(); i++ {
+		ch, err := s.Dataset.Records.At(i).Hello()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		for _, v := range ch.SupportedVersions() {
+			if v == 0x0304 {
+				tls13++
+				break
+			}
+		}
+	}
+	if tls13 == 0 {
+		t.Fatal("no generated record offers TLS 1.3 at the late epoch")
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -41,6 +42,13 @@ type Config struct {
 	// MinSNIUsers filters SNIs observed from fewer users (paper: 3, i.e.
 	// "removed SNIs observed from two or fewer users").
 	MinSNIUsers int
+	// AsOf replays the study at a later virtual date: the dataset applies
+	// its firmware-drift schedule (upgraded devices emit 1.3-era hellos),
+	// the server world applies its backend drift, the library corpus
+	// gains the post-2020 dated entries, and the report grows the
+	// adoption-timeline tables. Zero is the paper-era run, byte-identical
+	// to a config without the field.
+	AsOf time.Time
 	// Dataset, when non-nil, replaces generation: the dataset stage uses
 	// it as-is and Seed/Scale stop influencing the population (they still
 	// seed the world build and the probe engine). The ingest service uses
@@ -98,7 +106,15 @@ var (
 	ErrFaultsWithRealTLS = errors.New("Faults and RealTLS are mutually exclusive")
 	// ErrBadVantages: Vantages contains an unknown or duplicate entry.
 	ErrBadVantages = errors.New("Vantages must be distinct members of simnet.Vantages()")
+	// ErrBadAsOf: AsOf predates the capture window (a drift timeline can
+	// only run forward from the paper's data).
+	ErrBadAsOf = errors.New("AsOf must be zero or not before the capture window start")
 )
+
+// captureStart is the paper window's first day; AsOf dates before it are
+// rejected (the timeline replays the captured population forward, never
+// backward).
+var captureStart = time.Date(2019, 4, 29, 0, 0, 0, 0, time.UTC)
 
 // Validate rejects nonsense configurations with typed errors instead of
 // silently "fixing" them. Run calls it first; callers constructing
@@ -115,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if c.Faults != nil && c.RealTLS {
 		return fmt.Errorf("core: %w", ErrFaultsWithRealTLS)
+	}
+	if !c.AsOf.IsZero() && c.AsOf.Before(captureStart) {
+		return fmt.Errorf("core: AsOf = %s: %w", c.AsOf.Format("2006-01-02"), ErrBadAsOf)
 	}
 	known := map[simnet.Vantage]bool{}
 	for _, v := range simnet.Vantages() {
@@ -203,7 +222,7 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 // matcher's memo is internally synchronized), so jobs may run on any
 // goroutine; order in the slice is the report order.
 func (s *Study) clientTableJobs() []func() report.Table {
-	return []func() report.Table{
+	jobs := []func() report.Table{
 		func() report.Table { return report.LibMatch(s.Client.MatchLibraries(s.Matcher)) },
 		func() report.Table { return report.Table2(s.Client.Table2()) },
 		func() report.Table { return report.Figure2(s.Client.DoCVendorAll(), s.Client.DoCDeviceAll()) },
@@ -221,6 +240,29 @@ func (s *Study) clientTableJobs() []func() report.Table {
 		func() report.Table { return report.Table10(s.Matcher.Entries()) },
 		func() report.Table { return report.Table13() },
 	}
+	// The timeline tables only exist on drift runs, so the paper-era
+	// report stays byte-identical (same gating as the serverfp tables).
+	if !s.Config.AsOf.IsZero() {
+		jobs = append(jobs,
+			func() report.Table { return report.AdoptionCurve(s.Dataset.AdoptionCurve(s.timelineDates())) },
+			func() report.Table { return report.DowngradeStragglers(s.Dataset.DowngradeStragglers(), 15) },
+		)
+	}
+	return jobs
+}
+
+// timelineDates is the adoption-curve ladder: the capture window's end,
+// one rung per anniversary strictly before AsOf, and AsOf itself.
+func (s *Study) timelineDates() []time.Time {
+	asof := s.Config.AsOf.UTC()
+	dates := []time.Time{time.Date(2020, 8, 1, 0, 0, 0, 0, time.UTC)}
+	for d := dates[0].AddDate(1, 0, 0); d.Before(asof); d = d.AddDate(1, 0, 0) {
+		dates = append(dates, d)
+	}
+	if asof.After(dates[len(dates)-1]) {
+		dates = append(dates, asof)
+	}
+	return dates
 }
 
 // serverTableJobs lists the Section 5 + Appendix C table builders, plus

@@ -89,7 +89,7 @@ func runDatasetStage(_ context.Context, st *Study, rec *StageRecorder) error {
 	if cfg.Dataset != nil {
 		st.Dataset = cfg.Dataset
 	} else {
-		st.Dataset = dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
+		st.Dataset = dataset.Generate(dataset.Config{Seed: cfg.Seed, Scale: cfg.Scale, AsOf: cfg.AsOf, Metrics: cfg.Metrics})
 	}
 	rec.Count("devices", int64(len(st.Dataset.Devices)))
 	rec.Count("records", int64(st.Dataset.Records.Len()))
@@ -97,7 +97,7 @@ func runDatasetStage(_ context.Context, st *Study, rec *StageRecorder) error {
 }
 
 func runCorpusStage(_ context.Context, st *Study, rec *StageRecorder) error {
-	st.Matcher = libcorpus.NewMatcher()
+	st.Matcher = libcorpus.NewMatcherAsOf(st.Config.AsOf)
 	rec.Count("entries", int64(len(st.Matcher.Entries())))
 	return nil
 }
@@ -124,7 +124,7 @@ func runSNIStage(_ context.Context, st *Study, rec *StageRecorder) error {
 
 func runWorldStage(_ context.Context, st *Study, rec *StageRecorder) error {
 	cfg := st.Config
-	st.World = simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: st.SNIs, Faults: cfg.Faults})
+	st.World = simnet.Build(simnet.Config{Seed: cfg.Seed + 1, SNIs: st.SNIs, AsOf: cfg.AsOf, Faults: cfg.Faults})
 	st.World.Validator.Instrument(cfg.Metrics)
 	rec.Count("servers", int64(len(st.World.Servers)))
 	return nil

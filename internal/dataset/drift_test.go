@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tlswire"
+)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+// A zero AsOf — and any date inside the paper window — must be a strict
+// no-op: identical records, identical bytes.
+func TestDriftZeroAsOfNoOp(t *testing.T) {
+	base := Generate(Config{Seed: 7, Scale: 0.05})
+	inWindow := Generate(Config{Seed: 7, Scale: 0.05, AsOf: date(2020, 7, 1)})
+	if base.Records.Len() != inWindow.Records.Len() {
+		t.Fatalf("record count changed: %d vs %d", base.Records.Len(), inWindow.Records.Len())
+	}
+	for i := 0; i < base.Records.Len(); i++ {
+		a, b := base.Records.At(i), inWindow.Records.At(i)
+		if a.StackID != b.StackID || !bytes.Equal(a.Raw, b.Raw) {
+			t.Fatalf("record %d diverged under in-window AsOf", i)
+		}
+	}
+}
+
+// A late AsOf must rewrite upgraded devices' records into real 1.3
+// hellos while preserving each record's client random, and leave
+// straggler records untouched.
+func TestDriftRestampsUpgradedRecords(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 0.05}
+	base := Generate(cfg)
+	late := cfg
+	late.AsOf = date(2025, 1, 1)
+	ds := Generate(late)
+	if ds.Records.Len() != base.Records.Len() {
+		t.Fatalf("drift changed record count: %d vs %d", ds.Records.Len(), base.Records.Len())
+	}
+	upgraded, untouched := 0, 0
+	for i := 0; i < ds.Records.Len(); i++ {
+		r := ds.Records.At(i)
+		orig := base.Records.At(i)
+		if !strings.HasPrefix(r.StackID, fwStackPrefix) {
+			untouched++
+			if !bytes.Equal(r.Raw, orig.Raw) {
+				t.Fatalf("record %d (stack %s) not upgraded but bytes changed", i, r.StackID)
+			}
+			continue
+		}
+		upgraded++
+		ch, err := r.Hello()
+		if err != nil {
+			t.Fatalf("record %d: upgraded hello unparseable: %v", i, err)
+		}
+		if ch.EffectiveVersion() != tlswire.VersionTLS13 {
+			t.Fatalf("record %d: upgraded hello effective version %v", i, ch.EffectiveVersion())
+		}
+		if shares := ch.KeyShares(); len(shares) == 0 {
+			t.Fatalf("record %d: upgraded hello has no key share", i)
+		}
+		if !bytes.Equal(r.Raw[helloRandomOff:helloRandomOff+32], orig.Raw[helloRandomOff:helloRandomOff+32]) {
+			t.Fatalf("record %d: client random not preserved across restamp", i)
+		}
+	}
+	if upgraded == 0 {
+		t.Fatal("no records upgraded at a 2025 asof")
+	}
+	if untouched == 0 {
+		t.Fatal("no straggler records left at a 2025 asof")
+	}
+}
+
+// The adoption curve must conserve the population in every row and be
+// monotone in the TLS13 column over an advancing date ladder.
+func TestAdoptionCurveConservationAndMonotonicity(t *testing.T) {
+	ds := Generate(Config{Seed: 11, Scale: 0.05})
+	dates := []time.Time{
+		date(2020, 8, 1), date(2021, 8, 1), date(2022, 8, 1),
+		date(2023, 8, 1), date(2024, 8, 1), date(2025, 8, 1), date(2026, 8, 1),
+	}
+	curve := ds.AdoptionCurve(dates)
+	pop := len(ds.Devices)
+	prev := -1
+	for _, pt := range curve {
+		if pt.Total() != pop {
+			t.Fatalf("row %s: buckets sum to %d, population is %d", pt.Date.Format("2006-01-02"), pt.Total(), pop)
+		}
+		if pt.TLS13 < prev {
+			t.Fatalf("row %s: TLS13 count decreased (%d -> %d)", pt.Date.Format("2006-01-02"), prev, pt.TLS13)
+		}
+		prev = pt.TLS13
+	}
+	if first := curve[0]; first.TLS13 != 0 {
+		t.Fatalf("paper-era row already shows %d 1.3 devices", first.TLS13)
+	}
+	if last := curve[len(curve)-1]; last.TLS13 == 0 {
+		t.Fatal("end-of-window row shows no 1.3 devices")
+	}
+	frac := ds.TLS13Fraction(date(2026, 8, 1))
+	if frac <= 0.4 || frac >= 0.9 {
+		t.Fatalf("end-of-window 1.3 fraction %.3f outside the ~two-thirds band", frac)
+	}
+}
+
+// Straggler rows must cover every vendor once and match the curve's
+// end-of-window remainder.
+func TestDowngradeStragglers(t *testing.T) {
+	ds := Generate(Config{Seed: 11, Scale: 0.05})
+	rows := ds.DowngradeStragglers()
+	seen := map[string]bool{}
+	devices, stragglers := 0, 0
+	for _, r := range rows {
+		if seen[r.Vendor] {
+			t.Fatalf("vendor %s listed twice", r.Vendor)
+		}
+		seen[r.Vendor] = true
+		if r.Stragglers > r.Devices {
+			t.Fatalf("vendor %s: %d stragglers out of %d devices", r.Vendor, r.Stragglers, r.Devices)
+		}
+		devices += r.Devices
+		stragglers += r.Stragglers
+	}
+	if devices != len(ds.Devices) {
+		t.Fatalf("straggler rows cover %d devices, population is %d", devices, len(ds.Devices))
+	}
+	// Far beyond the window every non-straggler has upgraded.
+	end := ds.AdoptionCurve([]time.Time{date(2030, 1, 1)})[0]
+	if end.TLS12+end.Legacy != stragglers {
+		t.Fatalf("end-state non-1.3 devices %d != straggler tally %d", end.TLS12+end.Legacy, stragglers)
+	}
+}

@@ -40,6 +40,11 @@ type Response struct {
 	// EchoedExtensions lists the ServerHello extension types in emission
 	// order.
 	EchoedExtensions []uint16
+	// HelloRetryRequest marks a TLS 1.3 HelloRetryRequest answer, with
+	// RetryGroup naming the key-share group the server asked for.
+	HelloRetryRequest bool
+	// RetryGroup is the named group an HRR requested (0 otherwise).
+	RetryGroup uint16
 	// Alert is the server's refusal, when it sent one instead of a
 	// ServerHello.
 	Alert *tlswire.Alert
@@ -74,6 +79,8 @@ func responseOf(n simnet.Negotiation) Response {
 		NegotiatedVersion: n.Version,
 		SelectedCipher:    n.Cipher,
 		EchoedExtensions:  n.Echoed,
+		HelloRetryRequest: n.HelloRetryRequest,
+		RetryGroup:        n.RetryGroup,
 		Alert:             n.Alert,
 	}
 }

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"repro/internal/dataset"
+)
+
+// AdoptionCurve renders the firmware-drift timeline: the device
+// population bucketed by best proposed TLS version at each virtual
+// date. Every row conserves the population (the three buckets sum to
+// Total), and the 1.3 column is nondecreasing down the table.
+func AdoptionCurve(points []dataset.AdoptionPoint) Table {
+	t := Table{
+		Title:   "TLS 1.3 adoption timeline (firmware drift)",
+		Headers: []string{"As of", "TLS 1.3", "TLS 1.2", "<= TLS 1.1", "Total", "1.3 share"},
+	}
+	for _, p := range points {
+		share := 0.0
+		if total := p.Total(); total > 0 {
+			share = float64(p.TLS13) / float64(total)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Date.UTC().Format("2006-01-02"),
+			itoa(p.TLS13), itoa(p.TLS12), itoa(p.Legacy), itoa(p.Total()), pct(share),
+		})
+	}
+	return t
+}
+
+// DowngradeStragglers renders the vendors with the most devices that
+// never leave their paper-era firmware stack — the long tail still
+// proposing 1.2-and-below hellos at the end of the timeline. Rows
+// beyond limit fold into a remainder line; a trailing total row keeps
+// the full population visible.
+func DowngradeStragglers(rows []dataset.StragglerRow, limit int) Table {
+	t := Table{
+		Title:   "Downgrade stragglers by vendor (never upgrade)",
+		Headers: []string{"Vendor", "Devices", "Stragglers", "Share"},
+	}
+	devices, stragglers := 0, 0
+	for i, r := range rows {
+		devices += r.Devices
+		stragglers += r.Stragglers
+		if i < limit {
+			t.Rows = append(t.Rows, []string{
+				r.Vendor, itoa(r.Devices), itoa(r.Stragglers), pct(r.Fraction()),
+			})
+		}
+	}
+	if n := len(rows) - limit; n > 0 {
+		t.Rows = append(t.Rows, []string{"(" + itoa(n) + " more vendors)", "", "", ""})
+	}
+	share := 0.0
+	if devices > 0 {
+		share = float64(stragglers) / float64(devices)
+	}
+	t.Rows = append(t.Rows, []string{"Total", itoa(devices), itoa(stragglers), pct(share)})
+	return t
+}

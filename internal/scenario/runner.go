@@ -56,6 +56,7 @@ type Summary struct {
 	Cases         []CaseResult     `json:"cases"`
 	ServiceCells  []ServiceResult  `json:"service_cells,omitempty"`
 	ServerFPCells []ServerFPResult `json:"serverfp_cells,omitempty"`
+	TimelineCells []TimelineResult `json:"timeline_cells,omitempty"`
 	Violations    []Violation      `json:"violations"`
 }
 
@@ -414,6 +415,30 @@ func RunMatrix(ctx context.Context, m Matrix, opts Options) (*Summary, error) {
 				}
 				fmt.Fprintf(opts.Progress, "[sfp] %-44s targets=%-5d accuracy=%.3f %s\n",
 					fc.Name(), res.Targets, res.Accuracy, status)
+			}
+		}
+	}
+
+	// Longitudinal cells: the asof ladder checked for monotone 1.3
+	// adoption, adoption-row conservation, and per-epoch determinism.
+	if m.TimelineCells {
+		for _, tc := range TimelineCases() {
+			if err := ctx.Err(); err != nil {
+				return sum, err
+			}
+			res, vs, err := RunTimelineCase(ctx, tc)
+			if err != nil {
+				return sum, err
+			}
+			sum.TimelineCells = append(sum.TimelineCells, res)
+			sum.Violations = append(sum.Violations, vs...)
+			if opts.Progress != nil {
+				status := "ok"
+				if len(vs) > 0 {
+					status = fmt.Sprintf("%d violation(s)", len(vs))
+				}
+				fmt.Fprintf(opts.Progress, "[tml] %-44s epochs=%-2d final13=%.3f %s\n",
+					tc.Name(), res.Epochs, res.Final13, status)
 			}
 		}
 	}

@@ -139,6 +139,11 @@ type Matrix struct {
 	// battery checked for classification accuracy and census determinism
 	// across worker counts.
 	ServerFPCells bool
+	// TimelineCells appends the firmware-drift longitudinal cells: the
+	// pipeline swept over an asof ladder and checked for monotone 1.3
+	// adoption, population conservation in every adoption row, and
+	// per-epoch report determinism across worker counts.
+	TimelineCells bool
 }
 
 // Short is the CI matrix: 2 seeds × 3 scales × 2 worker pairs ×
@@ -155,6 +160,7 @@ func Short() Matrix {
 		ToleranceCase: true,
 		ServiceCells:  true,
 		ServerFPCells: true,
+		TimelineCells: true,
 	}
 }
 

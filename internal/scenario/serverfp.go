@@ -124,7 +124,7 @@ func RunServerFPCase(ctx context.Context, c ServerFPCase) (ServerFPResult, []Vio
 	// Conservation: every probed SNI yields exactly one census target,
 	// and targets with evidence carry a modeled label.
 	labels := map[string]bool{"unknown": true}
-	for _, st := range simnet.ServerStacks() {
+	for _, st := range simnet.AllServerStacks() {
 		labels[st.Name] = true
 	}
 	for _, t := range base.Targets {

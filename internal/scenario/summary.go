@@ -23,6 +23,9 @@ func (s *Summary) WriteText(w io.Writer) {
 	if n := len(s.ServerFPCells); n > 0 {
 		fmt.Fprintf(w, "serverfp cells: %d (classification accuracy, worker-count determinism)\n", n)
 	}
+	if n := len(s.TimelineCells); n > 0 {
+		fmt.Fprintf(w, "timeline cells: %d (monotone 1.3 adoption, row conservation, per-epoch determinism)\n", n)
+	}
 	if s.OK() {
 		fmt.Fprintf(w, "all invariants held\n")
 		return

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// The epoch ladder must move strictly forward: the monotonicity check
+// compares consecutive epochs, so an unordered ladder would vacuously
+// pass.
+func TestTimelineLadderOrdered(t *testing.T) {
+	for i := 1; i < len(timelineLadder); i++ {
+		if !timelineLadder[i].After(timelineLadder[i-1]) {
+			t.Fatalf("ladder epoch %d (%s) not after epoch %d (%s)",
+				i, timelineLadder[i].Format("2006-01-02"),
+				i-1, timelineLadder[i-1].Format("2006-01-02"))
+		}
+	}
+}
+
+// One full timeline cell: every epoch report byte-identical across
+// worker counts, monotone 1.3 adoption, conserved adoption rows, and a
+// non-trivial final fraction.
+func TestRunTimelineCase(t *testing.T) {
+	res, vs, err := RunTimelineCase(context.Background(), TimelineCase{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+	if want := len(timelineLadder) * 3; res.Runs != want {
+		t.Fatalf("ran %d pipelines, want %d (ladder × worker counts)", res.Runs, want)
+	}
+	if res.Final13 <= 0 || res.Final13 >= 1 {
+		t.Fatalf("final 1.3 fraction %.3f outside (0, 1)", res.Final13)
+	}
+}

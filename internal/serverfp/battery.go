@@ -78,6 +78,9 @@ func reversed(suites []uint16) []uint16 {
 //	no-overlap     alert taxonomy when no suite is acceptable
 //	compress-offer alert taxonomy on a non-null compression offer
 //	cbc-order      AES-CBC preference split (plus GREASE tolerance)
+//	tls13-hrr      key-share group policy: a P-256-only share splits
+//	               share-respecting stacks (accept) from
+//	               prefer-own-group stacks (HelloRetryRequest)
 func Battery() []probe.BatteryProbe {
 	return []probe.BatteryProbe{
 		{Name: "baseline", Hello: craft(0x01, tlswire.VersionTLS12, baselineSuites, []byte{0}, commonExts)},
@@ -98,5 +101,15 @@ func Battery() []probe.BatteryProbe {
 			baselineSuites, []byte{1, 0}, commonExts)},
 		{Name: "cbc-order", Hello: craft(0x07, tlswire.VersionTLS12,
 			[]uint16{0x0A0A, 0x0035, 0x002F}, []byte{0}, commonExts[:2])},
+		{Name: "tls13-hrr", Hello: craft(0x08, tlswire.VersionTLS12,
+			[]uint16{0x1301, 0x1302, 0x1303, 0xC02F, 0xC02B, 0x0035},
+			[]byte{0},
+			append([]tlswire.Extension{
+				{Type: tlswire.ExtSupportedVersions, Data: []byte{4, 0x03, 0x04, 0x03, 0x03}},
+				// One P-256 share; x25519 is advertised but share-less, so
+				// stacks that insist on their own top group must retry.
+				{Type: tlswire.ExtKeyShare, Data: []byte{0, 4, 0, 0x17, 0, 0}},
+				{Type: tlswire.ExtSupportedGroups, Data: []byte{0, 4, 0, 0x17, 0, 0x1D}},
+			}, commonExts[:6]...))},
 	}
 }

@@ -29,6 +29,12 @@ type Observation struct {
 	Cipher uint16
 	// Echoed lists the ServerHello extension types in emission order.
 	Echoed []uint16
+	// HRR: the answer was a TLS 1.3 HelloRetryRequest asking for
+	// RetryGroup. Folded into the outcome-shape score component, so the
+	// confidence denominator is unchanged for pre-1.3 vectors.
+	HRR bool
+	// RetryGroup is the named group an HRR requested.
+	RetryGroup uint16
 }
 
 // ObservationOf reduces an engine result to its observation.
@@ -44,6 +50,8 @@ func ObservationOf(r probe.Result) Observation {
 		o.Version = r.Response.NegotiatedVersion
 		o.Cipher = r.Response.SelectedCipher
 		o.Echoed = r.Response.EchoedExtensions
+		o.HRR = r.Response.HelloRetryRequest
+		o.RetryGroup = r.Response.RetryGroup
 	}
 	return o
 }
@@ -61,7 +69,11 @@ func (o Observation) Key() string {
 	for i, e := range o.Echoed {
 		parts[i] = fmt.Sprintf("%04x", e)
 	}
-	return fmt.Sprintf("%s|v=%04x|c=%04x|e=%s", o.Probe, uint16(o.Version), o.Cipher, strings.Join(parts, ","))
+	key := fmt.Sprintf("%s|v=%04x|c=%04x|e=%s", o.Probe, uint16(o.Version), o.Cipher, strings.Join(parts, ","))
+	if o.HRR {
+		key += fmt.Sprintf("|hrr=%s", tlswire.GroupName(o.RetryGroup))
+	}
+	return key
 }
 
 // Classification is the classifier's verdict for one target.
@@ -92,11 +104,12 @@ type Classifier struct {
 	expected map[string]map[string]Observation // label -> probe -> expectation
 }
 
-// NewClassifier derives signatures for every modeled stack from the
-// given battery.
+// NewClassifier derives signatures for every modeled stack — including
+// the firmware-drift successors, so censuses of post-paper worlds
+// classify against the full label space — from the given battery.
 func NewClassifier(battery []probe.BatteryProbe) *Classifier {
 	c := &Classifier{expected: make(map[string]map[string]Observation)}
-	for _, st := range simnet.ServerStacks() {
+	for _, st := range simnet.AllServerStacks() {
 		sig := make(map[string]Observation, len(battery))
 		for _, bp := range battery {
 			sig[bp.Name] = expect(st, bp)
@@ -122,6 +135,12 @@ func expect(st *simnet.ServerStack, bp probe.BatteryProbe) Observation {
 	o.Version = sh.SelectedVersion()
 	o.Cipher = sh.CipherSuite
 	o.Echoed = sh.ExtensionTypes()
+	if sh.IsHelloRetryRequest() {
+		o.HRR = true
+		if g, ok := sh.KeyShareGroup(); ok {
+			o.RetryGroup = g
+		}
+	}
 	return o
 }
 
@@ -134,7 +153,8 @@ func (c *Classifier) Labels() []string {
 // expectation. Failed observations are skipped by the caller.
 func score(got, want Observation) int {
 	s := 0
-	if got.Alerted == want.Alerted && (!got.Alerted || got.Alert == want.Alert) {
+	if got.Alerted == want.Alerted && (!got.Alerted || got.Alert == want.Alert) &&
+		got.HRR == want.HRR && got.RetryGroup == want.RetryGroup {
 		s++
 	}
 	if got.Version == want.Version {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/probe"
 	"repro/internal/simnet"
+	"repro/internal/tlswire"
 )
 
 func fpTestWorld(t *testing.T) *simnet.World {
@@ -29,13 +30,15 @@ func sniList(w *simnet.World) []string {
 	return snis // RunBattery sorts; order here is irrelevant
 }
 
-// TestConfusionMatrix replays the battery against every stack model and
-// checks the classifier recovers each one exactly — the full confusion
-// matrix is diagonal with confidence 1.
+// TestConfusionMatrix replays the battery against every stack model —
+// including the firmware-drift successors (OpenSSL 3.x, wolfSSL 5) —
+// and checks the classifier recovers each one exactly: the full
+// confusion matrix over the 8-label space is diagonal with
+// confidence 1.
 func TestConfusionMatrix(t *testing.T) {
 	battery := Battery()
 	cls := NewClassifier(battery)
-	for _, st := range simnet.ServerStacks() {
+	for _, st := range simnet.AllServerStacks() {
 		vec := make([]Observation, len(battery))
 		for i, bp := range battery {
 			vec[i] = expect(st, bp)
@@ -58,7 +61,7 @@ func TestConfusionMatrix(t *testing.T) {
 // at least one battery probe, else the battery cannot separate them.
 func TestSignaturesPairwiseDistinct(t *testing.T) {
 	battery := Battery()
-	stacks := simnet.ServerStacks()
+	stacks := simnet.AllServerStacks()
 	sig := func(st *simnet.ServerStack) []string {
 		keys := make([]string, len(battery))
 		for i, bp := range battery {
@@ -167,6 +170,115 @@ func TestCensusAggregates(t *testing.T) {
 	}
 	if total != len(c.Targets) {
 		t.Fatalf("VendorStacks sums to %d, want %d", total, len(c.Targets))
+	}
+}
+
+// TestTLS13Discrimination pins how the two 1.3 probes split the 1.3-era
+// stacks on key-share policy and cipher preference:
+//
+//   - tls13 carries only an x25519 share: wolfSSL 5 (P-256-first,
+//     prefer-own-group) must HelloRetryRequest for P-256 while both
+//     OpenSSL generations and Go accept;
+//   - tls13-hrr carries only a P-256 share: OpenSSL 3.x (x25519-first,
+//     prefer-own-group) must HelloRetryRequest for x25519 while
+//     share-respecting OpenSSL 1.1.1 and Go accept;
+//   - server-preference OpenSSL picks AES-256-GCM (0x1302) where
+//     client-order Go and wolfSSL 5 pick the offered-first 0x1301.
+func TestTLS13Discrimination(t *testing.T) {
+	battery := Battery()
+	probes := map[string]probe.BatteryProbe{}
+	for _, bp := range battery {
+		probes[bp.Name] = bp
+	}
+	stack := func(name string) *simnet.ServerStack {
+		st := simnet.ServerStackByName(name)
+		if st == nil {
+			t.Fatalf("stack %s not modeled", name)
+		}
+		return st
+	}
+	type want struct {
+		stack, probe string
+		hrr          bool
+		retryGroup   uint16
+		cipher       uint16
+	}
+	wants := []want{
+		{stack: "openssl-1.1.1", probe: "tls13", cipher: 0x1302},
+		{stack: "openssl-3.0", probe: "tls13", cipher: 0x1302},
+		{stack: "gotls", probe: "tls13", cipher: 0x1301},
+		{stack: "wolfssl-5", probe: "tls13", hrr: true, retryGroup: tlswire.GroupP256, cipher: 0x1301},
+		{stack: "openssl-1.1.1", probe: "tls13-hrr", cipher: 0x1302},
+		{stack: "openssl-3.0", probe: "tls13-hrr", hrr: true, retryGroup: tlswire.GroupX25519, cipher: 0x1302},
+		{stack: "gotls", probe: "tls13-hrr", cipher: 0x1301},
+		{stack: "wolfssl-5", probe: "tls13-hrr", cipher: 0x1301},
+	}
+	for _, w := range wants {
+		o := expect(stack(w.stack), probes[w.probe])
+		if o.Alerted || o.Failed {
+			t.Errorf("%s/%s: refused (%s), want a 1.3 hello", w.stack, w.probe, o.Key())
+			continue
+		}
+		if o.Version != tlswire.VersionTLS13 {
+			t.Errorf("%s/%s: negotiated %v, want TLS 1.3", w.stack, w.probe, o.Version)
+		}
+		if o.HRR != w.hrr || o.RetryGroup != w.retryGroup {
+			t.Errorf("%s/%s: hrr=%v group=%s, want hrr=%v group=%s", w.stack, w.probe,
+				o.HRR, tlswire.GroupName(o.RetryGroup), w.hrr, tlswire.GroupName(w.retryGroup))
+		}
+		if o.Cipher != w.cipher {
+			t.Errorf("%s/%s: cipher %04x, want %04x", w.stack, w.probe, o.Cipher, w.cipher)
+		}
+	}
+	// The pair of 1.3 probes alone must separate the four 1.3-capable
+	// stacks pairwise.
+	names := []string{"openssl-1.1.1", "openssl-3.0", "gotls", "wolfssl-5"}
+	sig := func(name string) string {
+		return expect(stack(name), probes["tls13"]).Key() + "//" + expect(stack(name), probes["tls13-hrr"]).Key()
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if sig(a) == sig(b) {
+				t.Errorf("1.3 probes cannot separate %s from %s: %s", a, b, sig(a))
+			}
+		}
+	}
+}
+
+// TestFingerprintAccuracyDriftedWorld extends the accuracy floor to the
+// firmware-drift labels: a world built at a late asof assigns OpenSSL
+// 3.x / wolfSSL 5 ground truth to upgraded backends, and the battery
+// must keep >= 95% accuracy over them with 20% transient faults
+// injected.
+func TestFingerprintAccuracyDriftedWorld(t *testing.T) {
+	w := simnet.Build(simnet.Config{
+		Seed: 42,
+		SNIs: sniList(fpTestWorld(t)),
+		AsOf: time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC),
+	})
+	clk := probe.NewFakeClock(time.Unix(1700000000, 0))
+	w.SetFaults(simnet.Faults{Seed: 5, TransientRate: 0.2, Sleep: clk.Sleep})
+	c, err := Fingerprint(context.Background(), w, sniList(w), simnet.VantageNewYork,
+		probe.Options{Workers: 4, Seed: 7, Clock: clk})
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	modern := 0
+	for _, tgt := range c.Targets {
+		if tgt.TrueLabel == "openssl-3.0" || tgt.TrueLabel == "wolfssl-5" {
+			modern++
+		}
+	}
+	if modern == 0 {
+		t.Fatal("late-asof world assigned no drift-successor stacks; the floor does not cover the new labels")
+	}
+	if acc := c.Accuracy(); acc < 0.95 {
+		for _, tgt := range c.Targets {
+			if tgt.Observed > 0 && tgt.Label != tgt.TrueLabel {
+				t.Logf("  miss: %s classified %s, truth %s (conf %.2f)", tgt.SNI, tgt.Label, tgt.TrueLabel, tgt.Confidence)
+			}
+		}
+		t.Fatalf("drifted-world accuracy under faults %.3f, want >= 0.95", acc)
 	}
 }
 

@@ -44,6 +44,11 @@ type Negotiation struct {
 	Cipher uint16
 	// Echoed lists the ServerHello extension types in emission order.
 	Echoed []uint16
+	// HelloRetryRequest marks a TLS 1.3 retry: the ServerHello carried
+	// the RFC 8446 HRR random, asking for a different key-share group.
+	HelloRetryRequest bool
+	// RetryGroup is the named group an HRR asked for (0 otherwise).
+	RetryGroup uint16
 	// Alert is the refusal, when the server sent one instead of a
 	// ServerHello.
 	Alert *tlswire.Alert
@@ -249,12 +254,19 @@ func (w *World) NegotiateFast(ctx context.Context, sni string, vantage Vantage, 
 	if err != nil {
 		return Negotiation{}, fmt.Errorf("simnet: ServerHello wire round trip for %s: %w", sni, err)
 	}
-	return Negotiation{
-		Chain:   srv.ChainAt(vantage),
-		Version: parsed.SelectedVersion(),
-		Cipher:  parsed.CipherSuite,
-		Echoed:  parsed.ExtensionTypes(),
-	}, nil
+	n := Negotiation{
+		Chain:             srv.ChainAt(vantage),
+		Version:           parsed.SelectedVersion(),
+		Cipher:            parsed.CipherSuite,
+		Echoed:            parsed.ExtensionTypes(),
+		HelloRetryRequest: parsed.IsHelloRetryRequest(),
+	}
+	if n.HelloRetryRequest {
+		if g, ok := parsed.KeyShareGroup(); ok {
+			n.RetryGroup = g
+		}
+	}
+	return n, nil
 }
 
 // ProbeResult is one (SNI, vantage) capture.

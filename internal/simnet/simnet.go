@@ -101,6 +101,9 @@ type World struct {
 	Validator *pki.Validator
 	// ProbeTime is the virtual "April 2022" probing instant.
 	ProbeTime time.Time
+	// AsOf is the firmware-drift evaluation date backend stacks were
+	// assigned at (zero = the paper era; see stackForAsOf).
+	AsOf time.Time
 	// CaptureWindow bounds of the ClientHello dataset, for the
 	// expired-during-capture analysis (Table 8).
 	CaptureStart, CaptureEnd time.Time
@@ -117,6 +120,10 @@ type Config struct {
 	SNIs []string
 	// ProbeTime defaults to 2022-04-15 (the paper probed in April 2022).
 	ProbeTime time.Time
+	// AsOf evaluates backend firmware drift at a virtual date: server
+	// stacks walk their upgrade chains (stackForAsOf) when the date is
+	// past the drift window start. Zero keeps the paper-era assignment.
+	AsOf time.Time
 	// Faults optionally installs deterministic fault injection on the
 	// probe path (equivalent to calling SetFaults after Build).
 	Faults *Faults
@@ -253,6 +260,7 @@ func Build(cfg Config) *World {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &World{
 		Seed:         cfg.Seed,
+		AsOf:         cfg.AsOf,
 		Servers:      map[string]*Server{},
 		CAs:          map[string]*pki.CA{},
 		Stores:       pki.NewStoreSet(),
@@ -394,7 +402,7 @@ func (w *World) buildSLDServers(sld string, snis []string, owner, issuerOrg stri
 			Leaf:        leaf,
 			Chain:       ca.BuildChain(leaf, pki.ChainLeafOnly),
 			IPs:         w.ipsFor(mismatchHost, rng),
-			Stack:       stackFor(w.Seed, owner, sld),
+			Stack:       stackForAsOf(w.Seed, owner, sld, w.AsOf),
 		}
 	}
 
@@ -469,7 +477,7 @@ func (w *World) buildSLDServers(sld string, snis []string, owner, issuerOrg stri
 				IPs:         ips,
 				Unreachable: hashOf("reach:"+fqdn)%28 == 0, // ~3.6%
 				InCT:        inCT,
-				Stack:       stackFor(w.Seed, owner, sld),
+				Stack:       stackForAsOf(w.Seed, owner, sld, w.AsOf),
 			}
 			if netflixPublicChain {
 				srv.IssuerKind = pki.PrivateCA // leaf issuer is Netflix itself

@@ -55,6 +55,13 @@ func checkParsed(ch *ClientHello) {
 	_ = ch.HasExtension(ExtServerName)
 	_ = ch.LegacyVersion.String()
 	_ = ch.LegacyVersion.Known()
+	_ = ch.SupportedVersions()
+	_ = ch.SupportedGroups()
+	_ = ch.SignatureAlgorithms()
+	_ = ch.PSKKeyExchangeModes()
+	for _, ks := range ch.KeyShares() {
+		_ = GroupName(ks.Group)
+	}
 	for _, e := range ch.Extensions {
 		_ = e.Type.String()
 	}
@@ -195,6 +202,67 @@ func FuzzClientHelloVsCryptoTLS(f *testing.F) {
 		}
 		if diffs := CompareWithCryptoTLS(data); len(diffs) > 0 {
 			t.Fatalf("oracle disagreement on %x: %v", data, diffs)
+		}
+	})
+}
+
+// seedHello13 is a TLS 1.3-shaped hello exercising every extension the
+// 1.3 accessors decode: supported_versions, key_share (two groups),
+// supported_groups, signature_algorithms, psk_key_exchange_modes.
+func seedHello13() *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion:      VersionTLS12,
+		SessionID:          []byte{0xA0, 0xA1, 0xA2, 0xA3},
+		CipherSuites:       []uint16{0x1301, 0x1302, 0x1303, 0xC02F},
+		CompressionMethods: []byte{0},
+	}
+	for i := range ch.Random {
+		ch.Random[i] = byte(0x13 ^ i)
+	}
+	ch.SetSNI("device13.vendor.example")
+	ch.SetSupportedVersions([]uint16{uint16(VersionTLS13), uint16(VersionTLS12)})
+	ch.SetSupportedGroups([]uint16{GroupX25519, GroupP256, GroupP384})
+	ch.SetSignatureAlgorithms([]uint16{0x0403, 0x0804, 0x0401})
+	ch.SetPSKKeyExchangeModes([]byte{1})
+	ch.SetKeyShares([]KeyShare{
+		{Group: GroupX25519, Data: bytes.Repeat([]byte{0x1D}, 32)},
+		{Group: GroupP256, Data: bytes.Repeat([]byte{0x17}, 65)},
+	})
+	return ch
+}
+
+// FuzzClientHello13VsCryptoTLS is the TLS 1.3 differential target: the
+// seed corpus is 1.3-shaped (supported_versions, key_share,
+// signature_algorithms, psk_key_exchange_modes) so mutation explores the
+// new extension parsers, and every input goes through the full crypto/tls
+// comparison — including the supported_groups and signature_algorithms
+// cross-checks — hunting one-sided strictness bugs.
+func FuzzClientHello13VsCryptoTLS(f *testing.F) {
+	rec13 := mustMarshal(f, seedHello13())
+	f.Add(rec13)
+	f.Add(rec13[:len(rec13)-7])
+	// A truncated key_share list length (claims more entries than sent).
+	trunc := seedHello13()
+	trunc.Extensions = setExtension(trunc.Extensions, ExtKeyShare, []byte{0xFF, 0xFF, 0x00, 0x1D})
+	f.Add(mustMarshal(f, trunc))
+	// HRR-style bare-group payload in a ClientHello position.
+	bare := seedHello13()
+	bare.Extensions = setExtension(bare.Extensions, ExtKeyShare, []byte{0x00, 0x1D})
+	f.Add(mustMarshal(f, bare))
+	// GREASE versions and groups mixed into the offers.
+	grease := seedHello13()
+	grease.SetSupportedVersions([]uint16{0x0A0A, uint16(VersionTLS13), uint16(VersionTLS12)})
+	grease.SetSupportedGroups([]uint16{0x1A1A, GroupX25519, GroupP256})
+	f.Add(mustMarshal(f, grease))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // crypto/tls's record layer caps well below this
+		}
+		if diffs := CompareWithCryptoTLS(data); len(diffs) > 0 {
+			t.Fatalf("1.3 oracle disagreement on %x: %v", data, diffs)
+		}
+		if ch, err := ParseRecord(data); err == nil {
+			checkParsed(ch)
 		}
 	})
 }

@@ -101,6 +101,8 @@ type CryptoTLSHelloView struct {
 	CipherSuites      []uint16
 	SupportedVersions []uint16
 	SupportedProtos   []string
+	SupportedCurves   []uint16
+	SignatureSchemes  []uint16
 }
 
 // CryptoTLSView feeds record to a crypto/tls server and reports whether
@@ -115,6 +117,12 @@ func CryptoTLSView(record []byte) (view CryptoTLSHelloView, ok bool) {
 				CipherSuites:      append([]uint16(nil), info.CipherSuites...),
 				SupportedVersions: append([]uint16(nil), info.SupportedVersions...),
 				SupportedProtos:   append([]string(nil), info.SupportedProtos...),
+			}
+			for _, c := range info.SupportedCurves {
+				view.SupportedCurves = append(view.SupportedCurves, uint16(c))
+			}
+			for _, s := range info.SignatureSchemes {
+				view.SignatureSchemes = append(view.SignatureSchemes, uint16(s))
 			}
 			ok = true
 			return nil, errHelloCaptured
@@ -135,7 +143,10 @@ func CryptoTLSView(record []byte) (view CryptoTLSHelloView, ok bool) {
 //  2. SNI, the ciphersuite list, and the ALPN protocol list must match
 //     exactly;
 //  3. when the hello carries supported_versions, both sides must agree on
-//     the set of known, non-GREASE versions proposed.
+//     the set of known, non-GREASE versions proposed;
+//  4. when the hello carries supported_groups or signature_algorithms,
+//     the decoded lists must match crypto/tls's exactly (it rejects
+//     malformed vectors outright, so acceptance implies a clean list).
 func CompareWithCryptoTLS(record []byte) []string {
 	view, ok := CryptoTLSView(record)
 	if !ok {
@@ -157,11 +168,84 @@ func CompareWithCryptoTLS(record []byte) []string {
 		diffs = append(diffs, fmt.Sprintf("ALPN: tlswire %q vs crypto/tls %q", alpn, view.SupportedProtos))
 	}
 	if ours.HasExtension(ExtSupportedVersions) {
-		a := knownVersionSet(supportedVersionList(ours))
+		a := knownVersionSet(ours.SupportedVersions())
 		b := knownVersionSet(view.SupportedVersions)
 		if !equalUint16s(a, b) {
 			diffs = append(diffs, fmt.Sprintf("supported versions: tlswire %04x vs crypto/tls %04x", a, b))
 		}
+	}
+	if ours.HasExtension(ExtSupportedGroups) {
+		if a := ours.SupportedGroups(); !equalUint16s(a, view.SupportedCurves) {
+			diffs = append(diffs, fmt.Sprintf("supported groups: tlswire %04x vs crypto/tls %04x",
+				a, view.SupportedCurves))
+		}
+	}
+	if ours.HasExtension(ExtSignatureAlgorithms) {
+		if a := ours.SignatureAlgorithms(); !equalUint16s(a, view.SignatureSchemes) {
+			diffs = append(diffs, fmt.Sprintf("signature algorithms: tlswire %04x vs crypto/tls %04x",
+				a, view.SignatureSchemes))
+		}
+	}
+	return diffs
+}
+
+// ValidateCryptoTLS13Capture captures the ClientHello a crypto/tls
+// client emits when pinned to TLS 1.3 and checks this package's 1.3
+// extension views against what that hello must contain by construction:
+// supported_versions offering 0x0304, at least one key_share whose group
+// is also advertised in supported_groups, and a non-empty
+// signature_algorithms list. It returns the list of violations (nil when
+// the capture validates) — the 1.3 half of the differential oracle,
+// covering key_share, which ClientHelloInfo never surfaces.
+func ValidateCryptoTLS13Capture() []string {
+	rec, err := CaptureCryptoTLSHello(&tls.Config{
+		ServerName: "oracle13.invalid",
+		MinVersion: tls.VersionTLS13,
+		MaxVersion: tls.VersionTLS13,
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("capture 1.3 hello: %v", err)}
+	}
+	ch, err := ParseRecord(rec)
+	if err != nil {
+		return []string{fmt.Sprintf("tlswire rejects the crypto/tls 1.3 hello: %v", err)}
+	}
+	var diffs []string
+	vs := knownVersionSet(ch.SupportedVersions())
+	has13 := false
+	for _, v := range vs {
+		if v == uint16(VersionTLS13) {
+			has13 = true
+		}
+	}
+	if !has13 {
+		diffs = append(diffs, fmt.Sprintf("1.3 capture supported_versions %04x lacks 0x0304", vs))
+	}
+	if ch.EffectiveVersion() != VersionTLS13 {
+		diffs = append(diffs, fmt.Sprintf("1.3 capture effective version %v, want TLS 1.3", ch.EffectiveVersion()))
+	}
+	shares := ch.KeyShares()
+	if len(shares) == 0 {
+		diffs = append(diffs, "1.3 capture carries no parseable key_share entries")
+	}
+	groups := ch.SupportedGroups()
+	for _, s := range shares {
+		if len(s.Data) == 0 {
+			diffs = append(diffs, fmt.Sprintf("1.3 capture key_share %s has empty key data", GroupName(s.Group)))
+		}
+		offered := false
+		for _, g := range groups {
+			if g == s.Group {
+				offered = true
+			}
+		}
+		if !offered {
+			diffs = append(diffs, fmt.Sprintf("1.3 capture key_share group %s missing from supported_groups %04x",
+				GroupName(s.Group), groups))
+		}
+	}
+	if len(ch.SignatureAlgorithms()) == 0 {
+		diffs = append(diffs, "1.3 capture carries no parseable signature_algorithms")
 	}
 	return diffs
 }
@@ -193,30 +277,6 @@ func alpnProtocols(ch *ClientHello) []string {
 			d = d[n:]
 		}
 		return protos
-	}
-	return nil
-}
-
-// supportedVersionList parses the supported_versions extension payload.
-func supportedVersionList(ch *ClientHello) []uint16 {
-	for _, e := range ch.Extensions {
-		if e.Type != ExtSupportedVersions {
-			continue
-		}
-		d := e.Data
-		if len(d) < 1 {
-			return nil
-		}
-		n := int(d[0])
-		d = d[1:]
-		if n > len(d) {
-			n = len(d)
-		}
-		var out []uint16
-		for i := 0; i+1 < n; i += 2 {
-			out = append(out, uint16(d[i])<<8|uint16(d[i+1]))
-		}
-		return out
 	}
 	return nil
 }

@@ -1,0 +1,323 @@
+package tlswire
+
+// TLS 1.3 extension views. RFC 8446 moved version negotiation out of the
+// legacy version fields and into extensions: a 1.3 ClientHello offers a
+// supported_versions list plus key_share entries, and the ServerHello
+// either answers with its selected version and share or sends a
+// HelloRetryRequest (a ServerHello whose Random is a fixed constant and
+// whose key_share carries only the wanted group). These accessors give
+// those extensions first-class typed views over the raw Extension bytes,
+// mirroring the tolerant-parse philosophy of the rest of the package: a
+// malformed payload yields an empty view, never an error, because a
+// measurement parser must not be stricter than the stacks it observes.
+
+import "encoding/binary"
+
+// Named group codepoints (RFC 8446 §4.2.7) appearing in key_share and
+// supported_groups.
+const (
+	GroupP256      uint16 = 0x0017
+	GroupP384      uint16 = 0x0018
+	GroupP521      uint16 = 0x0019
+	GroupX25519    uint16 = 0x001D
+	GroupFFDHE2048 uint16 = 0x0100
+)
+
+// groupNames labels the named groups the modeled stacks use.
+var groupNames = map[uint16]string{
+	GroupP256:      "secp256r1",
+	GroupP384:      "secp384r1",
+	GroupP521:      "secp521r1",
+	GroupX25519:    "x25519",
+	GroupFFDHE2048: "ffdhe2048",
+}
+
+// GroupName returns the RFC name of a named group, or "group_0x%04x" for
+// unknown codepoints.
+func GroupName(g uint16) string {
+	if n, ok := groupNames[g]; ok {
+		return n
+	}
+	return "group_0x" + hexUint16(g)
+}
+
+func hexUint16(v uint16) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{
+		digits[v>>12&0xF], digits[v>>8&0xF], digits[v>>4&0xF], digits[v&0xF],
+	})
+}
+
+// KeyShare is one KeyShareEntry: a named group plus the key exchange
+// payload for it.
+type KeyShare struct {
+	Group uint16
+	Data  []byte
+}
+
+// helloRetryRequestRandom is the fixed ServerHello.Random value that
+// marks a HelloRetryRequest (RFC 8446 §4.1.3): SHA-256 of
+// "HelloRetryRequest".
+var helloRetryRequestRandom = [32]byte{
+	0xCF, 0x21, 0xAD, 0x74, 0xE5, 0x9A, 0x61, 0x11,
+	0xBE, 0x1D, 0x8C, 0x02, 0x1E, 0x65, 0xB8, 0x91,
+	0xC2, 0xA2, 0x11, 0x16, 0x7A, 0xBB, 0x8C, 0x5E,
+	0x07, 0x9E, 0x09, 0xE2, 0xC8, 0xA8, 0x33, 0x9C,
+}
+
+// HelloRetryRequestRandom returns the RFC 8446 HRR marker random.
+func HelloRetryRequestRandom() [32]byte { return helloRetryRequestRandom }
+
+// setExtension replaces the first extension of type t in place, or
+// appends one, preserving the order fingerprinting depends on.
+func setExtension(exts []Extension, t ExtensionType, data []byte) []Extension {
+	for i := range exts {
+		if exts[i].Type == t {
+			exts[i].Data = data
+			return exts
+		}
+	}
+	return append(exts, Extension{Type: t, Data: data})
+}
+
+// uint16ListPayload encodes a 2-byte-length-prefixed uint16 vector (the
+// layout of supported_groups and signature_algorithms bodies).
+func uint16ListPayload(vs []uint16) []byte {
+	data := make([]byte, 0, 2+2*len(vs))
+	data = appendUint16(data, uint16(2*len(vs)))
+	for _, v := range vs {
+		data = appendUint16(data, v)
+	}
+	return data
+}
+
+// parseUint16List decodes a 2-byte-length-prefixed uint16 vector,
+// tolerating short payloads by clamping to what is present.
+func parseUint16List(d []byte) []uint16 {
+	if len(d) < 2 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(d))
+	d = d[2:]
+	if n > len(d) {
+		n = len(d)
+	}
+	out := make([]uint16, 0, n/2)
+	for i := 0; i+1 < n; i += 2 {
+		out = append(out, binary.BigEndian.Uint16(d[i:]))
+	}
+	return out
+}
+
+// SupportedVersions returns the client's proposed version list from the
+// supported_versions extension, in offer order, or nil when absent or
+// malformed. GREASE values are preserved — filtering is the caller's
+// choice (EffectiveVersion skips them; fingerprinting keeps them).
+func (ch *ClientHello) SupportedVersions() []uint16 {
+	for _, e := range ch.Extensions {
+		if e.Type != ExtSupportedVersions {
+			continue
+		}
+		d := e.Data
+		if len(d) < 1 {
+			return nil
+		}
+		n := int(d[0])
+		d = d[1:]
+		if n > len(d) {
+			n = len(d)
+		}
+		out := make([]uint16, 0, n/2)
+		for i := 0; i+1 < n; i += 2 {
+			out = append(out, binary.BigEndian.Uint16(d[i:]))
+		}
+		return out
+	}
+	return nil
+}
+
+// SetSupportedVersions installs a supported_versions extension offering
+// vs in order (ClientHello layout: one length byte then 2-byte versions).
+func (ch *ClientHello) SetSupportedVersions(vs []uint16) {
+	data := make([]byte, 0, 1+2*len(vs))
+	data = append(data, byte(2*len(vs)))
+	for _, v := range vs {
+		data = appendUint16(data, v)
+	}
+	ch.Extensions = setExtension(ch.Extensions, ExtSupportedVersions, data)
+}
+
+// KeyShares returns the client's KeyShareEntry list, or nil when the
+// key_share extension is absent or malformed. Entry Data aliases the
+// extension payload.
+func (ch *ClientHello) KeyShares() []KeyShare {
+	for _, e := range ch.Extensions {
+		if e.Type != ExtKeyShare {
+			continue
+		}
+		d := e.Data
+		if len(d) < 2 {
+			return nil
+		}
+		listLen := int(binary.BigEndian.Uint16(d))
+		d = d[2:]
+		if listLen > len(d) {
+			listLen = len(d)
+		}
+		d = d[:listLen]
+		var out []KeyShare
+		for len(d) >= 4 {
+			group := binary.BigEndian.Uint16(d)
+			keyLen := int(binary.BigEndian.Uint16(d[2:]))
+			d = d[4:]
+			if keyLen > len(d) {
+				return out
+			}
+			out = append(out, KeyShare{Group: group, Data: d[:keyLen:keyLen]})
+			d = d[keyLen:]
+		}
+		return out
+	}
+	return nil
+}
+
+// SetKeyShares installs a ClientHello key_share extension carrying the
+// entries in order.
+func (ch *ClientHello) SetKeyShares(shares []KeyShare) {
+	inner := 0
+	for _, s := range shares {
+		inner += 4 + len(s.Data)
+	}
+	data := make([]byte, 0, 2+inner)
+	data = appendUint16(data, uint16(inner))
+	for _, s := range shares {
+		data = appendUint16(data, s.Group)
+		data = appendUint16(data, uint16(len(s.Data)))
+		data = append(data, s.Data...)
+	}
+	ch.Extensions = setExtension(ch.Extensions, ExtKeyShare, data)
+}
+
+// SupportedGroups returns the supported_groups (named curve) list, or nil
+// when absent or malformed.
+func (ch *ClientHello) SupportedGroups() []uint16 {
+	for _, e := range ch.Extensions {
+		if e.Type == ExtSupportedGroups {
+			return parseUint16List(e.Data)
+		}
+	}
+	return nil
+}
+
+// SetSupportedGroups installs a supported_groups extension.
+func (ch *ClientHello) SetSupportedGroups(groups []uint16) {
+	ch.Extensions = setExtension(ch.Extensions, ExtSupportedGroups, uint16ListPayload(groups))
+}
+
+// SignatureAlgorithms returns the signature_algorithms scheme list, or
+// nil when absent or malformed.
+func (ch *ClientHello) SignatureAlgorithms() []uint16 {
+	for _, e := range ch.Extensions {
+		if e.Type == ExtSignatureAlgorithms {
+			return parseUint16List(e.Data)
+		}
+	}
+	return nil
+}
+
+// SetSignatureAlgorithms installs a signature_algorithms extension.
+func (ch *ClientHello) SetSignatureAlgorithms(schemes []uint16) {
+	ch.Extensions = setExtension(ch.Extensions, ExtSignatureAlgorithms, uint16ListPayload(schemes))
+}
+
+// PSKKeyExchangeModes returns the psk_key_exchange_modes list (one
+// length byte then 1-byte modes: 0 = psk_ke, 1 = psk_dhe_ke), or nil
+// when absent or malformed.
+func (ch *ClientHello) PSKKeyExchangeModes() []byte {
+	for _, e := range ch.Extensions {
+		if e.Type != ExtPSKKeyExchangeModes {
+			continue
+		}
+		d := e.Data
+		if len(d) < 1 {
+			return nil
+		}
+		n := int(d[0])
+		d = d[1:]
+		if n > len(d) {
+			n = len(d)
+		}
+		return append([]byte(nil), d[:n]...)
+	}
+	return nil
+}
+
+// SetPSKKeyExchangeModes installs a psk_key_exchange_modes extension.
+func (ch *ClientHello) SetPSKKeyExchangeModes(modes []byte) {
+	data := make([]byte, 0, 1+len(modes))
+	data = append(data, byte(len(modes)))
+	data = append(data, modes...)
+	ch.Extensions = setExtension(ch.Extensions, ExtPSKKeyExchangeModes, data)
+}
+
+// IsHelloRetryRequest reports whether this ServerHello is a
+// HelloRetryRequest: its Random equals the RFC 8446 HRR constant.
+func (sh *ServerHello) IsHelloRetryRequest() bool {
+	return sh.Random == helloRetryRequestRandom
+}
+
+// KeyShare returns the server's key_share view. In a normal ServerHello
+// the body is one KeyShareEntry (group + length + key exchange data); in
+// a HelloRetryRequest it is a bare group with no key material. Both
+// shapes decode here — an HRR yields the group with empty Data. The
+// second return is false when the extension is absent or malformed.
+func (sh *ServerHello) KeyShare() (KeyShare, bool) {
+	for _, e := range sh.Extensions {
+		if e.Type != ExtKeyShare {
+			continue
+		}
+		d := e.Data
+		if len(d) == 2 {
+			// HelloRetryRequest form: KeyShareHelloRetryRequest is the
+			// selected group alone.
+			return KeyShare{Group: binary.BigEndian.Uint16(d)}, true
+		}
+		if len(d) < 4 {
+			return KeyShare{}, false
+		}
+		group := binary.BigEndian.Uint16(d)
+		keyLen := int(binary.BigEndian.Uint16(d[2:]))
+		d = d[4:]
+		if keyLen > len(d) {
+			keyLen = len(d)
+		}
+		return KeyShare{Group: group, Data: d[:keyLen:keyLen]}, true
+	}
+	return KeyShare{}, false
+}
+
+// KeyShareGroup returns the named group of the server's key_share, or
+// (0, false) when absent.
+func (sh *ServerHello) KeyShareGroup() (uint16, bool) {
+	ks, ok := sh.KeyShare()
+	return ks.Group, ok
+}
+
+// SetKeyShare installs a ServerHello key_share extension carrying one
+// KeyShareEntry.
+func (sh *ServerHello) SetKeyShare(group uint16, key []byte) {
+	data := make([]byte, 0, 4+len(key))
+	data = appendUint16(data, group)
+	data = appendUint16(data, uint16(len(key)))
+	data = append(data, key...)
+	sh.Extensions = setExtension(sh.Extensions, ExtKeyShare, data)
+}
+
+// SetRetryKeyShare installs the HelloRetryRequest key_share form (the
+// bare wanted group) and stamps the HRR marker random.
+func (sh *ServerHello) SetRetryKeyShare(group uint16) {
+	sh.Random = helloRetryRequestRandom
+	data := make([]byte, 0, 2)
+	data = appendUint16(data, group)
+	sh.Extensions = setExtension(sh.Extensions, ExtKeyShare, data)
+}

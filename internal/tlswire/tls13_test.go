@@ -1,0 +1,184 @@
+package tlswire
+
+import (
+	"bytes"
+	"crypto/tls"
+	"reflect"
+	"testing"
+)
+
+// TestClientHello13Accessors round-trips every 1.3 extension through its
+// setter, the wire, and its accessor.
+func TestClientHello13Accessors(t *testing.T) {
+	ch := seedHello13()
+	rec, err := ch.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if want := []uint16{uint16(VersionTLS13), uint16(VersionTLS12)}; !reflect.DeepEqual(got.SupportedVersions(), want) {
+		t.Errorf("SupportedVersions = %04x, want %04x", got.SupportedVersions(), want)
+	}
+	if want := []uint16{GroupX25519, GroupP256, GroupP384}; !reflect.DeepEqual(got.SupportedGroups(), want) {
+		t.Errorf("SupportedGroups = %04x, want %04x", got.SupportedGroups(), want)
+	}
+	if want := []uint16{0x0403, 0x0804, 0x0401}; !reflect.DeepEqual(got.SignatureAlgorithms(), want) {
+		t.Errorf("SignatureAlgorithms = %04x, want %04x", got.SignatureAlgorithms(), want)
+	}
+	if want := []byte{1}; !bytes.Equal(got.PSKKeyExchangeModes(), want) {
+		t.Errorf("PSKKeyExchangeModes = %v, want %v", got.PSKKeyExchangeModes(), want)
+	}
+	shares := got.KeyShares()
+	if len(shares) != 2 || shares[0].Group != GroupX25519 || shares[1].Group != GroupP256 {
+		t.Fatalf("KeyShares = %+v, want x25519+p256", shares)
+	}
+	if len(shares[0].Data) != 32 || len(shares[1].Data) != 65 {
+		t.Errorf("key share data lengths = %d, %d; want 32, 65", len(shares[0].Data), len(shares[1].Data))
+	}
+	if got.EffectiveVersion() != VersionTLS13 {
+		t.Errorf("EffectiveVersion = %v, want TLS 1.3", got.EffectiveVersion())
+	}
+}
+
+// TestClientHello13SettersReplaceInPlace checks the setters keep the
+// extension order stable (a fingerprinting feature) when re-applied.
+func TestClientHello13SettersReplaceInPlace(t *testing.T) {
+	ch := seedHello13()
+	order := ch.ExtensionTypes()
+	ch.SetSupportedVersions([]uint16{uint16(VersionTLS13)})
+	ch.SetKeyShares([]KeyShare{{Group: GroupP384, Data: []byte{1}}})
+	ch.SetSupportedGroups([]uint16{GroupP384})
+	ch.SetSignatureAlgorithms([]uint16{0x0503})
+	ch.SetPSKKeyExchangeModes([]byte{0, 1})
+	if !reflect.DeepEqual(ch.ExtensionTypes(), order) {
+		t.Fatalf("setters disturbed extension order: %v -> %v", order, ch.ExtensionTypes())
+	}
+	if got := ch.SupportedVersions(); !reflect.DeepEqual(got, []uint16{uint16(VersionTLS13)}) {
+		t.Errorf("replaced SupportedVersions = %04x", got)
+	}
+	if got := ch.KeyShares(); len(got) != 1 || got[0].Group != GroupP384 {
+		t.Errorf("replaced KeyShares = %+v", got)
+	}
+}
+
+// TestClientHello13MalformedTolerance: hostile payloads yield empty
+// views, never panics or errors.
+func TestClientHello13MalformedTolerance(t *testing.T) {
+	cases := []Extension{
+		{Type: ExtSupportedVersions, Data: nil},
+		{Type: ExtSupportedVersions, Data: []byte{7, 0x03}},
+		{Type: ExtKeyShare, Data: []byte{0xFF}},
+		{Type: ExtKeyShare, Data: []byte{0x00, 0x08, 0x00, 0x1D, 0xFF, 0xFF, 0x01, 0x02}},
+		{Type: ExtSupportedGroups, Data: []byte{0x00}},
+		{Type: ExtSignatureAlgorithms, Data: []byte{0xFF, 0xFF, 0x04}},
+		{Type: ExtPSKKeyExchangeModes, Data: []byte{}},
+	}
+	for _, ext := range cases {
+		ch := &ClientHello{
+			LegacyVersion: VersionTLS12,
+			CipherSuites:  []uint16{0x1301},
+			Extensions:    []Extension{ext},
+		}
+		checkParsed(ch) // must not panic
+	}
+}
+
+// TestServerHelloKeyShareForms covers both server key_share shapes: the
+// full entry of a ServerHello and the bare group of an HRR.
+func TestServerHelloKeyShareForms(t *testing.T) {
+	sh := &ServerHello{LegacyVersion: VersionTLS12, CipherSuite: 0x1301}
+	sh.SetSelectedVersion(VersionTLS13)
+	sh.SetKeyShare(GroupX25519, bytes.Repeat([]byte{0xAB}, 32))
+	rec, err := sh.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseServerHelloRecord(rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.IsHelloRetryRequest() {
+		t.Error("plain ServerHello classified as HRR")
+	}
+	ks, ok := got.KeyShare()
+	if !ok || ks.Group != GroupX25519 || len(ks.Data) != 32 {
+		t.Fatalf("KeyShare = %+v, %v; want x25519 with 32-byte data", ks, ok)
+	}
+	if g, ok := got.KeyShareGroup(); !ok || g != GroupX25519 {
+		t.Errorf("KeyShareGroup = %04x, %v", g, ok)
+	}
+
+	hrr := &ServerHello{LegacyVersion: VersionTLS12, CipherSuite: 0x1301}
+	hrr.SetSelectedVersion(VersionTLS13)
+	hrr.SetRetryKeyShare(GroupP256)
+	rec, err = hrr.Marshal()
+	if err != nil {
+		t.Fatalf("marshal HRR: %v", err)
+	}
+	got, err = ParseServerHelloRecord(rec)
+	if err != nil {
+		t.Fatalf("parse HRR: %v", err)
+	}
+	if !got.IsHelloRetryRequest() {
+		t.Fatal("HRR not recognized after wire round trip")
+	}
+	if got.Random != HelloRetryRequestRandom() {
+		t.Error("HRR random does not match the RFC 8446 constant")
+	}
+	ks, ok = got.KeyShare()
+	if !ok || ks.Group != GroupP256 || len(ks.Data) != 0 {
+		t.Fatalf("HRR KeyShare = %+v, %v; want bare p256", ks, ok)
+	}
+}
+
+// TestGroupName covers known and unknown codepoints.
+func TestGroupName(t *testing.T) {
+	if got := GroupName(GroupX25519); got != "x25519" {
+		t.Errorf("GroupName(x25519) = %q", got)
+	}
+	if got := GroupName(0xABCD); got != "group_0xabcd" {
+		t.Errorf("GroupName(0xABCD) = %q", got)
+	}
+}
+
+// TestValidateCryptoTLS13Capture is the capture half of the 1.3
+// differential oracle: crypto/tls's own 1.3 first flight must decode
+// cleanly through the new extension views.
+func TestValidateCryptoTLS13Capture(t *testing.T) {
+	if diffs := ValidateCryptoTLS13Capture(); len(diffs) > 0 {
+		t.Fatalf("1.3 capture validation failed:\n  %v", diffs)
+	}
+}
+
+// TestCompare13CaptureWithCryptoTLS closes the loop: the captured 1.3
+// hello also goes through the server-direction comparison, so the
+// supported_groups / signature_algorithms cross-checks run on a real
+// crypto/tls artifact, not only on hand-built hellos.
+func TestCompare13CaptureWithCryptoTLS(t *testing.T) {
+	rec, err := CaptureCryptoTLSHello(&tls.Config{
+		ServerName: "oracle13.invalid",
+		MinVersion: tls.VersionTLS13,
+		NextProtos: []string{"h2", "http/1.1"},
+	})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if diffs := CompareWithCryptoTLS(rec); len(diffs) > 0 {
+		t.Fatalf("oracle disagreement on crypto/tls 1.3 hello: %v", diffs)
+	}
+}
+
+// TestCompareWithCryptoTLSSeed13 runs the comparison on the package's
+// own 1.3 seed (our encoder vs their parser).
+func TestCompareWithCryptoTLSSeed13(t *testing.T) {
+	rec, err := seedHello13().Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if diffs := CompareWithCryptoTLS(rec); len(diffs) > 0 {
+		t.Fatalf("oracle disagreement on seedHello13: %v", diffs)
+	}
+}
